@@ -1,0 +1,37 @@
+// Ablation: the paper's claim that the two transformations only work
+// *together* — "Fusion may degrade performance without grouping and
+// grouping may see little opportunity without fusion."
+//
+// Four versions per app: original, fusion-only, grouping-only, both.
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Ablation: fusion and regrouping separately vs combined",
+      "Section 4.3 summary: neither transformation is beneficial without "
+      "the other");
+
+  struct AppRun {
+    const char* name;
+    std::int64_t n;
+    std::uint64_t steps;
+  };
+  const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
+  const MachineConfig machine = MachineConfig::origin2000();
+
+  for (const AppRun& run : runs) {
+    Program p = apps::buildApp(run.name);
+    std::vector<bench::VersionRow> rows;
+    rows.push_back({"original", measure(makeNoOpt(p), run.n, machine, run.steps)});
+    rows.push_back(
+        {"fusion only", measure(makeFused(p), run.n, machine, run.steps)});
+    rows.push_back({"grouping only",
+                    measure(makeRegroupedOnly(p), run.n, machine, run.steps)});
+    rows.push_back({"fusion + grouping",
+                    measure(makeFusedRegrouped(p), run.n, machine, run.steps)});
+    bench::printFig10Panel(run.name, run.n, machine, rows);
+  }
+  return 0;
+}

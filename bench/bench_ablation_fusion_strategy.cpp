@@ -1,0 +1,77 @@
+// Ablation: fusion strategies from the paper's related-work section
+// (Section 5), evaluated head-to-head on the benchmark programs:
+//
+//   * conservative fusion (McKinley et al. [12]): identical bounds, no
+//     fusion-preventing dependences, no enabling transformations — the
+//     study where only ~6% of candidate loops fused and results were mixed;
+//   * fast greedy weighted fusion (Kennedy [8]): fuse the heaviest
+//     data-sharing edge first — "none of these algorithms has been
+//     implemented or evaluated" (here it is);
+//   * reuse-based fusion (this paper): closest-predecessor greedy with
+//     statement embedding, alignment and boundary splitting.
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+#include "ir/stats.hpp"
+#include "support/table.hpp"
+#include "xform/distribute.hpp"
+#include "xform/unroll_split.hpp"
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Ablation: fusion strategies (related-work comparison)",
+      "Section 5: restricted fusion fuses few loops; enabling "
+      "transformations are what unlocks the global benefit");
+
+  struct AppRun {
+    const char* name;
+    std::int64_t n;
+    std::uint64_t steps;
+  };
+  const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
+  const MachineConfig machine = MachineConfig::origin2000();
+
+  const std::pair<const char*, FusionStrategy> strategies[] = {
+      {"conservative (McKinley et al.)", FusionStrategy::Conservative},
+      {"weighted greedy (Kennedy)", FusionStrategy::WeightedGreedy},
+      {"reuse-based (this paper)", FusionStrategy::ReuseBasedGreedy},
+  };
+
+  for (const AppRun& run : runs) {
+    Program p = apps::buildApp(run.name);
+    // Common pre-passes so every strategy sees the same distributed input.
+    Program prepped = distributeLoops(unrollAndSplit(p).program);
+    const int nestsBefore = computeStats(prepped).numLoopNests;
+
+    std::printf("\n-- %s (%d top-level loops after pre-passes) --\n",
+                run.name, nestsBefore);
+    TextTable t({"strategy", "fusions", "nests left", "L2(norm)",
+                 "time(norm)"});
+    Measurement base = measure(makeNoOpt(p), run.n, machine, run.steps);
+    for (const auto& [label, strategy] : strategies) {
+      FusionOptions fopts;
+      fopts.strategy = strategy;
+      FusionReport report;
+      Program fused = fuseProgram(prepped, fopts, &report);
+      ProgramVersion v{label, std::move(fused),
+                       [](const Program& prog, std::int64_t size) {
+                         return contiguousLayout(prog, size);
+                       }};
+      Measurement m = measure(v, run.n, machine, run.steps);
+      t.addRow({label, std::to_string(report.fusions),
+                std::to_string(computeStats(v.program).numLoopNests),
+                TextTable::fmt(static_cast<double>(m.counts.l2Misses) /
+                               static_cast<double>(base.counts.l2Misses), 2),
+                TextTable::fmt(m.cycles / base.cycles, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf(
+      "\nexpected: conservative fusion leaves most nests unfused (the "
+      "paper's 6%% anecdote);\nweighted greedy matches reuse-based on these "
+      "programs only where no enabling\ntransformations are needed; "
+      "reuse-based fuses the most and wins on misses.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: grouping granularity — multi-level regrouping (this paper's
+// Section 3.1) vs element-only single-level regrouping (the authors' prior
+// work) vs outer-dims-only grouping (the paper's SGI code-generator
+// workaround: "grouped arrays up to the second innermost dimension").
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Ablation: multi-level vs single-level vs skip-innermost regrouping",
+      "Section 3.1 motivation + Section 4.1 SGI workaround");
+
+  struct AppRun {
+    const char* name;
+    std::int64_t n;
+    std::uint64_t steps;
+  };
+  const AppRun runs[] = {{"Swim", 321, 2}, {"SP", 26, 1}};
+  const MachineConfig machine = MachineConfig::origin2000();
+
+  for (const AppRun& run : runs) {
+    Program p = apps::buildApp(run.name);
+    RegroupOptions elementOnly;
+    elementOnly.innermostOnly = true;
+    RegroupOptions outerOnly;
+    outerOnly.skipInnermostDim = true;
+
+    std::vector<bench::VersionRow> rows;
+    rows.push_back({"fusion, no grouping", measure(makeFused(p), run.n,
+                                                   machine, run.steps)});
+    rows.push_back({"element-level only",
+                    measure(makeFusedRegrouped(p, 8, {}, elementOnly), run.n,
+                            machine, run.steps)});
+    rows.push_back({"outer dims only (SGI workaround)",
+                    measure(makeFusedRegrouped(p, 8, {}, outerOnly), run.n,
+                            machine, run.steps)});
+    rows.push_back({"multi-level (this paper)",
+                    measure(makeFusedRegrouped(p), run.n, machine, run.steps)});
+    bench::printFig10Panel(run.name, run.n, machine, rows);
+  }
+  return 0;
+}

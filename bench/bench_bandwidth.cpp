@@ -1,0 +1,77 @@
+// Effective bandwidth — the paper's title claim, measured directly.
+//
+// Section 6: "the new global strategy achieved dramatic reductions in the
+// volume of data transferred for the programs studied."  This bench reports
+// the memory traffic (bytes moved across the memory bus: L2 demand fills +
+// prefetch fills + writebacks) and the effective-bandwidth ratio (bytes the
+// program referenced / bytes transferred) for each program version — and
+// contrasts prefetching (hides latency, spends bandwidth) with the global
+// strategy (reduces the traffic itself).
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Effective bandwidth: memory traffic per program version",
+      "Section 1 + Section 6: latency tools don't cut traffic; global "
+      "fusion+regrouping does");
+
+  struct AppRun {
+    const char* name;
+    std::int64_t n;
+    std::uint64_t steps;
+  };
+  const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
+
+  for (const AppRun& run : runs) {
+    Program p = apps::buildApp(run.name);
+    MachineConfig plain = MachineConfig::origin2000();
+    MachineConfig prefetch = plain;
+    prefetch.l2NextLinePrefetch = true;
+
+    struct Row {
+      const char* label;
+      const ProgramVersion version;
+      const MachineConfig* machine;
+    };
+    ProgramVersion noOpt = makeNoOpt(p);
+    ProgramVersion noOptPf = makeNoOpt(p);
+    ProgramVersion full = makeFusedRegrouped(p);
+    const Row rows[] = {
+        {"original", std::move(noOpt), &plain},
+        {"original + prefetch", std::move(noOptPf), &prefetch},
+        {"fusion + regrouping", std::move(full), &plain},
+    };
+
+    std::printf("\n-- %s, n=%lld --\n", run.name,
+                static_cast<long long>(run.n));
+    TextTable t({"version", "traffic (MB)", "traffic(norm)", "L2 misses",
+                 "eff. bandwidth", "time(norm)"});
+    double baseTraffic = 0, baseTime = 0;
+    for (const Row& r : rows) {
+      Measurement m = measure(r.version, run.n, *r.machine, run.steps);
+      if (baseTraffic == 0) {
+        baseTraffic = static_cast<double>(m.memoryTrafficBytes);
+        baseTime = m.cycles;
+      }
+      t.addRow({r.label,
+                TextTable::fmt(static_cast<double>(m.memoryTrafficBytes) /
+                               (1024.0 * 1024.0), 1),
+                TextTable::fmt(static_cast<double>(m.memoryTrafficBytes) /
+                               baseTraffic, 2),
+                std::to_string(m.counts.l2Misses),
+                TextTable::fmt(m.effectiveBandwidth, 2),
+                TextTable::fmt(m.cycles / baseTime, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf(
+      "\nexpected: prefetching cuts time but leaves traffic unchanged (or "
+      "higher);\nthe global strategy cuts the traffic itself — higher "
+      "effective bandwidth.\n");
+  return 0;
+}

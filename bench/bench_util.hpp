@@ -1,0 +1,72 @@
+// Shared helpers for the experiment binaries: every bench regenerates one
+// paper table or figure and prints it in the paper's shape (normalized bars
+// / ratio tables), plus the raw counters.
+//
+// Problem sizes default to values that keep the whole suite under a few
+// minutes while the working sets still exceed the simulated L2; set
+// GCR_FULL_SIZE=1 to run the paper's published input sizes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "support/table.hpp"
+
+namespace gcr::bench {
+
+inline bool fullSize() {
+  const char* env = std::getenv("GCR_FULL_SIZE");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void printHeader(const std::string& title, const std::string& paper) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paper.c_str());
+  std::printf("============================================================\n");
+}
+
+/// One bar group of Figure 10: a named version with its measurement.
+struct VersionRow {
+  std::string name;
+  Measurement m;
+};
+
+/// Print the Figure 10 panel: execution time and miss counts normalized to
+/// the first (original) version, plus the raw rates.
+inline void printFig10Panel(const std::string& app, std::int64_t n,
+                            const MachineConfig& machine,
+                            const std::vector<VersionRow>& rows) {
+  std::printf("\n-- %s, %lldx%lld grid on %s --\n", app.c_str(),
+              static_cast<long long>(n), static_cast<long long>(n),
+              machine.name.c_str());
+  TextTable t({"version", "time(norm)", "L1(norm)", "L2(norm)", "TLB(norm)",
+               "L1 rate", "L2 rate", "TLB rate"});
+  const Measurement& base = rows.front().m;
+  auto norm = [](double v, double b) { return b > 0 ? v / b : 0.0; };
+  for (const VersionRow& r : rows) {
+    t.addRow({r.name, TextTable::fmt(norm(r.m.cycles, base.cycles), 3),
+              TextTable::fmt(norm(static_cast<double>(r.m.counts.l1Misses),
+                                  static_cast<double>(base.counts.l1Misses)),
+                             3),
+              TextTable::fmt(norm(static_cast<double>(r.m.counts.l2Misses),
+                                  static_cast<double>(base.counts.l2Misses)),
+                             3),
+              TextTable::fmt(norm(static_cast<double>(r.m.counts.tlbMisses),
+                                  static_cast<double>(base.counts.tlbMisses)),
+                             3),
+              TextTable::fmtPercent(r.m.counts.l1MissRate(), 2),
+              TextTable::fmtPercent(r.m.counts.l2MissRate(), 3),
+              TextTable::fmtPercent(r.m.counts.tlbMissRate(), 3)});
+  }
+  std::printf("%s", t.render().c_str());
+  const double speedup = rows.front().m.cycles / rows.back().m.cycles;
+  std::printf("combined speedup over original: %.2fx\n", speedup);
+}
+
+}  // namespace gcr::bench

@@ -1,0 +1,51 @@
+// Cache study: how does the benefit of the global strategy depend on the
+// memory system?  Sweeps an application across cache hierarchies (the
+// paper's two machines plus shrunken variants) and reports the speedup of
+// fusion+regrouping at each point — the kind of study a performance
+// engineer would run before adopting the transformations.
+//
+//   ./build/examples/cache_study [app] [n]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gcr/gcr.hpp"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "ADI";
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 512;
+
+  Program p = apps::buildApp(app);
+  ProgramVersion noOpt = makeNoOpt(p);
+  ProgramVersion optimized = makeFusedRegrouped(p);
+
+  struct Point {
+    const char* name;
+    MachineConfig cfg;
+  };
+  const Point points[] = {
+      {"Origin2000 (4MB L2)", MachineConfig::origin2000()},
+      {"Octane (1MB L2)", MachineConfig::octane()},
+      {"quarter-size caches", MachineConfig::origin2000().scaledDown(4)},
+      {"sixteenth-size caches", MachineConfig::origin2000().scaledDown(16)},
+  };
+
+  std::printf("%s at n=%lld: speedup of fusion+regrouping by machine\n\n",
+              app.c_str(), static_cast<long long>(n));
+  TextTable t({"machine", "L2 misses (orig)", "L2 misses (opt)", "speedup"});
+  for (const Point& pt : points) {
+    Measurement base = measure(noOpt, n, pt.cfg);
+    Measurement opt = measure(optimized, n, pt.cfg);
+    t.addRow({pt.name, std::to_string(base.counts.l2Misses),
+              std::to_string(opt.counts.l2Misses),
+              TextTable::fmtRatio(base.cycles / opt.cycles)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nreading: the smaller the cache relative to the working set, the "
+      "more the\nbandwidth reduction matters — the paper's motivation in "
+      "Section 1.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Limit study: how much of the ideal (reuse-driven execution) benefit does
+// source-level fusion actually capture?  Reproduces the Section 2.2 / 4.4
+// comparison for any app: program order vs reuse-based fusion vs the
+// reuse-driven execution upper bound.
+//
+//   ./build/examples/limit_study [app] [n]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gcr/gcr.hpp"
+
+using namespace gcr;
+
+namespace {
+InstrTrace traceOf(const ProgramVersion& v, std::int64_t n) {
+  InstrTrace t;
+  DataLayout l = v.layoutAt(n);
+  execute(v.program, l, {.n = n}, &t);
+  return t;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "ADI";
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 64;
+  constexpr std::uint64_t kCapacity = 1024;  // "cache" size in elements
+
+  Program p = apps::buildApp(app);
+
+  InstrTrace orig = traceOf(makeNoOpt(p), n);
+  const std::uint64_t programOrderLong =
+      profileOrder(orig, programOrder(orig)).countAtLeast(kCapacity);
+  const std::uint64_t idealLong =
+      profileOrder(orig, reuseDrivenOrder(orig)).countAtLeast(kCapacity);
+
+  InstrTrace fused = traceOf(makeFused(p), n);
+  const std::uint64_t fusedLong =
+      profileOrder(fused, programOrder(fused)).countAtLeast(kCapacity);
+
+  std::printf("%s at n=%lld — reuses with distance >= %llu elements:\n",
+              app.c_str(), static_cast<long long>(n),
+              static_cast<unsigned long long>(kCapacity));
+  std::printf("  program order:          %llu\n",
+              static_cast<unsigned long long>(programOrderLong));
+  std::printf("  reuse-based fusion:     %llu\n",
+              static_cast<unsigned long long>(fusedLong));
+  std::printf("  reuse-driven (ideal):   %llu\n",
+              static_cast<unsigned long long>(idealLong));
+  if (programOrderLong > idealLong && programOrderLong >= fusedLong) {
+    const double captured =
+        static_cast<double>(programOrderLong - fusedLong) /
+        static_cast<double>(programOrderLong - idealLong);
+    if (captured <= 1.0) {
+      std::printf(
+          "\nfusion captures %.0f%% of the ideal reduction (the paper's SP "
+          "result: the\nsource-level transformation realizes a fairly large "
+          "portion of the potential).\n",
+          captured * 100.0);
+    } else {
+      std::printf(
+          "\nfusion beats the reuse-driven heuristic here: Figure 2 greedily "
+          "chases one next\nuse at a time, while fusion restructures whole "
+          "loops (alignment + embedding).\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "apps/adi.hpp"
+
+#include "ir/builder.hpp"
+
+namespace gcr::apps {
+
+Program adiProgram() {
+  ProgramBuilder b("ADI");
+  const AffineN n = AffineN::N();
+  const AffineN ext = n + AffineN(2);
+  ArrayId x = b.array("X", {ext, ext});
+  ArrayId a = b.array("A", {ext, ext});
+  ArrayId bb = b.array("B", {ext, ext});
+
+  // Nest 1: left boundary column (1 level).
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.assign(b.ref(x, {i, cst(1)}), {b.ref(x, {i, cst(1)}), b.ref(bb, {i, cst(1)})},
+             "left boundary");
+  });
+
+  // Nest 2: forward elimination along each row (2 levels, 2 inner loops).
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 2, n, [&](IxVar j) {
+      b.assign(b.ref(x, {i, j}),
+               {b.ref(x, {i, j}), b.ref(x, {i, j - 1}), b.ref(a, {i, j})},
+               "forward sweep");
+    });
+    b.loop("j", 2, n, [&](IxVar j) {
+      b.assign(b.ref(bb, {i, j}),
+               {b.ref(bb, {i, j}), b.ref(bb, {i, j - 1}), b.ref(a, {i, j})},
+               "pivot update");
+    });
+  });
+
+  // Nest 3: right boundary column (1 level).
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.assign(b.ref(x, {i, cst(AffineN::N())}),
+             {b.ref(x, {i, cst(AffineN::N())}), b.ref(bb, {i, cst(AffineN::N())})},
+             "right boundary");
+  });
+
+  // Nest 4: back substitution, modeled as a forward-iterating sweep (the IR
+  // has unit-stride loops only; see DESIGN.md substitutions — the locality
+  // signature, one more full sweep per row, is identical).
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 2, n, [&](IxVar j) {
+      b.assign(b.ref(x, {i, j}),
+               {b.ref(x, {i, j}), b.ref(x, {i, j - 1}), b.ref(bb, {i, j})},
+               "back substitution");
+    });
+    b.loop("j", 2, n, [&](IxVar j) {
+      b.assign(b.ref(a, {i, j}), {b.ref(a, {i, j}), b.ref(x, {i, j})},
+               "scale");
+    });
+  });
+
+  return b.take();
+}
+
+}  // namespace gcr::apps

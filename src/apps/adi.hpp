@@ -1,0 +1,18 @@
+// ADI: the paper's self-written kernel — "8 loops in 4 loop nests" over
+// 3 arrays, "with separate loops processing boundary conditions"
+// (Figure 9: input 2K x 2K, levels 1-2).
+//
+// Alternating-direction-implicit sweep structure: a boundary loop, a forward
+// elimination sweep (two inner loops), another boundary loop, and a
+// back-substitution sweep (two inner loops).  All nests iterate rows
+// outermost, so global fusion can merge the whole time step; the boundary
+// loops exercise statement embedding and alignment.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+Program adiProgram();
+
+}  // namespace gcr::apps

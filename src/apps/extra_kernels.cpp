@@ -1,0 +1,70 @@
+#include "apps/extra_kernels.hpp"
+
+#include "ir/builder.hpp"
+
+namespace gcr::apps {
+
+Program jacobiProgram() {
+  ProgramBuilder b("Jacobi");
+  const AffineN n = AffineN::N();
+  const AffineN ext = n + AffineN(2);
+  ArrayId oldB = b.array("OLD", {ext, ext});
+  ArrayId newB = b.array("NEW", {ext, ext});
+  ArrayId res = b.array("RES", {ext, ext});
+
+  // Relaxation step.
+  b.loop2("i", 1, n, "j", 1, n, [&](IxVar i, IxVar j) {
+    b.assign(b.ref(newB, {i, j}),
+             {b.ref(oldB, {i - 1, j}), b.ref(oldB, {i + 1, j}),
+              b.ref(oldB, {i, j - 1}), b.ref(oldB, {i, j + 1})},
+             "relax");
+  });
+  // Residual (reads both buffers).
+  b.loop2("i", 1, n, "j", 1, n, [&](IxVar i, IxVar j) {
+    b.assign(b.ref(res, {i, j}), {b.ref(newB, {i, j}), b.ref(oldB, {i, j})},
+             "residual");
+  });
+  // Copy back.  Fusing this with the relaxation requires alignment: OLD[i]
+  // may only be overwritten after relax has consumed OLD[i+1].
+  b.loop2("i", 1, n, "j", 1, n, [&](IxVar i, IxVar j) {
+    b.assign(b.ref(oldB, {i, j}), {b.ref(newB, {i, j})}, "copy back");
+  });
+  return b.take();
+}
+
+Program livermoreProgram() {
+  ProgramBuilder b("Livermore");
+  const AffineN n = AffineN::N();
+  const AffineN ext = n + AffineN(12);
+  ArrayId x = b.array("X", {ext});
+  ArrayId y = b.array("Y", {ext});
+  ArrayId z = b.array("Z", {ext});
+  ArrayId u = b.array("U", {ext});
+  ArrayId w = b.array("W", {ext});
+
+  // Kernel 1, hydro fragment: X[k] = q + Y[k]*(r*Z[k+10] + t*Z[k+11]).
+  b.loop("k", 0, n - AffineN(1), [&](IxVar k) {
+    b.assign(b.ref(x, {k}), {b.ref(y, {k}), b.ref(z, {k + 10}), b.ref(z, {k + 11})},
+             "hydro fragment");
+  });
+  // Kernel 7, equation of state (uses X, U, Z at several offsets).
+  b.loop("k", 0, n - AffineN(1), [&](IxVar k) {
+    b.assign(b.ref(w, {k}),
+             {b.ref(u, {k}), b.ref(z, {k + 3}), b.ref(z, {k + 2}),
+              b.ref(x, {k}), b.ref(u, {k + 3}), b.ref(u, {k + 2})},
+             "equation of state");
+  });
+  // Kernel 12, first difference: Y[k] = X[k+1] - X[k].
+  b.loop("k", 0, n - AffineN(1), [&](IxVar k) {
+    b.assign(b.ref(y, {k}), {b.ref(x, {k + 1}), b.ref(x, {k})},
+             "first difference");
+  });
+  // A recurrence epilogue (kernel 5 flavor): Z[k] = f(Z[k-1], W[k]).
+  b.loop("k", 1, n - AffineN(1), [&](IxVar k) {
+    b.assign(b.ref(z, {k}), {b.ref(z, {k - 1}), b.ref(w, {k})},
+             "tridiagonal elimination");
+  });
+  return b.take();
+}
+
+}  // namespace gcr::apps

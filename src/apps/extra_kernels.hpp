@@ -1,0 +1,20 @@
+// Additional workloads beyond the paper's four evaluation programs, for
+// generality testing of the pipeline: a two-buffer Jacobi solver (the
+// motivating kernel of most locality papers) and a chain of Livermore-style
+// 1-D kernels (hydro fragment, equation of state, first difference) that
+// share arrays and fuse end-to-end.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+/// Jacobi iteration with separate read/write buffers and a copy-back nest:
+/// NEW[i][j] = f(OLD[i±1][j±1]); OLD = NEW.  Fusion must shift the copy-back
+/// to respect the +1 stencil reads.
+Program jacobiProgram();
+
+/// Livermore-flavored kernel chain over shared 1-D arrays.
+Program livermoreProgram();
+
+}  // namespace gcr::apps

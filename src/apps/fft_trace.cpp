@@ -1,0 +1,45 @@
+#include "apps/fft_trace.hpp"
+
+#include "support/assert.hpp"
+
+namespace gcr::apps {
+
+InstrTrace fftTrace(int logN) {
+  GCR_CHECK(logN >= 1 && logN <= 24, "logN out of range");
+  const std::int64_t size = std::int64_t{1} << logN;
+
+  // Address map (byte addresses, 8B elements):
+  //   x[i]    at i*8
+  //   w[k]    at (size + k)*8        (twiddle factors, size/2 of them)
+  //   t[b]    at (2*size + b)*8      (per-butterfly scratch, reused per stage)
+  const auto xAddr = [&](std::int64_t i) { return i * 8; };
+  const auto wAddr = [&](std::int64_t k) { return (size + k) * 8; };
+  const auto tAddr = [&](std::int64_t b) { return (2 * size + b) * 8; };
+
+  InstrTrace trace;
+  for (int stage = 1; stage <= logN; ++stage) {
+    const std::int64_t span = std::int64_t{1} << stage;  // butterfly group
+    const std::int64_t half = span / 2;
+    std::int64_t butterfly = 0;
+    for (std::int64_t base = 0; base < size; base += span) {
+      for (std::int64_t k = 0; k < half; ++k, ++butterfly) {
+        const std::int64_t a = xAddr(base + k);
+        const std::int64_t bb = xAddr(base + k + half);
+        const std::int64_t w = wAddr(k * (size / span));
+        const std::int64_t t = tAddr(butterfly);
+        // t = x[a]
+        const std::int64_t reads1[] = {a};
+        trace.onInstr(stage * 3 + 0, reads1, t);
+        // x[a] = f(t, x[b], w)
+        const std::int64_t reads2[] = {t, bb, w};
+        trace.onInstr(stage * 3 + 1, reads2, a);
+        // x[b] = g(t, x[b], w)
+        const std::int64_t reads3[] = {t, bb, w};
+        trace.onInstr(stage * 3 + 2, reads3, bb);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace gcr::apps

@@ -1,0 +1,24 @@
+// FFT kernel as a dynamic instruction trace, for the Section 2.2
+// reuse-driven-execution study (the one program it did NOT improve:
+// evadable reuses +6%).
+//
+// The butterfly subscripts (x[base+k], x[base+k+half]) are not expressible
+// in the Figure-5 IR (one loop variable per subscript), so this app
+// generates the exact dynamic trace of an in-place radix-2 Cooley-Tukey FFT
+// directly — the reuse-driven simulator consumes traces, not programs, so
+// this is a faithful substitution (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "interp/trace.hpp"
+
+namespace gcr::apps {
+
+/// Trace of an in-place radix-2 FFT over 2^logN points.  Each butterfly is
+/// three instructions with true dataflow (t = x[a]; x[a] = f(t, x[b], w);
+/// x[b] = g(t, x[b], w)); statement ids encode the stage so pairwise reuse
+/// classes are stage-to-stage.
+InstrTrace fftTrace(int logN);
+
+}  // namespace gcr::apps

@@ -1,0 +1,37 @@
+#include "apps/registry.hpp"
+
+#include "apps/adi.hpp"
+#include "apps/extra_kernels.hpp"
+#include "apps/sp.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/swim.hpp"
+#include "apps/tomcatv.hpp"
+#include "support/assert.hpp"
+
+namespace gcr::apps {
+
+namespace {
+Program buildTomcatvDefault() { return tomcatvProgram(); }
+}  // namespace
+
+const std::vector<AppInfo>& evaluationApps() {
+  static const std::vector<AppInfo> apps = {
+      {"Swim", "SPEC95", "513x513", &swimProgram},
+      {"Tomcatv", "SPEC95", "513x513", &buildTomcatvDefault},
+      {"ADI", "self-written", "2Kx2K", &adiProgram},
+      {"SP", "NAS/NPB Serial v2.3", "class B, 3 iterations", &spProgram},
+  };
+  return apps;
+}
+
+Program buildApp(const std::string& name) {
+  for (const AppInfo& info : evaluationApps())
+    if (info.name == name) return info.build();
+  if (name == "Sweep3D") return sweep3dProgram();
+  if (name == "Tomcatv-noInterchange") return tomcatvProgram(false);
+  if (name == "Jacobi") return jacobiProgram();
+  if (name == "Livermore") return livermoreProgram();
+  throw Error("unknown application: " + name);
+}
+
+}  // namespace gcr::apps

@@ -1,0 +1,26 @@
+// Name-indexed access to the benchmark programs (Figure 9's application
+// table), for examples and benchmark binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+struct AppInfo {
+  std::string name;
+  std::string source;       ///< provenance per Figure 9
+  std::string paperInput;   ///< the input size the paper ran
+  Program (*build)();
+};
+
+/// The four applications of the paper's evaluation (Figure 9).
+const std::vector<AppInfo>& evaluationApps();
+
+/// Build by name ("ADI", "Swim", "Tomcatv", "SP", "Sweep3D"); throws on
+/// unknown names.
+Program buildApp(const std::string& name);
+
+}  // namespace gcr::apps

@@ -1,0 +1,270 @@
+#include "apps/sp.hpp"
+
+#include "ir/builder.hpp"
+
+namespace gcr::apps {
+
+namespace {
+
+/// Helpers that make the builder read like the Fortran it mirrors.
+struct SpBuilder {
+  ProgramBuilder b{"SP"};
+  AffineN n = AffineN::N();
+  AffineN ext = AffineN::N() + AffineN(2);
+
+  // 15 global arrays: 7 plain 3-D grids + 8 component fields with a small
+  // constant leading dimension (split by the pre-passes into 42 arrays).
+  ArrayId us = grid("us");
+  ArrayId vs = grid("vs");
+  ArrayId ws = grid("ws");
+  ArrayId qs = grid("qs");
+  ArrayId rho_i = grid("rho_i");
+  ArrayId speed = grid("speed");
+  ArrayId square = grid("square");
+  ArrayId u = field("u", 5);
+  ArrayId rhs = field("rhs", 5);
+  ArrayId forcing = field("forcing", 5);
+  ArrayId lhs_x = field("lhs_x", 5);
+  ArrayId lhs_y = field("lhs_y", 5);
+  ArrayId lhs_z = field("lhs_z", 5);
+  ArrayId ue = field("ue", 3);
+  ArrayId buf = field("buf", 2);
+
+  ArrayId grid(const std::string& name) {
+    return b.array(name, {ext, ext, ext});
+  }
+  ArrayId field(const std::string& name, std::int64_t components) {
+    return b.array(name, {AffineN(components), ext, ext, ext});
+  }
+
+  /// for k, j, i over the interior.
+  void gridNest(const std::function<void(IxVar, IxVar, IxVar)>& body) {
+    b.loop3("k", 1, n, "j", 1, n, "i", 1, n, body);
+  }
+
+  /// for m = 0..components-1 { for k, j, i } — a 4-level nest whose m loop
+  /// the pre-passes unroll.
+  void componentNest(std::int64_t components,
+                     const std::function<void(IxVar, IxVar, IxVar, IxVar)>&
+                         body) {
+    b.loop("m", 0, components - 1, [&](IxVar m) {
+      b.loop3("k", 1, n, "j", 1, n, "i", 1, n,
+              [&](IxVar k, IxVar j, IxVar i) { body(m, k, j, i); });
+    });
+  }
+};
+
+}  // namespace
+
+Program spProgram() {
+  SpBuilder s;
+  ProgramBuilder& b = s.b;
+  const AffineN n = s.n;
+
+  // ---------------------------------------------------------- compute_rhs
+  // Auxiliary point-wise fields from the conserved variables.
+  s.gridNest([&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rho_i, {k, j, i}), {b.ref(s.u, {cst(0), k, j, i})},
+             "rho inverse");
+    b.assign(b.ref(s.us, {k, j, i}),
+             {b.ref(s.u, {cst(1), k, j, i}), b.ref(s.rho_i, {k, j, i})}, "us");
+    b.assign(b.ref(s.vs, {k, j, i}),
+             {b.ref(s.u, {cst(2), k, j, i}), b.ref(s.rho_i, {k, j, i})}, "vs");
+    b.assign(b.ref(s.ws, {k, j, i}),
+             {b.ref(s.u, {cst(3), k, j, i}), b.ref(s.rho_i, {k, j, i})}, "ws");
+    b.assign(b.ref(s.square, {k, j, i}),
+             {b.ref(s.u, {cst(1), k, j, i}), b.ref(s.u, {cst(2), k, j, i}),
+              b.ref(s.u, {cst(3), k, j, i}), b.ref(s.rho_i, {k, j, i})},
+             "square");
+    b.assign(b.ref(s.qs, {k, j, i}),
+             {b.ref(s.square, {k, j, i}), b.ref(s.rho_i, {k, j, i})}, "qs");
+    b.assign(b.ref(s.speed, {k, j, i}),
+             {b.ref(s.u, {cst(4), k, j, i}), b.ref(s.square, {k, j, i}),
+              b.ref(s.rho_i, {k, j, i})},
+             "speed of sound");
+  });
+
+  // rhs starts from the forcing term.
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}), {b.ref(s.forcing, {m, k, j, i})},
+             "rhs = forcing");
+  });
+
+  // Flux stencils: x (along i), y (along j), z (along k).
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k, j, i + 1}),
+              b.ref(s.u, {m, k, j, i - 1}), b.ref(s.us, {k, j, i}),
+              b.ref(s.square, {k, j, i})},
+             "x flux");
+  });
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k, j + 1, i}),
+              b.ref(s.u, {m, k, j - 1, i}), b.ref(s.vs, {k, j, i}),
+              b.ref(s.square, {k, j, i})},
+             "y flux");
+  });
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k + 1, j, i}),
+              b.ref(s.u, {m, k - 1, j, i}), b.ref(s.ws, {k, j, i}),
+              b.ref(s.square, {k, j, i})},
+             "z flux");
+  });
+
+  // Artificial dissipation, one nest per direction (4th order reduced to a
+  // second-neighbor stencil).
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k, j, i + 1}),
+              b.ref(s.u, {m, k, j, i}), b.ref(s.u, {m, k, j, i - 1})},
+             "x dissipation");
+  });
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k, j + 1, i}),
+              b.ref(s.u, {m, k, j, i}), b.ref(s.u, {m, k, j - 1, i})},
+             "y dissipation");
+  });
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.u, {m, k + 1, j, i}),
+              b.ref(s.u, {m, k, j, i}), b.ref(s.u, {m, k - 1, j, i})},
+             "z dissipation");
+  });
+
+  // txinvr: block-diagonal pre-multiplication of rhs.
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rho_i, {k, j, i}),
+              b.ref(s.qs, {k, j, i}), b.ref(s.speed, {k, j, i})},
+             "txinvr");
+  });
+
+  // ------------------------------------------------------------- x_solve
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.lhs_x, {m, k, j, i}),
+             {b.ref(s.us, {k, j, i}), b.ref(s.rho_i, {k, j, i}),
+              b.ref(s.speed, {k, j, i})},
+             "lhs_x setup");
+  });
+  // Forward elimination: recurrence along i.
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loop3("k", 1, n, "j", 1, n, "i", 2, n, [&](IxVar k, IxVar j, IxVar i) {
+      b.assign(b.ref(s.rhs, {m, k, j, i}),
+               {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k, j, i - 1}),
+                b.ref(s.lhs_x, {m, k, j, i})},
+               "x forward elimination");
+    });
+  });
+  // Back substitution: a genuine downto recurrence along i.
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loop("k", 1, n, [&](IxVar k) {
+      b.loop("j", 1, n, [&](IxVar j) {
+        b.loopDown("i", 1, n - AffineN(1), [&](IxVar i) {
+          b.assign(b.ref(s.rhs, {m, k, j, i}),
+                   {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k, j, i + 1}),
+                    b.ref(s.lhs_x, {m, k, j, i})},
+                   "x back substitution");
+        });
+      });
+    });
+  });
+  // ninvr: inverse transform after the x sweep.
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.speed, {k, j, i})}, "ninvr");
+  });
+
+  // ------------------------------------------------------------- y_solve
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.lhs_y, {m, k, j, i}),
+             {b.ref(s.vs, {k, j, i}), b.ref(s.rho_i, {k, j, i}),
+              b.ref(s.speed, {k, j, i})},
+             "lhs_y setup");
+  });
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loop3("k", 1, n, "j", 2, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+      b.assign(b.ref(s.rhs, {m, k, j, i}),
+               {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k, j - 1, i}),
+                b.ref(s.lhs_y, {m, k, j, i})},
+               "y forward elimination");
+    });
+  });
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loop("k", 1, n, [&](IxVar k) {
+      b.loopDown("j", 1, n - AffineN(1), [&](IxVar j) {
+        b.loop("i", 1, n, [&](IxVar i) {
+          b.assign(b.ref(s.rhs, {m, k, j, i}),
+                   {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k, j + 1, i}),
+                    b.ref(s.lhs_y, {m, k, j, i})},
+                   "y back substitution");
+        });
+      });
+    });
+  });
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.speed, {k, j, i})}, "pinvr");
+  });
+
+  // ------------------------------------------------------------- z_solve
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.lhs_z, {m, k, j, i}),
+             {b.ref(s.ws, {k, j, i}), b.ref(s.rho_i, {k, j, i}),
+              b.ref(s.speed, {k, j, i})},
+             "lhs_z setup");
+  });
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loop3("k", 2, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+      b.assign(b.ref(s.rhs, {m, k, j, i}),
+               {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k - 1, j, i}),
+                b.ref(s.lhs_z, {m, k, j, i})},
+               "z forward elimination");
+    });
+  });
+  b.loop("m", 0, 4, [&](IxVar m) {
+    b.loopDown("k", 1, n - AffineN(1), [&](IxVar k) {
+      b.loop("j", 1, n, [&](IxVar j) {
+        b.loop("i", 1, n, [&](IxVar i) {
+          b.assign(b.ref(s.rhs, {m, k, j, i}),
+                   {b.ref(s.rhs, {m, k, j, i}), b.ref(s.rhs, {m, k + 1, j, i}),
+                    b.ref(s.lhs_z, {m, k, j, i})},
+                   "z back substitution");
+        });
+      });
+    });
+  });
+  // tzetar: final inverse transform.
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.rhs, {m, k, j, i}),
+             {b.ref(s.rhs, {m, k, j, i}), b.ref(s.us, {k, j, i}),
+              b.ref(s.vs, {k, j, i}), b.ref(s.ws, {k, j, i}),
+              b.ref(s.speed, {k, j, i})},
+             "tzetar");
+  });
+
+  // ------------------------------------------------------------------ add
+  s.componentNest(5, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.u, {m, k, j, i}),
+             {b.ref(s.u, {m, k, j, i}), b.ref(s.rhs, {m, k, j, i})}, "add");
+  });
+
+  // --------------------------------------------- error / verification pass
+  s.componentNest(3, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.ue, {m, k, j, i}),
+             {b.ref(s.ue, {m, k, j, i}), b.ref(s.u, {cst(0), k, j, i})},
+             "exact solution update");
+  });
+  s.componentNest(2, [&](IxVar m, IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(s.buf, {m, k, j, i}),
+             {b.ref(s.buf, {m, k, j, i}), b.ref(s.ue, {cst(0), k, j, i}),
+              b.ref(s.u, {cst(4), k, j, i})},
+             "error buffer");
+  });
+
+  return b.take();
+}
+
+}  // namespace gcr::apps

@@ -1,0 +1,22 @@
+// SP-like: the structure of NAS/SP's `adi` subroutine (Figure 9: class B,
+// 15 global arrays, hundreds of loops in dozens of nests of 2-4 levels).
+//
+// One time step = compute_rhs (auxiliary fields, rhs initialization from
+// forcing, flux stencils and artificial dissipation in the x/y/z
+// directions), the three factored solves (lhs setup + forward elimination +
+// back substitution per direction, with the recurrence along that
+// direction's index), the inverse transforms, and the final add.
+//
+// Five-component fields (u, rhs, forcing, lhs_*) are declared with a
+// constant leading dimension of 5 — exactly the shape that Section 4.1's
+// array splitting + loop unrolling eliminates; after the pre-passes the 15
+// arrays become 42, mirroring the paper's count.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+Program spProgram();
+
+}  // namespace gcr::apps

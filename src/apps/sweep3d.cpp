@@ -1,0 +1,51 @@
+#include "apps/sweep3d.hpp"
+
+#include "ir/builder.hpp"
+
+namespace gcr::apps {
+
+Program sweep3dProgram() {
+  ProgramBuilder b("Sweep3D");
+  const AffineN n = AffineN::N();
+  const AffineN ext = n + AffineN(2);
+  ArrayId flux = b.array("flux", {ext, ext, ext});
+  ArrayId phi = b.array("phi", {ext, ext, ext});
+  ArrayId sigma = b.array("sigma", {ext, ext, ext});
+  ArrayId src = b.array("src", {ext, ext, ext});
+
+  // Sweep 1: wavefront recurrence (upwind in all three directions).
+  b.loop3("k", 1, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(phi, {k, j, i}),
+             {b.ref(phi, {k - 1, j, i}), b.ref(phi, {k, j - 1, i}),
+              b.ref(phi, {k, j, i - 1}), b.ref(sigma, {k, j, i}),
+              b.ref(src, {k, j, i})},
+             "sweep octant 1");
+  });
+  // Accumulate the angular flux.
+  b.loop3("k", 1, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(flux, {k, j, i}),
+             {b.ref(flux, {k, j, i}), b.ref(phi, {k, j, i})}, "flux accum 1");
+  });
+  // Sweep 2 (second octant; same orientation in this model).
+  b.loop3("k", 1, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(phi, {k, j, i}),
+             {b.ref(phi, {k - 1, j, i}), b.ref(phi, {k, j - 1, i}),
+              b.ref(phi, {k, j, i - 1}), b.ref(sigma, {k, j, i}),
+              b.ref(src, {k, j, i})},
+             "sweep octant 2");
+  });
+  b.loop3("k", 1, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(flux, {k, j, i}),
+             {b.ref(flux, {k, j, i}), b.ref(phi, {k, j, i})}, "flux accum 2");
+  });
+  // Source update from the accumulated flux.
+  b.loop3("k", 1, n, "j", 1, n, "i", 1, n, [&](IxVar k, IxVar j, IxVar i) {
+    b.assign(b.ref(src, {k, j, i}),
+             {b.ref(flux, {k, j, i}), b.ref(sigma, {k, j, i})},
+             "source update");
+  });
+
+  return b.take();
+}
+
+}  // namespace gcr::apps

@@ -1,0 +1,16 @@
+// Sweep3D-like: the DOE discrete-ordinates transport kernel used in the
+// Section 2.2 reuse-driven-execution study (evadable reuses -67%).
+//
+// Two wavefront sweeps per step over a 3-D grid: each cell's flux depends on
+// its upwind neighbors in all three directions, followed by a source update
+// that re-reads the whole flux — long cross-sweep reuse distances that
+// reuse-driven execution can collapse.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+Program sweep3dProgram();
+
+}  // namespace gcr::apps

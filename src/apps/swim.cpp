@@ -1,0 +1,173 @@
+#include "apps/swim.hpp"
+
+#include "ir/builder.hpp"
+
+namespace gcr::apps {
+
+// Periodic boundaries follow the original SPEC code's direction: ghost row
+// N+1 copies row 1 (U(I,N+1) = U(I,1) in the Fortran).  Reading row 1 is
+// available after the producing nest's *first* iteration, so the copy and
+// its consumers fuse with bounded alignment; copying row N into ghost row 0
+// (the other direction) would serialize the whole step — that variant only
+// feeds the *next* time step, so those copies trail the fused nest.
+Program swimProgram() {
+  ProgramBuilder b("Swim");
+  const AffineN n = AffineN::N();
+  const AffineN ghost = AffineN::N() + AffineN(1);  // index of the ghost line
+  const AffineN ext = n + AffineN(2);
+  auto grid = [&](const char* name) { return b.array(name, {ext, ext}); };
+
+  ArrayId u = grid("U");
+  ArrayId v = grid("V");
+  ArrayId p = grid("P");
+  ArrayId unew = grid("UNEW");
+  ArrayId vnew = grid("VNEW");
+  ArrayId pnew = grid("PNEW");
+  ArrayId uold = grid("UOLD");
+  ArrayId vold = grid("VOLD");
+  ArrayId pold = grid("POLD");
+  ArrayId cu = grid("CU");
+  ArrayId cv = grid("CV");
+  ArrayId z = grid("Z");
+  ArrayId h = grid("H");
+  ArrayId psi = grid("PSI");
+  ArrayId el = grid("EL");
+
+  // ---- CALC1: capacities CU/CV, vorticity Z, height H from U, V, P.
+  // (Reads at i-1 / j-1 touch ghost line 0, produced by the previous time
+  // step's trailing copies.)
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(cu, {i, j}),
+               {b.ref(p, {i, j}), b.ref(p, {i - 1, j}), b.ref(u, {i, j})},
+               "calc1 cu");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(cv, {i, j}),
+               {b.ref(p, {i, j}), b.ref(p, {i, j - 1}), b.ref(v, {i, j})},
+               "calc1 cv");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(z, {i, j}),
+               {b.ref(v, {i, j}), b.ref(v, {i - 1, j}), b.ref(u, {i, j}),
+                b.ref(u, {i, j - 1}), b.ref(p, {i, j})},
+               "calc1 z");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(h, {i, j}),
+               {b.ref(p, {i, j}), b.ref(u, {i, j}), b.ref(u, {i, j - 1}),
+                b.ref(v, {i, j}), b.ref(v, {i - 1, j})},
+               "calc1 h");
+    });
+  });
+
+  // ---- Periodic ghost lines for the CALC1 results (row 1 -> row N+1,
+  // column 1 -> column N+1), consumed by CALC2's +1 stencils.
+  b.loop("j", 1, n, [&](IxVar j) {
+    b.assign(b.ref(cu, {cst(ghost), j}), {b.ref(cu, {cst(1), j})},
+             "cu periodic row");
+    b.assign(b.ref(z, {cst(ghost), j}), {b.ref(z, {cst(1), j})},
+             "z periodic row");
+  });
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.assign(b.ref(cv, {i, cst(ghost)}), {b.ref(cv, {i, cst(1)})},
+             "cv periodic col");
+    b.assign(b.ref(h, {i, cst(ghost)}), {b.ref(h, {i, cst(1)})},
+             "h periodic col");
+  });
+
+  // ---- CALC2: new velocities and pressure from the capacities.
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(unew, {i, j}),
+               {b.ref(uold, {i, j}), b.ref(z, {i + 1, j}), b.ref(cv, {i, j}),
+                b.ref(cv, {i, j + 1}), b.ref(h, {i, j}), b.ref(h, {i, j + 1})},
+               "calc2 unew");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(vnew, {i, j}),
+               {b.ref(vold, {i, j}), b.ref(z, {i + 1, j}), b.ref(cu, {i, j}),
+                b.ref(cu, {i + 1, j}), b.ref(h, {i, j}), b.ref(h, {i, j + 1})},
+               "calc2 vnew");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(pnew, {i, j}),
+               {b.ref(pold, {i, j}), b.ref(cu, {i, j}), b.ref(cu, {i + 1, j}),
+                b.ref(cv, {i, j}), b.ref(cv, {i, j + 1})},
+               "calc2 pnew");
+    });
+  });
+
+  // ---- Ghost lines for the NEW fields (consumed next time step).
+  b.loop("j", 1, n, [&](IxVar j) {
+    b.assign(b.ref(unew, {cst(ghost), j}), {b.ref(unew, {cst(1), j})},
+             "unew periodic");
+    b.assign(b.ref(pnew, {cst(ghost), j}), {b.ref(pnew, {cst(1), j})},
+             "pnew periodic");
+  });
+
+  // ---- CALC3: time smoothing — OLD fields and current fields advance.
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(uold, {i, j}),
+               {b.ref(u, {i, j}), b.ref(unew, {i, j}), b.ref(uold, {i, j})},
+               "calc3 uold");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(vold, {i, j}),
+               {b.ref(v, {i, j}), b.ref(vnew, {i, j}), b.ref(vold, {i, j})},
+               "calc3 vold");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(pold, {i, j}),
+               {b.ref(p, {i, j}), b.ref(pnew, {i, j}), b.ref(pold, {i, j})},
+               "calc3 pold");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(u, {i, j}), {b.ref(unew, {i, j})}, "calc3 u");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(v, {i, j}), {b.ref(vnew, {i, j})}, "calc3 v");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(p, {i, j}), {b.ref(pnew, {i, j})}, "calc3 p");
+    });
+  });
+
+  // ---- Trailing copies feeding the next step's CALC1 (-1 stencils read
+  // ghost line 0 = periodic image of line N).  These read the last computed
+  // line, so they cannot fuse upward — the paper's infusible remainder.
+  b.loop("j", 1, n, [&](IxVar j) {
+    b.assign(b.ref(p, {cst(0), j}), {b.ref(p, {cst(AffineN::N()), j})},
+             "p wraparound row");
+    b.assign(b.ref(v, {cst(0), j}), {b.ref(v, {cst(AffineN::N()), j})},
+             "v wraparound row");
+  });
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.assign(b.ref(u, {i, cst(0)}), {b.ref(u, {i, cst(AffineN::N())})},
+             "u wraparound col");
+    b.assign(b.ref(p, {i, cst(0)}), {b.ref(p, {i, cst(AffineN::N())})},
+             "p wraparound col");
+  });
+
+  // ---- Diagnostics on the staggered grid: the stream function and surface
+  // elevation read the row *above*, including the ghost row the wraparound
+  // copies just wrote.  Fusing this nest past the copies needs the paper's
+  // iteration reordering: its first iteration (the only reader of ghost row
+  // 0) peels off, the remainder fuses — "Swim also requires loop splitting".
+  b.loop("i", 1, n, [&](IxVar i) {
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(psi, {i, j}),
+               {b.ref(u, {i, j}), b.ref(v, {i - 1, j}), b.ref(psi, {i, j})},
+               "stream function");
+    });
+    b.loop("j", 1, n, [&](IxVar j) {
+      b.assign(b.ref(el, {i, j}), {b.ref(p, {i - 1, j}), b.ref(el, {i, j})},
+               "elevation");
+    });
+  });
+
+  return b.take();
+}
+
+}  // namespace gcr::apps

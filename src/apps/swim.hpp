@@ -1,0 +1,18 @@
+// Swim-like: the SPEC95 shallow-water benchmark's time-step structure
+// (Figure 9: 513 x 513, nests of 1-2 levels, 15 arrays).
+//
+// Three staggered-grid compute nests (CALC1/CALC2/CALC3 in the original)
+// separated by periodic-boundary copy loops.  The boundary copies read the
+// last computed row and write row zero, which the next compute nest consumes
+// at its first iteration — the dependence pattern that makes Swim the one
+// program in the paper that "required splitting": fusing across the copy
+// needs a one-iteration boundary peel.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+Program swimProgram();
+
+}  // namespace gcr::apps

@@ -1,0 +1,21 @@
+// Tomcatv-like: the SPEC95 vectorized mesh-generation benchmark
+// (Figure 9: 513 x 513, nests of 1-2 levels, 7 arrays: X, Y, RX, RY, AA,
+// DD, D).
+//
+// One time step: residual computation from the mesh coordinates, coefficient
+// setup, a tridiagonal forward elimination, back substitution (modeled as a
+// forward-iterating sweep; see DESIGN.md), and the coordinate update.
+//
+// The paper notes Tomcatv needed loop-level ordering (interchange) done by
+// hand; `interchanged = false` builds the pre-interchange version whose
+// solver nests iterate columns outermost, which blocks outer-level fusion —
+// the pass then reports the mismatch instead of fusing.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace gcr::apps {
+
+Program tomcatvProgram(bool interchanged = true);
+
+}  // namespace gcr::apps

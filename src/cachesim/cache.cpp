@@ -1,0 +1,94 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+
+namespace gcr {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  GCR_CHECK(cfg_.lineSize > 0 && std::has_single_bit(
+                static_cast<std::uint64_t>(cfg_.lineSize)),
+            "line size must be a positive power of two");
+  GCR_CHECK(cfg_.ways > 0, "ways must be positive");
+  GCR_CHECK(cfg_.sizeBytes % (cfg_.lineSize * cfg_.ways) == 0,
+            "size not divisible by way size");
+  const std::int64_t sets = cfg_.numSets();
+  GCR_CHECK(sets > 0 && std::has_single_bit(static_cast<std::uint64_t>(sets)),
+            "set count must be a positive power of two");
+  setMask_ = sets - 1;
+  lineShift_ = std::countr_zero(static_cast<std::uint64_t>(cfg_.lineSize));
+  lines_.assign(static_cast<std::size_t>(sets) *
+                    static_cast<std::size_t>(cfg_.ways),
+                Line{});
+}
+
+SetAssocCache::Line* SetAssocCache::findVictim(std::int64_t set) {
+  Line* base = &lines_[static_cast<std::size_t>(set) *
+                       static_cast<std::size_t>(cfg_.ways)];
+  Line* victim = base;
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (base[w].tag < 0) return &base[w];
+    if (base[w].lastUse < victim->lastUse) victim = &base[w];
+  }
+  return victim;
+}
+
+bool SetAssocCache::access(std::int64_t addr, bool isWrite) {
+  ++stats_.accesses;
+  ++clock_;
+  lastHitWasPrefetched_ = false;
+  const std::int64_t block = addr >> lineShift_;
+  const std::int64_t set = block & setMask_;
+  Line* base = &lines_[static_cast<std::size_t>(set) *
+                       static_cast<std::size_t>(cfg_.ways)];
+
+  for (int w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.tag == block) {
+      line.lastUse = clock_;
+      line.dirty = line.dirty || isWrite;
+      if (line.prefetched) {
+        ++stats_.prefetchHits;
+        line.prefetched = false;
+        lastHitWasPrefetched_ = true;
+      }
+      return true;
+    }
+  }
+  ++stats_.misses;
+  Line* victim = findVictim(set);
+  if (victim->tag >= 0 && victim->dirty) ++stats_.writebacks;
+  victim->tag = block;
+  victim->lastUse = clock_;
+  victim->dirty = isWrite;
+  victim->prefetched = false;
+  return false;
+}
+
+void SetAssocCache::prefetch(std::int64_t addr) {
+  const std::int64_t block = addr >> lineShift_;
+  const std::int64_t set = block & setMask_;
+  Line* base = &lines_[static_cast<std::size_t>(set) *
+                       static_cast<std::size_t>(cfg_.ways)];
+  for (int w = 0; w < cfg_.ways; ++w)
+    if (base[w].tag == block) return;  // already resident
+  ++clock_;
+  ++stats_.prefetchFills;
+  Line* victim = findVictim(set);
+  if (victim->tag >= 0 && victim->dirty) ++stats_.writebacks;
+  victim->tag = block;
+  victim->lastUse = clock_;
+  victim->dirty = false;
+  victim->prefetched = true;
+}
+
+SetAssocCache makeTlb(int entries, std::int64_t pageSize,
+                      const std::string& name) {
+  CacheConfig cfg;
+  cfg.lineSize = pageSize;
+  cfg.ways = entries;
+  cfg.sizeBytes = pageSize * entries;
+  cfg.name = name;
+  return SetAssocCache(cfg);
+}
+
+}  // namespace gcr

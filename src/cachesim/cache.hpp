@@ -1,0 +1,88 @@
+// Set-associative LRU cache model.
+//
+// Geometry matches the paper's machines (SGI Octane R10K and Origin2000
+// R12K): L1 32KB / 32B lines, L2 1MB or 4MB / 128B lines, both 2-way.  The
+// same class models the TLB (numSets = 1, ways = entry count, lineSize =
+// page size) and the "perfect cache" of Section 2.1 (fully associative).
+// Policy: write-back, write-allocate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+struct CacheConfig {
+  std::int64_t sizeBytes = 0;
+  std::int64_t lineSize = 0;
+  int ways = 0;
+  std::string name;
+
+  std::int64_t numSets() const { return sizeBytes / (lineSize * ways); }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t prefetchFills = 0;  ///< lines brought in by prefetch()
+  std::uint64_t prefetchHits = 0;   ///< demand hits on prefetched lines
+
+  std::uint64_t hits() const { return accesses - misses; }
+  double missRate() const {
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Simulate one reference; returns true on hit.
+  bool access(std::int64_t addr, bool isWrite);
+
+  /// Bring the line holding `addr` into the cache without a demand access —
+  /// the model for (software or next-line hardware) prefetching.  A later
+  /// demand hit on the line is counted as a prefetch hit.  Prefetch fills
+  /// consume memory bandwidth like any fill; that tradeoff (latency hidden,
+  /// bandwidth spent) is the paper's Section 1 argument for why
+  /// latency-oriented techniques cannot replace traffic reduction.
+  void prefetch(std::int64_t addr);
+
+  /// True when the most recent access() hit a line brought in by
+  /// prefetch() — used for tagged prefetching (keep the stream running).
+  bool lastHitWasPrefetched() const { return lastHitWasPrefetched_; }
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void resetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    std::int64_t tag = -1;
+    std::uint64_t lastUse = 0;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  Line* findVictim(std::int64_t set);
+
+  CacheConfig cfg_;
+  std::int64_t setMask_;
+  int lineShift_;
+  std::vector<Line> lines_;  // numSets * ways, set-major
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+  bool lastHitWasPrefetched_ = false;
+};
+
+/// Fully-associative-LRU TLB is a 1-set cache over page-granular addresses.
+SetAssocCache makeTlb(int entries, std::int64_t pageSize,
+                      const std::string& name = "TLB");
+
+}  // namespace gcr

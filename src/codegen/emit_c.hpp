@@ -1,0 +1,52 @@
+// C code generation: the source-to-source back end.
+//
+// The paper's system is a source-to-source Fortran transformer; ours emits a
+// self-contained C translation unit for any IR program under any DataLayout
+// (contiguous, padded, or regrouped — the layout's affine address maps are
+// baked into the subscript arithmetic).  Statement semantics use the same
+// seeded uint64 mixing as the interpreter, so a compiled-and-executed
+// program must produce bit-identical array contents — the differential test
+// that closes the loop on the whole pipeline.
+//
+// Generated shape:
+//
+//   #include <stdint.h> ...
+//   static uint64_t gcr_mem[TOTAL/8];
+//   void gcr_init(void);                 // same logical init as the interpreter
+//   void gcr_run(int64_t steps);         // the program body
+//   uint64_t gcr_checksum(void);         // order-independent content hash
+//   const uint64_t* gcr_memory(void);
+//
+// Guards become `if` conditions; the problem size N is a compile-time
+// constant chosen at emission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "interp/interp.hpp"
+#include "interp/layout.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+struct EmitOptions {
+  std::int64_t n = 64;          ///< concrete problem size baked into the code
+  std::string prefix = "gcr";   ///< symbol prefix
+  bool emitMain = false;        ///< add a main() that runs + prints checksum
+  std::uint64_t timeSteps = 1;  ///< iterations run by the emitted main()
+};
+
+/// Emit a complete C11 translation unit for `p` under `layout`.
+std::string emitC(const Program& p, const DataLayout& layout,
+                  const EmitOptions& opts = {});
+
+/// The same order-independent-of-layout content hash the emitted
+/// `<prefix>_checksum()` computes, evaluated on an interpreter result:
+/// arrays in id order, elements in logical row-major order, folded with the
+/// interpreter's mixing function.  Used by the differential tests
+/// (emitted C, compiled and run, must print exactly this value).
+std::uint64_t contentChecksum(const Program& p, const ExecResult& r,
+                              const DataLayout& layout, std::int64_t n);
+
+}  // namespace gcr

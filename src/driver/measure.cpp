@@ -1,0 +1,38 @@
+#include "driver/measure.hpp"
+
+#include "interp/interp.hpp"
+
+namespace gcr {
+
+Measurement measure(const ProgramVersion& version, std::int64_t n,
+                    const MachineConfig& machine, std::uint64_t timeSteps,
+                    const CostModel& cost) {
+  DataLayout layout = version.layoutAt(n);
+  MemoryHierarchy hierarchy(machine);
+  execute(version.program, layout, {.n = n, .timeSteps = timeSteps},
+          &hierarchy);
+  Measurement m;
+  m.counts = hierarchy.counts();
+  m.cycles = cost.cycles(m.counts);
+  m.memoryTrafficBytes = hierarchy.memoryTrafficBytes();
+  m.effectiveBandwidth = hierarchy.effectiveBandwidthRatio();
+  return m;
+}
+
+ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
+                            std::uint64_t timeSteps) {
+  DataLayout layout = version.layoutAt(n);
+  ReuseDistanceSink sink(8);
+  execute(version.program, layout, {.n = n, .timeSteps = timeSteps}, &sink);
+  return sink.takeProfile();
+}
+
+void collectPairwise(const ProgramVersion& version, std::int64_t n,
+                     PairwiseReuseCollector& collector,
+                     std::uint64_t timeSteps) {
+  DataLayout layout = version.layoutAt(n);
+  execute(version.program, layout, {.n = n, .timeSteps = timeSteps},
+          &collector);
+}
+
+}  // namespace gcr

@@ -1,0 +1,40 @@
+// Measurement harness: run a program version through the cache hierarchy
+// and locality analyses — our stand-in for the R10K/R12K hardware counters.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/hierarchy.hpp"
+#include "driver/pipeline.hpp"
+#include "locality/evadable.hpp"
+#include "locality/reuse_distance.hpp"
+
+namespace gcr {
+
+struct Measurement {
+  MissCounts counts;
+  double cycles = 0;                 ///< CostModel cycles
+  std::uint64_t memoryTrafficBytes = 0;
+  double effectiveBandwidth = 0;     ///< useful bytes / transferred bytes
+
+  double speedupOver(const Measurement& base) const {
+    return cycles > 0 ? base.cycles / cycles : 0.0;
+  }
+};
+
+/// Simulate `version` at problem size n on `machine`.
+Measurement measure(const ProgramVersion& version, std::int64_t n,
+                    const MachineConfig& machine,
+                    std::uint64_t timeSteps = 1,
+                    const CostModel& cost = {});
+
+/// Element-granularity reuse-distance profile of a version.
+ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
+                            std::uint64_t timeSteps = 1);
+
+/// Per-statement-pair reuse statistics (for evadable-reuse classification).
+void collectPairwise(const ProgramVersion& version, std::int64_t n,
+                     PairwiseReuseCollector& collector,
+                     std::uint64_t timeSteps = 1);
+
+}  // namespace gcr

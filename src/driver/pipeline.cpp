@@ -1,0 +1,96 @@
+#include "driver/pipeline.hpp"
+
+#include "xform/distribute.hpp"
+#include "xform/interchange.hpp"
+#include "xform/unroll_split.hpp"
+
+namespace gcr {
+
+PipelineResult optimize(const Program& in, const PipelineOptions& opts) {
+  PipelineResult result;
+  Program p = in.clone();
+
+  if (opts.unrollSplit) {
+    p = unrollSmallLoops(p, 8, &result.unrolledLoops);
+    SplitResult split = splitConstantDims(p);
+    p = std::move(split.program);
+    result.arraysAfterSplit = static_cast<int>(p.arrays.size());
+  }
+  if (opts.orderLevels) orderLevelsForFusion(p, opts.fusionOptions.minN);
+  if (opts.distribute)
+    p = distributeLoops(p, opts.fusionOptions.minN, &result.distributedLoops);
+  if (opts.fuse)
+    p = fuseProgramLevels(p, opts.fusionLevels, opts.fusionOptions,
+                          &result.fusionReport);
+  if (opts.regroup) {
+    result.regrouping =
+        Regrouping::analyze(p, opts.regroupOptions, &result.regroupReport);
+    result.regrouped = true;
+  }
+  result.program = std::move(p);
+  return result;
+}
+
+ProgramVersion makeNoOpt(const Program& in) {
+  return ProgramVersion{"NoOpt", in.clone(),
+                        [](const Program& p, std::int64_t n) {
+                          return contiguousLayout(p, n);
+                        }};
+}
+
+ProgramVersion makeSgiLike(const Program& in, std::int64_t padBytes) {
+  // Local optimization: unroll/split small dimensions (any production
+  // compiler does), then fuse only within nests (minLevel = 1).
+  PipelineOptions opts;
+  opts.distribute = false;
+  opts.fusionOptions.minLevel = 1;
+  opts.regroup = false;
+  PipelineResult r = optimize(in, opts);
+  return ProgramVersion{"SGI-like", std::move(r.program),
+                        [padBytes](const Program& p, std::int64_t n) {
+                          return paddedLayout(p, n, padBytes);
+                        }};
+}
+
+ProgramVersion makeFused(const Program& in, int levels, FusionOptions fopts) {
+  PipelineOptions opts;
+  opts.fusionLevels = levels;
+  opts.fusionOptions = fopts;
+  opts.regroup = false;
+  PipelineResult r = optimize(in, opts);
+  return ProgramVersion{"fused(" + std::to_string(levels) + ")",
+                        std::move(r.program),
+                        [](const Program& p, std::int64_t n) {
+                          return contiguousLayout(p, n);
+                        }};
+}
+
+ProgramVersion makeFusedRegrouped(const Program& in, int levels,
+                                  FusionOptions fopts, RegroupOptions ropts) {
+  PipelineOptions opts;
+  opts.fusionLevels = levels;
+  opts.fusionOptions = fopts;
+  opts.regroupOptions = ropts;
+  PipelineResult r = optimize(in, opts);
+  // The layout factory owns the analysis result by value.
+  Regrouping rg = std::move(r.regrouping);
+  return ProgramVersion{"fused+regrouped", std::move(r.program),
+                        [rg](const Program& p, std::int64_t n) {
+                          return rg.layout(p, n);
+                        }};
+}
+
+ProgramVersion makeRegroupedOnly(const Program& in, RegroupOptions ropts) {
+  PipelineOptions opts;
+  opts.fuse = false;
+  opts.distribute = false;
+  opts.regroupOptions = ropts;
+  PipelineResult r = optimize(in, opts);
+  Regrouping rg = std::move(r.regrouping);
+  return ProgramVersion{"regrouped-only", std::move(r.program),
+                        [rg](const Program& p, std::int64_t n) {
+                          return rg.layout(p, n);
+                        }};
+}
+
+}  // namespace gcr

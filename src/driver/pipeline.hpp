@@ -1,0 +1,89 @@
+// The full compiler pipeline of Section 4.1:
+//
+//   inlining (apps are built single-procedure) → array splitting + loop
+//   unrolling → loop distribution → constant propagation (subsumed by the
+//   affine-in-N IR) → reuse-based loop fusion, level by level → multi-level
+//   data regrouping.
+//
+// Also defines the program *versions* compared throughout the evaluation:
+// NoOpt, the SGI-like locally-optimizing baseline, fusion-only, and
+// fusion+regrouping, all exposing a (program, layout) pair the measurement
+// harness can run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fusion/fusion.hpp"
+#include "interp/layout.hpp"
+#include "regroup/regroup.hpp"
+
+namespace gcr {
+
+struct PipelineOptions {
+  bool unrollSplit = true;
+  /// Automatic level ordering (loop interchange) so nests present compatible
+  /// outer levels to the fuser — the step the paper performed by hand for
+  /// Tomcatv.  Off by default to match the paper's pipeline; flip on to let
+  /// the compiler handle pre-interchange inputs.
+  bool orderLevels = false;
+  bool distribute = true;
+  bool fuse = true;
+  int fusionLevels = 8;
+  FusionOptions fusionOptions;
+  bool regroup = true;
+  RegroupOptions regroupOptions;
+};
+
+struct PipelineResult {
+  Program program;
+  bool regrouped = false;
+  Regrouping regrouping;
+  FusionReport fusionReport;
+  RegroupReport regroupReport;
+  int unrolledLoops = 0;
+  int arraysAfterSplit = 0;
+  int distributedLoops = 0;
+
+  DataLayout layoutAt(std::int64_t n) const {
+    return regrouped ? regrouping.layout(program, n)
+                     : contiguousLayout(program, n);
+  }
+};
+
+PipelineResult optimize(const Program& in, const PipelineOptions& opts = {});
+
+/// A named (program, layout policy) pair — one bar of Figure 10.
+struct ProgramVersion {
+  std::string name;
+  Program program;
+  std::function<DataLayout(const Program&, std::int64_t)> layoutFactory;
+
+  DataLayout layoutAt(std::int64_t n) const {
+    return layoutFactory(program, n);
+  }
+};
+
+/// Original program, contiguous layout.
+ProgramVersion makeNoOpt(const Program& in);
+
+/// The "SGI -Ofast"-like baseline: local optimization only — fusion of
+/// loops *within* each top-level nest (no cross-nest/global fusion) plus
+/// inter-array padding against cache-set conflicts; no regrouping.
+ProgramVersion makeSgiLike(const Program& in, std::int64_t padBytes = 1056);
+
+/// Pre-passes + fusion of the given number of levels; contiguous layout.
+ProgramVersion makeFused(const Program& in, int levels = 8,
+                         FusionOptions fopts = {});
+
+/// Full strategy: pre-passes + fusion + multi-level regrouping.
+ProgramVersion makeFusedRegrouped(const Program& in, int levels = 8,
+                                  FusionOptions fopts = {},
+                                  RegroupOptions ropts = {});
+
+/// Regrouping without fusion (ablation: "grouping may see little
+/// opportunity without fusion").
+ProgramVersion makeRegroupedOnly(const Program& in, RegroupOptions ropts = {});
+
+}  // namespace gcr

@@ -1,0 +1,221 @@
+#include "fusion/align.hpp"
+
+#include <algorithm>
+
+namespace gcr {
+
+namespace {
+
+/// Can these two subscript descriptors denote a common value?  Used for the
+/// non-parametric dimensions of a pair; "false" must be certain.
+bool mayIntersect(const DimAccess& d1, const DimAccess& d2, std::int64_t m) {
+  using K = SubKind;
+  // Same enclosing variable: values coincide iff offsets are equal.
+  if (d1.kind == K::Enclosing && d2.kind == K::Enclosing &&
+      d1.depth == d2.depth)
+    return !definitelyNotEqual(d1.offset, d2.offset, m);
+  if (d1.kind == K::Constant && d2.kind == K::Constant)
+    return !definitelyNotEqual(d1.offset, d2.offset, m);
+  if (d1.kind == K::Constant && d2.kind == K::Inner)
+    return !(definitelyLess(d1.offset, d2.rangeLo, m) ||
+             definitelyLess(d2.rangeHi, d1.offset, m));
+  if (d1.kind == K::Inner && d2.kind == K::Constant)
+    return mayIntersect(d2, d1, m);
+  if (d1.kind == K::Inner && d2.kind == K::Inner)
+    return !(definitelyLess(d1.rangeHi, d2.rangeLo, m) ||
+             definitelyLess(d2.rangeHi, d1.rangeLo, m));
+  // Anything involving LevelVar on a non-parametric dimension, or an
+  // enclosing variable against a constant/range, may intersect.
+  return true;
+}
+
+struct Interval {
+  AffineN lo, hi;
+  bool valid = true;  ///< false: provably no participating iterations
+};
+
+/// Iterations of `self` (active range [actLo, actHi], level subscript
+/// var + selfOff at dimension `dim`) that can touch the element selected by
+/// the other side's descriptor at that dimension.
+Interval participatingIterations(const RefAtom& self, int dim,
+                                 const DimAccess& other, std::int64_t m) {
+  const AffineN selfOff = self.dims[static_cast<std::size_t>(dim)].offset;
+  Interval out{self.actLo, self.actHi, true};
+  auto pin = [&](AffineN valueLo, AffineN valueHi) {
+    // self iterations i with valueLo <= i + selfOff <= valueHi.
+    AffineN lo = valueLo - selfOff;
+    AffineN hi = valueHi - selfOff;
+    // Intersect with the active range (keep the wider bound when
+    // incomparable — over-approximation is sound).
+    if (definitelyLessEq(out.lo, lo, m)) out.lo = lo;
+    if (definitelyLessEq(hi, out.hi, m)) out.hi = hi;
+    if (definitelyLess(out.hi, out.lo, m)) out.valid = false;
+  };
+  switch (other.kind) {
+    case SubKind::Constant:
+      pin(other.offset, other.offset);
+      break;
+    case SubKind::Inner:
+      pin(other.rangeLo, other.rangeHi);
+      break;
+    case SubKind::Enclosing:
+    case SubKind::LevelVar:
+      break;  // unknown / parametric: all active iterations participate
+  }
+  return out;
+}
+
+}  // namespace
+
+PairConstraint analyzePair(const RefAtom& a1, const RefAtom& a2,
+                           std::int64_t minN) {
+  GCR_CHECK(a1.array == a2.array, "pair on different arrays");
+  PairConstraint out;
+  out.isDependence = a1.isWrite || a2.isWrite;
+
+  const int d1 = a1.levelDim();
+  const int d2 = a2.levelDim();
+
+  if (d1 >= 0 && d1 == d2) {
+    // Parametric pair.  Dependence only when the other dimensions can
+    // intersect and the shifted ranges overlap.
+    for (std::size_t dd = 0; dd < a1.dims.size(); ++dd) {
+      if (static_cast<int>(dd) == d1) continue;
+      if (!mayIntersect(a1.dims[dd], a2.dims[dd], minN)) return out;  // None
+    }
+    const AffineN delta =
+        a2.dims[static_cast<std::size_t>(d2)].offset -
+        a1.dims[static_cast<std::size_t>(d1)].offset;
+    // Element ranges touched along the parametric dimension must overlap:
+    // [act1 + c1, ...] vs [act2 + c2, ...].
+    const AffineN lo1 = a1.actLo + a1.dims[static_cast<std::size_t>(d1)].offset;
+    const AffineN hi1 = a1.actHi + a1.dims[static_cast<std::size_t>(d1)].offset;
+    const AffineN lo2 = a2.actLo + a2.dims[static_cast<std::size_t>(d2)].offset;
+    const AffineN hi2 = a2.actHi + a2.dims[static_cast<std::size_t>(d2)].offset;
+    if (a1.hasLevelRange && a2.hasLevelRange &&
+        (definitelyLess(hi1, lo2, minN) || definitelyLess(hi2, lo1, minN)))
+      return out;  // ranges never meet
+    if (delta.isConstant()) {
+      out.kind = PairConstraint::Kind::Parametric;
+      out.delta = delta.c;
+      return out;
+    }
+    // Offset difference grows with N (e.g. A[i] vs A[i+N]): treat as an
+    // interval constraint over the full ranges.
+    out.kind = PairConstraint::Kind::Interval;
+    out.srcLo = a1.actLo;
+    out.srcHi = a1.actHi;
+    out.sinkLo = a2.actLo;
+    out.sinkHi = a2.actHi;
+    out.bound = out.srcHi - out.sinkLo;
+    return out;
+  }
+
+  // Non-parametric (pinned) pair.  Check every dimension that is not a
+  // level dimension of its own side for intersection.
+  for (std::size_t dd = 0; dd < a1.dims.size(); ++dd) {
+    if (static_cast<int>(dd) == d1 || static_cast<int>(dd) == d2) continue;
+    if (!mayIntersect(a1.dims[dd], a2.dims[dd], minN)) return out;  // None
+  }
+
+  Interval src{a1.actLo, a1.actHi, true};
+  if (d1 >= 0)
+    src = participatingIterations(a1, d1, a2.dims[static_cast<std::size_t>(d1)],
+                                  minN);
+  Interval sink{a2.actLo, a2.actHi, true};
+  if (d2 >= 0)
+    sink = participatingIterations(a2, d2,
+                                   a1.dims[static_cast<std::size_t>(d2)], minN);
+  if ((a1.hasLevelRange && !src.valid) || (a2.hasLevelRange && !sink.valid))
+    return out;  // no participating iterations -> independent
+
+  out.kind = PairConstraint::Kind::Interval;
+  out.srcLo = a1.hasLevelRange ? src.lo : AffineN{};
+  out.srcHi = a1.hasLevelRange ? src.hi : AffineN{};
+  out.sinkHasIterations = a2.hasLevelRange;
+  out.sinkLo = a2.hasLevelRange ? sink.lo : AffineN{};
+  out.sinkHi = a2.hasLevelRange ? sink.hi : AffineN{};
+  out.bound = out.srcHi - out.sinkLo;
+  return out;
+}
+
+std::int64_t AlignmentSummary::chooseAlignment() const {
+  if (!hasConstraint && reuseCandidates.empty()) return 0;
+  std::int64_t best;
+  bool found = false;
+  for (std::int64_t c : reuseCandidates) {
+    const bool feasible =
+        !hasConstraint || (reversedMode ? c <= sMin : c >= sMin);
+    if (!feasible) continue;
+    // Prefer the candidate closest to the feasibility boundary (smallest
+    // forward, largest reversed) — the closest legal reuse.
+    if (!found || (reversedMode ? c > best : c < best)) {
+      best = c;
+      found = true;
+    }
+  }
+  if (found) return best;
+  return hasConstraint ? sMin : 0;
+}
+
+AlignmentSummary summarizeAlignment(const std::vector<RefAtom>& earlier,
+                                    const std::vector<RefAtom>& later,
+                                    std::int64_t minN, bool reversed) {
+  AlignmentSummary summary;
+  summary.reversedMode = reversed;
+  auto addBound = [&summary, reversed](std::int64_t b) {
+    if (!summary.hasConstraint || (reversed ? b < summary.sMin
+                                            : b > summary.sMin))
+      summary.sMin = b;
+    summary.hasConstraint = true;
+  };
+  for (const RefAtom& a1 : earlier) {
+    for (const RefAtom& a2 : later) {
+      if (a1.array != a2.array) continue;
+      const PairConstraint pc = analyzePair(a1, a2, minN);
+      if (pc.kind == PairConstraint::Kind::None) continue;
+      if (pc.kind == PairConstraint::Kind::Parametric) {
+        summary.reuseCandidates.push_back(pc.delta);
+        if (pc.isDependence) addBound(pc.delta);
+        continue;
+      }
+      // Interval constraint: only dependences constrain.
+      if (!pc.isDependence) continue;
+      if (reversed) {
+        // Every source i1 must execute no later than its sink i2, and time
+        // decreases with the index: s <= srcLo - sinkHi; unbounded when
+        // that ceiling falls with N.
+        const AffineN ceiling = pc.srcLo - pc.sinkHi;
+        if (ceiling.s < 0) {
+          summary.hasUnbounded = true;
+          summary.unboundedPairs.push_back(pc);
+        } else {
+          addBound(ceiling.eval(minN));
+        }
+      } else {
+        if (pc.bound.s > 0) {
+          summary.hasUnbounded = true;
+          summary.unboundedPairs.push_back(pc);
+        } else {
+          addBound(pc.bound.eval(minN));
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+bool anyDependence(const std::vector<RefAtom>& first,
+                   const std::vector<RefAtom>& second, std::int64_t minN) {
+  for (const RefAtom& a1 : first) {
+    for (const RefAtom& a2 : second) {
+      if (a1.array != a2.array) continue;
+      if (!(a1.isWrite || a2.isWrite)) continue;
+      if (analyzePair(a1, a2, minN).kind != PairConstraint::Kind::None)
+        return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gcr

@@ -1,0 +1,87 @@
+// Dependence and alignment analysis between two fusion units (Section 2.3).
+//
+// For every pair of references to a common array with at least one write,
+// the analysis produces a lower bound on the alignment factor `s` by which
+// the later unit must be shifted so that every dependence source executes no
+// later than its sink in the fused loop:
+//
+//   * parametric pairs (both subscripts `var + c` on the same dimension)
+//     yield `s >= c2 - c1`;
+//   * pinned pairs (one side loop-invariant at the other's parametric
+//     dimension) yield `s >= srcLast - sinkFirst` over the participating
+//     iteration intervals — when that bound grows with N the pair is the
+//     paper's "infusible" case, unless the sink interval is a constant-width
+//     boundary strip, in which case iteration reordering (boundary
+//     splitting) can peel it off.
+//
+// Read-read pairs contribute no legality constraint but provide the
+// *reuse-preferred* alignment candidates ("the smallest alignment factor
+// that ... has the closest reuse").
+//
+// All decisions are made with the definitely-for-all-N>=minN comparisons, so
+// a reported fusion is legal for every problem size at or above minN.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fusion/atoms.hpp"
+
+namespace gcr {
+
+struct PairConstraint {
+  enum class Kind {
+    None,        ///< provably independent — no constraint
+    Parametric,  ///< s >= delta, reuse-ideal alignment = delta
+    Interval,    ///< s >= bound; sink/src intervals recorded for splitting
+  };
+  Kind kind = Kind::None;
+  bool isDependence = false;  ///< a write is involved
+  std::int64_t delta = 0;     ///< Parametric only
+
+  AffineN bound;  ///< Interval only: srcHi - sinkLo
+  // Participating iteration intervals (Interval only).
+  AffineN srcLo, srcHi;
+  AffineN sinkLo, sinkHi;
+  bool sinkHasIterations = true;  ///< false when sink is a non-loop unit
+};
+
+/// Analyze one reference pair (a1 from the earlier unit, a2 from the later).
+/// minN is the smallest problem size for which decisions must hold.
+PairConstraint analyzePair(const RefAtom& a1, const RefAtom& a2,
+                           std::int64_t minN);
+
+/// Aggregated alignment requirements between two units.
+///
+/// For forward loops every dependence yields a *lower* bound on the shift
+/// (`s >= sMin`); for a pair of *reversed* loops execution time runs
+/// backwards, so the same dependences yield an *upper* bound (`s <= sMin`,
+/// reusing the field with mirrored meaning — see `reversedMode`).
+struct AlignmentSummary {
+  bool reversedMode = false;
+  bool hasUnbounded = false;   ///< some dependence bound grows with N
+  std::int64_t sMin = 0;       ///< bound on s (direction per reversedMode)
+  bool hasConstraint = false;  ///< any dependence constraint at all
+  std::vector<std::int64_t> reuseCandidates;  ///< parametric deltas (all pairs)
+  /// Interval constraints whose bound grows with N — splitting candidates.
+  std::vector<PairConstraint> unboundedPairs;
+
+  /// Alignment choice: the reuse candidate closest to the bound on its
+  /// feasible side, else the bound itself (0 when unconstrained).
+  std::int64_t chooseAlignment() const;
+};
+
+/// `reversed` selects the mirrored analysis for two reversed-loop units;
+/// callers must not mix directions (handled upstream as infusible).
+AlignmentSummary summarizeAlignment(const std::vector<RefAtom>& earlier,
+                                    const std::vector<RefAtom>& later,
+                                    std::int64_t minN, bool reversed = false);
+
+/// True when the two atom sets have any dependence (common element, a write
+/// involved, not provably independent) — used for peel-legality checks.
+bool anyDependence(const std::vector<RefAtom>& first,
+                   const std::vector<RefAtom>& second, std::int64_t minN);
+
+}  // namespace gcr

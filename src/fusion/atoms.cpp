@@ -1,0 +1,142 @@
+#include "fusion/atoms.hpp"
+
+#include <algorithm>
+
+namespace gcr {
+
+namespace {
+
+/// Bounds of loops nested below the fusion level, indexed by depth.
+struct InnerLoops {
+  std::vector<std::pair<AffineN, AffineN>> boundsByDepth;
+
+  void push(int depth, AffineN lo, AffineN hi) {
+    if (static_cast<std::size_t>(depth) >= boundsByDepth.size())
+      boundsByDepth.resize(static_cast<std::size_t>(depth) + 1);
+    boundsByDepth[static_cast<std::size_t>(depth)] = {lo, hi};
+  }
+};
+
+DimAccess classify(const Subscript& s, int level, const InnerLoops& inner) {
+  if (s.isConstant()) return DimAccess{SubKind::Constant, s.offset, -1, {}, {}};
+  if (s.depth == level)
+    return DimAccess{SubKind::LevelVar, s.offset, level, {}, {}};
+  if (s.depth < level)
+    return DimAccess{SubKind::Enclosing, s.offset, s.depth, {}, {}};
+  DimAccess d{SubKind::Inner, s.offset, s.depth, {}, {}};
+  GCR_CHECK(static_cast<std::size_t>(s.depth) < inner.boundsByDepth.size(),
+            "inner subscript without enclosing loop bounds");
+  d.rangeLo = inner.boundsByDepth[static_cast<std::size_t>(s.depth)].first +
+              s.offset;
+  d.rangeHi = inner.boundsByDepth[static_cast<std::size_t>(s.depth)].second +
+              s.offset;
+  return d;
+}
+
+RefAtom makeAtom(const ArrayRef& r, bool isWrite, int stmtId, int level,
+                 bool hasRange, AffineN lo, AffineN hi,
+                 const InnerLoops& inner) {
+  RefAtom atom;
+  atom.array = r.array;
+  atom.isWrite = isWrite;
+  atom.stmtId = stmtId;
+  atom.hasLevelRange = hasRange;
+  atom.actLo = lo;
+  atom.actHi = hi;
+  atom.dims.reserve(r.subs.size());
+  for (const Subscript& s : r.subs)
+    atom.dims.push_back(classify(s, level, inner));
+  return atom;
+}
+
+void collectFromChild(const Program& p, const Child& c, int level,
+                      int depth, bool hasRange, AffineN lo, AffineN hi,
+                      InnerLoops& inner, std::int64_t minN,
+                      std::vector<RefAtom>& out);
+
+void collectFromNode(const Program& p, const Node& n, int level, int depth,
+                     bool hasRange, AffineN lo, AffineN hi, InnerLoops& inner,
+                     std::int64_t minN, std::vector<RefAtom>& out) {
+  if (n.isAssign()) {
+    const Assign& a = n.assign();
+    for (const ArrayRef& r : a.rhs)
+      out.push_back(
+          makeAtom(r, false, a.id, level, hasRange, lo, hi, inner));
+    out.push_back(
+        makeAtom(a.lhs, true, a.id, level, hasRange, lo, hi, inner));
+    return;
+  }
+  const Loop& l = n.loop();
+  inner.push(depth, l.lo, l.hi);
+  for (const Child& c : l.body)
+    collectFromChild(p, c, level, depth + 1, hasRange, lo, hi, inner, minN,
+                     out);
+}
+
+void collectFromChild(const Program& p, const Child& c, int level, int depth,
+                      bool hasRange, AffineN lo, AffineN hi, InnerLoops& inner,
+                      std::int64_t minN, std::vector<RefAtom>& out) {
+  if (hasRange) {
+    if (const GuardSpec* g = c.guardAt(level)) {
+      // Narrow by the guard.  The true active range is the pointwise
+      // intersection; when bounds are incomparable under the definitely-
+      // ordering we keep the wider one, which over-approximates the range —
+      // sound for dependence analysis.
+      if (definitelyLessEq(lo, g->lo, minN)) lo = g->lo;
+      if (definitelyLessEq(g->hi, hi, minN)) hi = g->hi;
+    }
+  }
+  collectFromNode(p, *c.node, level, depth, hasRange, lo, hi, inner, minN,
+                  out);
+}
+
+}  // namespace
+
+std::vector<RefAtom> collectAtoms(const Program& p, const Child& unit,
+                                  int level, std::int64_t minN) {
+  std::vector<RefAtom> out;
+  const Node& n = *unit.node;
+  InnerLoops inner;
+  if (n.isLoop()) {
+    const Loop& l = n.loop();
+    inner.push(level, l.lo, l.hi);
+    for (const Child& c : l.body)
+      collectFromChild(p, c, level, level + 1, /*hasRange=*/true, l.lo, l.hi,
+                       inner, minN, out);
+  } else {
+    collectFromNode(p, n, level, level, /*hasRange=*/false, AffineN{},
+                    AffineN{}, inner, minN, out);
+  }
+  return out;
+}
+
+namespace {
+void touchedFromNode(const Node& n, std::vector<ArrayId>& arrays) {
+  if (n.isAssign()) {
+    const Assign& a = n.assign();
+    arrays.push_back(a.lhs.array);
+    for (const ArrayRef& r : a.rhs) arrays.push_back(r.array);
+    return;
+  }
+  for (const Child& c : n.loop().body) touchedFromNode(*c.node, arrays);
+}
+}  // namespace
+
+std::vector<ArrayId> arraysTouched(const Program&, const Child& unit) {
+  std::vector<ArrayId> arrays;
+  touchedFromNode(*unit.node, arrays);
+  std::sort(arrays.begin(), arrays.end());
+  arrays.erase(std::unique(arrays.begin(), arrays.end()), arrays.end());
+  return arrays;
+}
+
+bool shareData(const Program& p, const Child& a, const Child& b) {
+  const auto ta = arraysTouched(p, a);
+  const auto tb = arraysTouched(p, b);
+  std::vector<ArrayId> common;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(common));
+  return !common.empty();
+}
+
+}  // namespace gcr

@@ -1,0 +1,74 @@
+// Access atoms: the per-reference summaries the fusion pass reasons with.
+//
+// Fusion works one loop level at a time (the paper applies the Figure 6
+// algorithm "level by level from the outermost to the innermost").  At a
+// given level d, a *unit* is one child of the enclosing context (the program
+// top level or a fused loop's body): either a loop whose variable sits at
+// depth d, or a non-loop statement.  Every array reference inside a unit is
+// summarized by one atom describing, for each array dimension, how the
+// subscript relates to the level-d variable:
+//
+//   LevelVar   subscript is var(d) + offset — the parametric dimension the
+//              alignment computation solves over;
+//   Enclosing  subscript is var(d') + offset for d' < d — the enclosing
+//              variable has the same value for both units, so two such
+//              subscripts denote the same element iff offsets are equal;
+//   Inner      subscript uses a loop nested below level d — conservatively a
+//              full range;
+//   Constant   loop-invariant value (border elements such as A[1], A[N]).
+//
+// The atom also carries the iteration range of level d during which the
+// reference is live (loop bounds intersected with any level-d guards) — this
+// is what makes peeled/embedded members analyzable with the same machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+enum class SubKind { LevelVar, Enclosing, Inner, Constant };
+
+struct DimAccess {
+  SubKind kind = SubKind::Constant;
+  AffineN offset;  ///< LevelVar/Enclosing: added to the variable;
+                   ///< Constant: the value itself
+  int depth = -1;  ///< Enclosing/Inner: the variable's depth
+  /// Inner only: the subscript's value range (inner loop bounds + offset).
+  AffineN rangeLo, rangeHi;
+};
+
+struct RefAtom {
+  ArrayId array = -1;
+  bool isWrite = false;
+  int stmtId = -1;
+  /// Active range of the level variable (for atoms inside loop units);
+  /// meaningless for atoms of a non-loop unit (hasLevelRange == false).
+  bool hasLevelRange = false;
+  AffineN actLo, actHi;
+  std::vector<DimAccess> dims;
+
+  /// Index of the dimension subscripted by the level variable, or -1.
+  int levelDim() const {
+    for (std::size_t d = 0; d < dims.size(); ++d)
+      if (dims[d].kind == SubKind::LevelVar) return static_cast<int>(d);
+    return -1;
+  }
+};
+
+/// Atoms of one unit (child of the fusion context) at level `level`.
+/// For a loop unit, each contained statement contributes one atom per
+/// reference with the active range = loop bounds ∩ level-`level` guards along
+/// the path.  For an assign unit, atoms have no level range.
+std::vector<RefAtom> collectAtoms(const Program& p, const Child& unit,
+                                  int level, std::int64_t minN = 16);
+
+/// Arrays touched by a unit (sorted, unique) — the "shares data" test of
+/// GreedilyFuse.
+std::vector<ArrayId> arraysTouched(const Program& p, const Child& unit);
+
+bool shareData(const Program& p, const Child& a, const Child& b);
+
+}  // namespace gcr

@@ -1,0 +1,474 @@
+#include "fusion/fusion.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "ir/stats.hpp"
+
+namespace gcr {
+
+namespace {
+
+constexpr std::int64_t kGuardM = 2;  // anchor for range-cover max/min
+
+/// Rewrite a subtree for an alignment shift `s` of the level variable:
+/// subscripts `var(level) + c` become `var(level) + (c - s)` and guards on
+/// the level variable move with the iteration space.
+void shiftSubtree(Node& n, int level, std::int64_t s);
+
+void shiftChild(Child& c, int level, std::int64_t s) {
+  if (GuardSpec* g = c.guardAt(level)) {
+    g->lo = g->lo + AffineN{s};
+    g->hi = g->hi + AffineN{s};
+  }
+  shiftSubtree(*c.node, level, s);
+}
+
+void shiftRef(ArrayRef& r, int level, std::int64_t s) {
+  for (Subscript& sub : r.subs)
+    if (!sub.isConstant() && sub.depth == level)
+      sub.offset = sub.offset - AffineN{s};
+}
+
+void shiftSubtree(Node& n, int level, std::int64_t s) {
+  if (n.isAssign()) {
+    Assign& a = n.assign();
+    shiftRef(a.lhs, level, s);
+    for (ArrayRef& r : a.rhs) shiftRef(r, level, s);
+    return;
+  }
+  for (Child& c : n.loop().body) shiftChild(c, level, s);
+}
+
+/// Give `c` an explicit level-guard covering [lo, hi] if it has none (used
+/// before a fused loop's range is widened, so members keep their extent).
+void ensureGuard(Child& c, int level, AffineN lo, AffineN hi) {
+  if (c.guardAt(level) == nullptr)
+    c.guards.push_back(GuardSpec{level, lo, hi});
+}
+
+bool sameGuards(const std::vector<GuardSpec>& a,
+                const std::vector<GuardSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].depth != b[i].depth || !(a[i].lo == b[i].lo) ||
+        !(a[i].hi == b[i].hi))
+      return false;
+  return true;
+}
+
+/// The fusion engine for one context (a statement list at one level).
+class ContextFuser {
+ public:
+  ContextFuser(Program& p, std::vector<Child>& units, int level,
+               const FusionOptions& opts, FusionReport* report)
+      : p_(p), units_(units), level_(level), opts_(opts), report_(report) {}
+
+  void run() {
+    if (opts_.strategy == FusionStrategy::WeightedGreedy) {
+      runWeighted();
+      return;
+    }
+    // Fixed point over first-to-last greedy passes.  A successful fusion
+    // erases a unit and may enlarge an earlier one, so the scan restarts —
+    // this subsumes Figure 6's "re-test the fused loop upward" cascade
+    // (already-settled prefixes are skipped cheaply via the infusible memo).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < units_.size(); ++i) {
+        if (greedilyFuse(i).has_value()) {
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Kennedy's fast greedy weighted fusion: always fuse along the heaviest
+  /// data-sharing edge.  Candidates are still (closest sharing predecessor,
+  /// unit) pairs — anything farther would move code past a data-sharing
+  /// intermediate — but the *order* of fusions follows edge weight (number
+  /// of shared arrays), not textual order.
+  void runWeighted() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::pair<int, std::size_t>> candidates;  // (-weight, i)
+      for (std::size_t i = 1; i < units_.size(); ++i) {
+        for (std::size_t j = i; j-- > 0;) {
+          if (!shareData(p_, units_[j], units_[i])) continue;
+          const auto ta = arraysTouched(p_, units_[j]);
+          const auto tb = arraysTouched(p_, units_[i]);
+          std::vector<ArrayId> common;
+          std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                                std::back_inserter(common));
+          candidates.emplace_back(-static_cast<int>(common.size()), i);
+          break;  // only the closest sharing predecessor is a legal partner
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      for (const auto& [negWeight, i] : candidates) {
+        if (greedilyFuse(i).has_value()) {
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void logLine(const std::string& s) {
+    if (report_) report_->log.push_back(s);
+  }
+  void signal(const std::string& s) {
+    if (report_) report_->signals.push_back(s);
+  }
+
+  /// Figure 6 GreedilyFuse for the unit at index i.  On success returns the
+  /// index of the surviving (enlarged) unit; nullopt when nothing changed.
+  std::optional<std::size_t> greedilyFuse(std::size_t i) {
+    // Closest data-sharing predecessor.
+    std::optional<std::size_t> found;
+    for (std::size_t j = i; j-- > 0;) {
+      if (shareData(p_, units_[j], units_[i])) {
+        found = j;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    const std::size_t j = *found;
+
+    const Node* nj = units_[j].node.get();
+    const Node* ni = units_[i].node.get();
+    if (infusible_.count({nj, ni})) return std::nullopt;
+
+    const bool jLoop = nj->isLoop();
+    const bool iLoop = ni->isLoop();
+    const bool embeddingAllowed =
+        opts_.enableEmbedding &&
+        opts_.strategy != FusionStrategy::Conservative;
+    std::optional<std::size_t> result;
+    if (jLoop && iLoop) {
+      result = fuseLoops(j, i);
+    } else if (jLoop && !iLoop) {
+      result = embeddingAllowed ? embedForward(j, i) : std::nullopt;
+    } else if (!jLoop && iLoop) {
+      result = embeddingAllowed ? embedReverse(j, i) : std::nullopt;
+    } else {
+      result = std::nullopt;  // two non-loop statements: nothing to fuse
+    }
+    if (!result) infusible_.insert({nj, ni});
+    return result;
+  }
+
+  /// Merge loop unit `i` into loop unit `j` with alignment `s`; erases i.
+  void mergeLoopInto(std::size_t j, Child&& u2, std::int64_t s) {
+    Child& u1 = units_[j];
+    Loop& f = u1.node->loop();
+    Loop& l2 = u2.node->loop();
+
+    if (s != 0)
+      for (Child& c : l2.body) shiftChild(c, level_, s);
+    const AffineN lo2 = l2.lo + AffineN{s};
+    const AffineN hi2 = l2.hi + AffineN{s};
+
+    const AffineN newLo = dominatedMin(f.lo, lo2, kGuardM);
+    const AffineN newHi = dominatingMax(f.hi, hi2, kGuardM);
+
+    // Members only need explicit range guards when the fused range exceeds
+    // the range they were built for.
+    if (!(newLo == f.lo) || !(newHi == f.hi))
+      for (Child& c : f.body) ensureGuard(c, level_, f.lo, f.hi);
+
+    // Enclosing-level guards: if the two units were active under different
+    // outer guards, push each unit's guards down onto its members.
+    if (!sameGuards(u1.guards, u2.guards)) {
+      for (Child& c : f.body)
+        c.guards.insert(c.guards.end(), u1.guards.begin(), u1.guards.end());
+      u1.guards.clear();
+      for (Child& c : l2.body)
+        c.guards.insert(c.guards.end(), u2.guards.begin(), u2.guards.end());
+    }
+
+    for (Child& c : l2.body) {
+      if (!(newLo == lo2) || !(newHi == hi2)) ensureGuard(c, level_, lo2, hi2);
+      f.body.push_back(std::move(c));
+    }
+    f.lo = newLo;
+    f.hi = newHi;
+  }
+
+  std::optional<std::size_t> fuseLoops(std::size_t j, std::size_t i) {
+    const bool rev1 = units_[j].node->loop().reversed;
+    const bool rev2 = units_[i].node->loop().reversed;
+    if (rev1 != rev2) {
+      signal("loop reversal needed at level " + std::to_string(level_) +
+             " to fuse loops of opposite directions");
+      return std::nullopt;
+    }
+    const bool rev = rev1;
+    const auto atomsJ = collectAtoms(p_, units_[j], level_, opts_.minN);
+    const auto atomsI = collectAtoms(p_, units_[i], level_, opts_.minN);
+    AlignmentSummary summary =
+        summarizeAlignment(atomsJ, atomsI, opts_.minN, rev);
+
+    if (opts_.strategy == FusionStrategy::Conservative) {
+      // McKinley et al.: identical bounds, no fusion-preventing dependence,
+      // no alignment/peeling/embedding.
+      const Loop& l1 = units_[j].node->loop();
+      const Loop& l2 = units_[i].node->loop();
+      if (!(l1.lo == l2.lo) || !(l1.hi == l2.hi)) return std::nullopt;
+      if (summary.hasUnbounded ||
+          (summary.hasConstraint && (rev ? summary.sMin < 0
+                                         : summary.sMin > 0)))
+        return std::nullopt;
+      Child u2 = std::move(units_[i]);
+      units_.erase(units_.begin() + static_cast<std::ptrdiff_t>(i));
+      mergeLoopInto(j, std::move(u2), 0);
+      if (report_) ++report_->fusions;
+      logLine("fused loops (conservative) at level " +
+              std::to_string(level_));
+      return j;
+    }
+
+    if (!summary.hasUnbounded) {
+      const std::int64_t s = summary.chooseAlignment();
+      Child u2 = std::move(units_[i]);
+      units_.erase(units_.begin() + static_cast<std::ptrdiff_t>(i));
+      mergeLoopInto(j, std::move(u2), s);
+      if (report_) ++report_->fusions;
+      logLine("fused loops at level " + std::to_string(level_) +
+              " (alignment " + std::to_string(s) + ")");
+      return j;
+    }
+    if (opts_.strategy == FusionStrategy::ReuseBasedGreedy ||
+        opts_.strategy == FusionStrategy::WeightedGreedy)
+      return fuseWithPeel(j, i, summary, atomsJ, rev);
+    return std::nullopt;
+  }
+
+  /// Iteration reordering: peel a constant-width boundary strip off the
+  /// later loop so the remainder fuses.  Returns the fused unit index.
+  std::optional<std::size_t> fuseWithPeel(std::size_t j, std::size_t i,
+                                          const AlignmentSummary& summary,
+                                          const std::vector<RefAtom>& atomsJ,
+                                          bool rev = false) {
+    const Loop& l2 = units_[i].node->loop();
+    std::int64_t peelFront = 0, peelBack = 0;
+    for (const PairConstraint& pc : summary.unboundedPairs) {
+      if (!pc.sinkHasIterations) return std::nullopt;
+      const AffineN frontWidth = pc.sinkHi - l2.lo;   // offending strip at lo
+      const AffineN backWidth = l2.hi - pc.sinkLo;    // offending strip at hi
+      if (frontWidth.isConstant() && frontWidth.c < opts_.maxPeel) {
+        peelFront = std::max(peelFront, frontWidth.c + 1);
+      } else if (backWidth.isConstant() && backWidth.c < opts_.maxPeel) {
+        peelBack = std::max(peelBack, backWidth.c + 1);
+      } else {
+        signal("iteration reordering needed at level " +
+               std::to_string(level_) + " but the offending strip is not a " +
+               "constant boundary band");
+        return std::nullopt;
+      }
+    }
+    if (!opts_.enableSplitting) {
+      signal("loop splitting needed at level " + std::to_string(level_) +
+             " (front " + std::to_string(peelFront) + ", back " +
+             std::to_string(peelBack) + ") — disabled");
+      return std::nullopt;
+    }
+
+    // Build main and peeled copies of unit i.  An empty remainder means
+    // peeling makes no progress (the whole loop is boundary strip) — give up
+    // so the fixed-point driver terminates.
+    Child main = cloneChild(units_[i]);
+    main.node->loop().lo = l2.lo + AffineN{peelFront};
+    main.node->loop().hi = l2.hi - AffineN{peelBack};
+    if (!definitelyLess(main.node->loop().lo, main.node->loop().hi,
+                        opts_.minN))
+      return std::nullopt;
+    std::vector<Child> peeled;
+    Child* loStrip = nullptr;
+    Child* hiStrip = nullptr;
+    if (peelFront > 0) {
+      Child front = cloneChild(units_[i]);
+      front.node->loop().hi = l2.lo + AffineN{peelFront - 1};
+      peeled.push_back(std::move(front));
+      loStrip = &peeled.back();
+    }
+    if (peelBack > 0) {
+      Child back = cloneChild(units_[i]);
+      back.node->loop().lo = l2.hi - AffineN{peelBack - 1};
+      peeled.push_back(std::move(back));
+      hiStrip = &peeled.back();
+    }
+    // Keep the strips in original *execution* order behind the fused loop
+    // (hi side first for a reversed loop).
+    if (rev && peeled.size() == 2) std::swap(peeled[0], peeled[1]);
+
+    const auto atomsMain = collectAtoms(p_, main, level_, opts_.minN);
+    // The strip that originally executed *before* the remainder ends up
+    // after it; that reordering is legal only when strip and remainder are
+    // independent.  (Forward loops execute the lo strip first; reversed
+    // loops the hi strip.)
+    Child* executedFirst = rev ? hiStrip : loStrip;
+    if (executedFirst != nullptr) {
+      const auto atomsStrip =
+          collectAtoms(p_, *executedFirst, level_, opts_.minN);
+      if (anyDependence(atomsStrip, atomsMain, opts_.minN)) {
+        signal("boundary peel at level " + std::to_string(level_) +
+               " blocked by a dependence between the strip and the rest");
+        return std::nullopt;
+      }
+    }
+    const AlignmentSummary mainSummary =
+        summarizeAlignment(atomsJ, atomsMain, opts_.minN, rev);
+    if (mainSummary.hasUnbounded) {
+      signal("peeling did not make the remainder fusible at level " +
+             std::to_string(level_));
+      return std::nullopt;
+    }
+
+    const std::int64_t s = mainSummary.chooseAlignment();
+    units_.erase(units_.begin() + static_cast<std::ptrdiff_t>(i));
+    mergeLoopInto(j, std::move(main), s);
+    // Peeled strips stay at the absorbed unit's old position.
+    units_.insert(units_.begin() + static_cast<std::ptrdiff_t>(i),
+                  std::make_move_iterator(peeled.begin()),
+                  std::make_move_iterator(peeled.end()));
+    if (report_) {
+      ++report_->fusions;
+      ++report_->peels;
+    }
+    logLine("fused loops at level " + std::to_string(level_) + " with peel (" +
+            std::to_string(peelFront) + " front, " + std::to_string(peelBack) +
+            " back, alignment " + std::to_string(s) + ")");
+    return j;
+  }
+
+  /// Embed the non-loop unit `i` into the loop unit `j` at the earliest
+  /// iteration after every dependence source.
+  std::optional<std::size_t> embedForward(std::size_t j, std::size_t i) {
+    const auto atomsJ = collectAtoms(p_, units_[j], level_, opts_.minN);
+    const auto atomsI = collectAtoms(p_, units_[i], level_, opts_.minN);
+    Loop& f = units_[j].node->loop();
+    // Embed at the earliest execution time after every dependence source:
+    // forward loops execute lo first (e >= srcHi); reversed loops execute
+    // hi first (e <= srcLo).
+    AffineN e = f.reversed ? f.hi : f.lo;
+    for (const RefAtom& a1 : atomsJ) {
+      for (const RefAtom& a2 : atomsI) {
+        if (a1.array != a2.array || !(a1.isWrite || a2.isWrite)) continue;
+        const PairConstraint pc = analyzePair(a1, a2, opts_.minN);
+        if (pc.kind == PairConstraint::Kind::None) continue;
+        GCR_CHECK(pc.kind == PairConstraint::Kind::Interval,
+                  "parametric constraint on a non-loop unit");
+        e = f.reversed ? dominatedMin(e, pc.srcLo, opts_.minN)
+                       : dominatingMax(e, pc.srcHi, opts_.minN);
+      }
+    }
+    placeEmbedded(j, i, e, /*atFront=*/false);
+    return j;
+  }
+
+  /// Embed the non-loop unit `j` into the loop unit `i` (the statement is
+  /// older than the loop) at the latest iteration before every dependence
+  /// sink; the fused loop takes the statement's position.
+  std::optional<std::size_t> embedReverse(std::size_t j, std::size_t i) {
+    const auto atomsJ = collectAtoms(p_, units_[j], level_, opts_.minN);
+    const auto atomsI = collectAtoms(p_, units_[i], level_, opts_.minN);
+    Loop& f = units_[i].node->loop();
+    // The statement must execute before every dependence sink: at or before
+    // the earliest sink time — e <= sinkLo for forward loops, e >= sinkHi
+    // for reversed ones.
+    AffineN e = f.reversed ? f.hi : f.lo;
+    bool constrained = false;
+    for (const RefAtom& a1 : atomsJ) {
+      for (const RefAtom& a2 : atomsI) {
+        if (a1.array != a2.array || !(a1.isWrite || a2.isWrite)) continue;
+        const PairConstraint pc = analyzePair(a1, a2, opts_.minN);
+        if (pc.kind == PairConstraint::Kind::None) continue;
+        GCR_CHECK(pc.kind == PairConstraint::Kind::Interval,
+                  "parametric constraint on a non-loop unit");
+        if (f.reversed) {
+          e = constrained ? dominatingMax(e, pc.sinkHi, opts_.minN)
+                          : pc.sinkHi;
+        } else {
+          e = constrained ? dominatedMin(e, pc.sinkLo, opts_.minN)
+                          : pc.sinkLo;
+        }
+        constrained = true;
+      }
+    }
+    // Swap the loop into position j, then embed the statement at the front.
+    std::swap(units_[j], units_[i]);
+    placeEmbedded(j, i, e, /*atFront=*/true);
+    return j;
+  }
+
+  void placeEmbedded(std::size_t j, std::size_t i, AffineN e, bool atFront) {
+    Child stmt = std::move(units_[i]);
+    units_.erase(units_.begin() + static_cast<std::ptrdiff_t>(i));
+    Child& u1 = units_[j];
+    Loop& f = u1.node->loop();
+
+    for (Child& c : f.body) ensureGuard(c, level_, f.lo, f.hi);
+    if (!sameGuards(u1.guards, stmt.guards)) {
+      for (Child& c : f.body)
+        c.guards.insert(c.guards.end(), u1.guards.begin(), u1.guards.end());
+      u1.guards.clear();
+    }
+    stmt.guards.push_back(GuardSpec{level_, e, e});
+    f.lo = dominatedMin(f.lo, e, kGuardM);
+    f.hi = dominatingMax(f.hi, e, kGuardM);
+    if (atFront) {
+      f.body.insert(f.body.begin(), std::move(stmt));
+    } else {
+      f.body.push_back(std::move(stmt));
+    }
+    if (report_) ++report_->embeddings;
+    logLine("embedded statement at level " + std::to_string(level_) +
+            " at iteration " + e.str());
+  }
+
+  Program& p_;
+  std::vector<Child>& units_;
+  int level_;
+  const FusionOptions& opts_;
+  FusionReport* report_;
+  std::set<std::pair<const Node*, const Node*>> infusible_;
+};
+
+void fuseRecursive(Program& p, std::vector<Child>& units, int level,
+                   const FusionOptions& opts, FusionReport* report) {
+  if (level >= opts.minLevel && level < opts.maxLevels) {
+    ContextFuser fuser(p, units, level, opts, report);
+    fuser.run();
+  }
+  for (Child& c : units)
+    if (c.node->isLoop())
+      fuseRecursive(p, c.node->loop().body, level + 1, opts, report);
+}
+
+}  // namespace
+
+Program fuseProgram(const Program& in, const FusionOptions& opts,
+                    FusionReport* report) {
+  Program p = in.clone();
+  p.renumber();
+  if (report) report->loopsPerLevelBefore = computeStats(p).loopsPerLevel;
+  fuseRecursive(p, p.top, 0, opts, report);
+  p.renumber();
+  if (report) report->loopsPerLevelAfter = computeStats(p).loopsPerLevel;
+  return p;
+}
+
+Program fuseProgramLevels(const Program& in, int levels, FusionOptions opts,
+                          FusionReport* report) {
+  opts.maxLevels = levels;
+  return fuseProgram(in, opts, report);
+}
+
+}  // namespace gcr

@@ -1,0 +1,86 @@
+// Reuse-based loop fusion (Section 2.3, Figure 6 of the paper).
+//
+// GreedilyFuse processes the statement list in order; each statement fuses
+// upward into its closest data-sharing predecessor when legal:
+//
+//   * loop + loop       — fuse with the minimal bounded alignment factor;
+//   * stmt into loop    — statement embedding (always possible; the embed
+//                         iteration is the max over dependence sources);
+//   * loop + older stmt — reverse embedding at the min over dependence sinks;
+//   * unbounded bound   — iteration reordering: peel a constant-width
+//                         boundary strip off the later loop (the paper's
+//                         "splitting at boundary loop iterations") and fuse
+//                         the rest; peeled pieces stay behind as units.
+//
+// A fused loop is re-tested for further upward fusion because it now touches
+// more data; infusible pairs are memoized.  Multi-dimensional programs are
+// fused level by level from the outermost inward; fusion output is ordinary
+// guarded IR (see ir.hpp), so code generation is linear in loop levels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fusion/align.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Which fusion algorithm drives the pass.  The paper's contribution is
+/// ReuseBasedGreedy; the other two reproduce the related-work comparisons:
+/// Kennedy's fast greedy weighted fusion (Section 5, "none of these
+/// algorithms has been implemented or evaluated" — here it is), and the
+/// McKinley et al. conservative fusion (equal bounds, no fusion-preventing
+/// dependences, no enabling transformations — the study where only 6% of
+/// loops fused).
+enum class FusionStrategy {
+  ReuseBasedGreedy,   ///< Figure 6: closest data-sharing predecessor
+  WeightedGreedy,     ///< heaviest data-sharing edge first
+  Conservative,       ///< identical bounds, zero alignment, no embedding
+};
+
+struct FusionOptions {
+  FusionStrategy strategy = FusionStrategy::ReuseBasedGreedy;
+  /// Smallest problem size the transformed program must be valid for.  All
+  /// legality decisions are exact for every N >= minN.
+  std::int64_t minN = 16;
+  /// Fuse loop levels [minLevel, maxLevels).  minLevel > 0 restricts fusion
+  /// to inner levels — loops are only merged *within* a top-level nest,
+  /// never across nests, which models a locally-optimizing compiler.
+  int minLevel = 0;
+  int maxLevels = 8;
+  bool enableEmbedding = true;
+  /// Iteration reordering by boundary splitting; when disabled, the pass
+  /// only *signals* where splitting would be needed (the paper's own
+  /// implementation state).
+  bool enableSplitting = true;
+  /// Widest boundary strip (iterations) splitting may peel.
+  std::int64_t maxPeel = 3;
+};
+
+struct FusionReport {
+  int fusions = 0;
+  int embeddings = 0;
+  int peels = 0;
+  std::vector<std::string> log;
+  /// Places where iteration reordering was needed (and, if splitting is
+  /// disabled, not performed) — the paper's "the compiler signals the places
+  /// where it is needed".
+  std::vector<std::string> signals;
+  /// Loop counts per level before/after, for the Section 4.4 numbers.
+  std::vector<int> loopsPerLevelBefore, loopsPerLevelAfter;
+};
+
+/// Fuse all levels up to opts.maxLevels.  Returns a new program; the input
+/// is untouched.
+Program fuseProgram(const Program& in, const FusionOptions& opts = {},
+                    FusionReport* report = nullptr);
+
+/// Convenience: fuse only the outermost `levels` levels (Figure 10's
+/// "1 level fusion" vs "3 level fusion" bars for SP).
+Program fuseProgramLevels(const Program& in, int levels,
+                          FusionOptions opts = {},
+                          FusionReport* report = nullptr);
+
+}  // namespace gcr

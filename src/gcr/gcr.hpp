@@ -1,0 +1,40 @@
+// Umbrella header: the public API of the gcr (global cache reuse) library.
+//
+// Layers, bottom-up:
+//   ir/        the loop-program input language (Figure 5, multi-dimensional)
+//   interp/    exact interpreter + dynamic traces + data layouts
+//   locality/  reuse-distance analysis, evadable-reuse classification
+//   cachesim/  set-associative caches, TLB, machine configs, cost model
+//   reuse_driven/  the Section 2.2 limit study (Figure 2 algorithm)
+//   xform/     pre-passes: distribution, unrolling, array splitting
+//   fusion/    reuse-based loop fusion (Figure 6)
+//   regroup/   multi-level data regrouping (Figures 7-8)
+//   driver/    the full pipeline, program versions, measurement harness
+//   apps/      the paper's benchmark programs (Figure 9)
+#pragma once
+
+#include "apps/registry.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "fusion/align.hpp"
+#include "fusion/atoms.hpp"
+#include "fusion/fusion.hpp"
+#include "interp/interp.hpp"
+#include "interp/layout.hpp"
+#include "interp/trace.hpp"
+#include "ir/builder.hpp"
+#include "ir/ir.hpp"
+#include "ir/print.hpp"
+#include "ir/stats.hpp"
+#include "ir/validate.hpp"
+#include "locality/evadable.hpp"
+#include "locality/reuse_distance.hpp"
+#include "regroup/regroup.hpp"
+#include "reuse_driven/reuse_driven.hpp"
+#include "support/affine.hpp"
+#include "support/histogram.hpp"
+#include "support/table.hpp"
+#include "xform/distribute.hpp"
+#include "xform/unroll_split.hpp"

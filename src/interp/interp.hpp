@@ -1,0 +1,59 @@
+// Execution-driven interpreter for IR programs.
+//
+// Two jobs:
+//   1. exact value semantics — every statement instance computes
+//      `lhs = mix(seed, rhs values...)` over uint64, so two programs are
+//      semantically equal iff their final per-array contents are identical.
+//      This is the correctness oracle for every transformation pass.
+//   2. trace generation — each executed instance is reported to an InstrSink
+//      with its read/write byte addresses under a chosen DataLayout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/layout.hpp"
+#include "interp/trace.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+struct ExecOptions {
+  std::int64_t n = 16;           ///< problem size (value of the parameter N)
+  bool boundsCheck = true;       ///< verify subscripts against extents
+  std::uint64_t timeSteps = 1;   ///< repeat the whole program body this many
+                                 ///< times (the paper counts only loops inside
+                                 ///< the time-step loop)
+  /// Initial contents as a function of (array, logical index).  Defaults to
+  /// a hash of (array id, linear index).  Override when comparing programs
+  /// whose array sets differ (e.g. after array splitting), so corresponding
+  /// elements start equal.
+  std::function<std::uint64_t(ArrayId, std::span<const std::int64_t>)>
+      initValue;
+};
+
+struct ExecResult {
+  std::vector<std::uint64_t> memory;  ///< one word per 8-byte element slot
+  std::uint64_t instrCount = 0;
+};
+
+/// Execute `p` at problem size `opts.n` under `layout`, reporting each
+/// instance to `sink` (may be null).  All arrays must have elemSize 8.
+ExecResult execute(const Program& p, const DataLayout& layout,
+                   const ExecOptions& opts, InstrSink* sink = nullptr);
+
+/// Extract one array's logical contents (row-major index order) from a
+/// memory image, independent of layout — used to compare program versions
+/// that use different data layouts.
+std::vector<std::uint64_t> extractArray(const ExecResult& r,
+                                        const DataLayout& layout,
+                                        const Program& p, ArrayId a,
+                                        std::int64_t n);
+
+/// True iff both results hold identical logical contents for every array of
+/// `p` (the two executions may use different layouts).
+bool sameArrayContents(const Program& p, const ExecResult& a,
+                       const DataLayout& layoutA, const ExecResult& b,
+                       const DataLayout& layoutB, std::int64_t n);
+
+}  // namespace gcr

@@ -1,0 +1,82 @@
+// Trace sinks: consumers of the interpreter's dynamic instruction stream.
+//
+// One dynamic instruction = one executed statement instance, with the byte
+// addresses it reads (in rhs order) and the one it writes.  Locality and
+// cache analyses flatten this to an access stream (reads first, then the
+// write, matching actual execution); the reuse-driven-execution study keeps
+// instruction granularity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcr {
+
+class InstrSink {
+ public:
+  virtual ~InstrSink() = default;
+  virtual void onInstr(int stmtId, std::span<const std::int64_t> readAddrs,
+                       std::int64_t writeAddr) = 0;
+};
+
+/// Fan-out to several sinks.
+class TeeSink final : public InstrSink {
+ public:
+  explicit TeeSink(std::vector<InstrSink*> sinks) : sinks_(std::move(sinks)) {}
+  void onInstr(int stmtId, std::span<const std::int64_t> reads,
+               std::int64_t write) override {
+    for (InstrSink* s : sinks_) s->onInstr(stmtId, reads, write);
+  }
+
+ private:
+  std::vector<InstrSink*> sinks_;
+};
+
+/// Counts instructions and memory references.
+class CountingSink final : public InstrSink {
+ public:
+  void onInstr(int, std::span<const std::int64_t> reads,
+               std::int64_t) override {
+    ++instrs_;
+    refs_ += reads.size() + 1;
+  }
+  std::uint64_t instrs() const { return instrs_; }
+  std::uint64_t refs() const { return refs_; }
+
+ private:
+  std::uint64_t instrs_ = 0;
+  std::uint64_t refs_ = 0;
+};
+
+/// Compact in-memory instruction trace (structure-of-arrays): input of the
+/// reuse-driven-execution simulator.
+class InstrTrace final : public InstrSink {
+ public:
+  void onInstr(int stmtId, std::span<const std::int64_t> reads,
+               std::int64_t write) override {
+    stmtIds_.push_back(stmtId);
+    readOffsets_.push_back(static_cast<std::uint32_t>(readPool_.size()));
+    readPool_.insert(readPool_.end(), reads.begin(), reads.end());
+    writes_.push_back(write);
+  }
+
+  std::size_t size() const { return stmtIds_.size(); }
+  int stmtId(std::size_t i) const { return stmtIds_[i]; }
+  std::int64_t writeAddr(std::size_t i) const { return writes_[i]; }
+  std::span<const std::int64_t> reads(std::size_t i) const {
+    const std::uint32_t begin = readOffsets_[i];
+    const std::uint32_t end = i + 1 < readOffsets_.size()
+                                  ? readOffsets_[i + 1]
+                                  : static_cast<std::uint32_t>(readPool_.size());
+    return {readPool_.data() + begin, readPool_.data() + end};
+  }
+
+ private:
+  std::vector<int> stmtIds_;
+  std::vector<std::uint32_t> readOffsets_;
+  std::vector<std::int64_t> readPool_;
+  std::vector<std::int64_t> writes_;
+};
+
+}  // namespace gcr

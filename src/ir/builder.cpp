@@ -1,0 +1,93 @@
+#include "ir/builder.hpp"
+
+#include "support/prng.hpp"
+
+namespace gcr {
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+ArrayId ProgramBuilder::array(const std::string& name,
+                              std::vector<AffineN> extents, int elemSize) {
+  GCR_CHECK(!extents.empty(), "array needs at least one dimension");
+  for (const auto& existing : program_.arrays)
+    GCR_CHECK(existing.name != name, "duplicate array name " + name);
+  program_.arrays.push_back(ArrayDecl{name, std::move(extents), elemSize});
+  return static_cast<ArrayId>(program_.arrays.size()) - 1;
+}
+
+ArrayRef ProgramBuilder::ref(ArrayId a, std::vector<Subscript> subs) const {
+  const ArrayDecl& decl = program_.arrayDecl(a);
+  GCR_CHECK(static_cast<int>(subs.size()) == decl.rank(),
+            "subscript count does not match rank of " + decl.name);
+  return ArrayRef{a, std::move(subs)};
+}
+
+void ProgramBuilder::append(NodePtr node) {
+  Child child{std::move(node), {}};
+  if (open_.empty()) {
+    program_.top.push_back(std::move(child));
+  } else {
+    open_.back()->body.push_back(std::move(child));
+  }
+}
+
+void ProgramBuilder::loop(const std::string& var, AffineN lo, AffineN hi,
+                          const std::function<void(IxVar)>& body) {
+  NodePtr node = makeNode(Loop{var, lo, hi, false, {}});
+  Loop* raw = &node->loop();
+  append(std::move(node));
+  // `raw` stays valid: the Node is heap-allocated and only its owning
+  // unique_ptr moved.
+  open_.push_back(raw);
+  body(IxVar{depth() - 1});
+  open_.pop_back();
+}
+
+void ProgramBuilder::loopDown(const std::string& var, AffineN lo, AffineN hi,
+                              const std::function<void(IxVar)>& body) {
+  NodePtr node = makeNode(Loop{var, lo, hi, true, {}});
+  Loop* raw = &node->loop();
+  append(std::move(node));
+  open_.push_back(raw);
+  body(IxVar{depth() - 1});
+  open_.pop_back();
+}
+
+void ProgramBuilder::loop2(const std::string& v0, AffineN lo0, AffineN hi0,
+                           const std::string& v1, AffineN lo1, AffineN hi1,
+                           const std::function<void(IxVar, IxVar)>& body) {
+  loop(v0, lo0, hi0, [&](IxVar i0) {
+    loop(v1, lo1, hi1, [&](IxVar i1) { body(i0, i1); });
+  });
+}
+
+void ProgramBuilder::loop3(const std::string& v0, AffineN lo0, AffineN hi0,
+                           const std::string& v1, AffineN lo1, AffineN hi1,
+                           const std::string& v2, AffineN lo2, AffineN hi2,
+                           const std::function<void(IxVar, IxVar, IxVar)>& body) {
+  loop(v0, lo0, hi0, [&](IxVar i0) {
+    loop(v1, lo1, hi1, [&](IxVar i1) {
+      loop(v2, lo2, hi2, [&](IxVar i2) { body(i0, i1, i2); });
+    });
+  });
+}
+
+void ProgramBuilder::assign(ArrayRef lhs, std::vector<ArrayRef> rhs,
+                            const std::string& label) {
+  Assign a;
+  a.lhs = std::move(lhs);
+  a.rhs = std::move(rhs);
+  a.seed = nextSeed_ = mix64(nextSeed_ + 0x9e3779b97f4a7c15ULL);
+  a.label = label;
+  append(makeNode(std::move(a)));
+}
+
+Program ProgramBuilder::take() {
+  GCR_CHECK(open_.empty(), "take() called with an open loop");
+  program_.renumber();
+  return std::move(program_);
+}
+
+}  // namespace gcr

@@ -1,0 +1,85 @@
+// Fluent construction of IR programs.
+//
+// Typical use (the paper's Figure 4(a) first loop):
+//
+//   ProgramBuilder b("example");
+//   ArrayId A = b.array("A", {AffineN::N() + 1});
+//   b.loop("i", 3, AffineN::N() - 2, [&](IxVar i) {
+//     b.assign(b.ref(A, {i}), {b.ref(A, {i - 1})});
+//   });
+//   Program p = b.take();
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Token for the loop variable at a given depth; combines with integer
+/// offsets to form subscripts.
+struct IxVar {
+  int depth = 0;
+
+  friend Subscript operator+(IxVar v, std::int64_t c) {
+    return Subscript::var(v.depth, AffineN{c});
+  }
+  friend Subscript operator-(IxVar v, std::int64_t c) {
+    return Subscript::var(v.depth, AffineN{-c});
+  }
+  operator Subscript() const { return Subscript::var(depth); }  // NOLINT
+};
+
+/// Loop-invariant subscript (border element), e.g. cst(1) or cst(AffineN::N()).
+inline Subscript cst(AffineN value) { return Subscript::constant(value); }
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  ArrayId array(const std::string& name, std::vector<AffineN> extents,
+                int elemSize = 8);
+
+  /// Reference with explicit subscripts, one per array dimension.
+  ArrayRef ref(ArrayId a, std::vector<Subscript> subs) const;
+
+  /// Open a loop; `body` is invoked with the new loop's variable token.
+  void loop(const std::string& var, AffineN lo, AffineN hi,
+            const std::function<void(IxVar)>& body);
+
+  /// Open a reversed loop: iterates hi down to lo.
+  void loopDown(const std::string& var, AffineN lo, AffineN hi,
+                const std::function<void(IxVar)>& body);
+
+  /// Two-level nest convenience.
+  void loop2(const std::string& v0, AffineN lo0, AffineN hi0,
+             const std::string& v1, AffineN lo1, AffineN hi1,
+             const std::function<void(IxVar, IxVar)>& body);
+
+  /// Three-level nest convenience.
+  void loop3(const std::string& v0, AffineN lo0, AffineN hi0,
+             const std::string& v1, AffineN lo1, AffineN hi1,
+             const std::string& v2, AffineN lo2, AffineN hi2,
+             const std::function<void(IxVar, IxVar, IxVar)>& body);
+
+  /// Append `lhs = f(rhs...)` to the current (innermost open) context.
+  void assign(ArrayRef lhs, std::vector<ArrayRef> rhs,
+              const std::string& label = "");
+
+  /// Current nesting depth (0 at top level).
+  int depth() const { return static_cast<int>(open_.size()); }
+
+  /// Finish: renumbers statements and returns the program.
+  Program take();
+
+ private:
+  void append(NodePtr node);
+
+  Program program_;
+  std::vector<Loop*> open_;  // stack of loops under construction
+  std::uint64_t nextSeed_ = 0x51ed270b7a63ea11ULL;
+};
+
+}  // namespace gcr

@@ -1,0 +1,110 @@
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+NodePtr makeNode(Loop l) { return std::make_unique<Node>(std::move(l)); }
+NodePtr makeNode(Assign a) { return std::make_unique<Node>(std::move(a)); }
+
+NodePtr cloneNode(const Node& n) {
+  if (n.isAssign()) return makeNode(n.assign());
+  const Loop& l = n.loop();
+  Loop copy;
+  copy.var = l.var;
+  copy.lo = l.lo;
+  copy.hi = l.hi;
+  copy.reversed = l.reversed;
+  copy.body.reserve(l.body.size());
+  for (const Child& c : l.body) copy.body.push_back(cloneChild(c));
+  return makeNode(std::move(copy));
+}
+
+Child cloneChild(const Child& c) {
+  GCR_CHECK(c.node != nullptr, "child without node");
+  return Child{cloneNode(*c.node), c.guards};
+}
+
+Program Program::clone() const {
+  Program copy;
+  copy.name = name;
+  copy.arrays = arrays;
+  copy.top.reserve(top.size());
+  for (const Child& c : top) copy.top.push_back(cloneChild(c));
+  return copy;
+}
+
+namespace {
+
+void renumberNode(Node& n, int& next) {
+  if (n.isAssign()) {
+    n.assign().id = next++;
+    return;
+  }
+  for (Child& c : n.loop().body) renumberNode(*c.node, next);
+}
+
+void countNode(const Node& n, int& total) {
+  if (n.isAssign()) {
+    ++total;
+    return;
+  }
+  for (const Child& c : n.loop().body) countNode(*c.node, total);
+}
+
+template <typename NodeT, typename LoopT, typename AssignT>
+void visitAssigns(NodeT& n, std::vector<LoopT*>& stack,
+                  const std::function<void(AssignT&, const std::vector<LoopT*>&)>& fn) {
+  if (n.isAssign()) {
+    fn(n.assign(), stack);
+    return;
+  }
+  auto& l = n.loop();
+  stack.push_back(&l);
+  for (auto& c : l.body) visitAssigns(*c.node, stack, fn);
+  stack.pop_back();
+}
+
+}  // namespace
+
+int Program::renumber() {
+  int next = 0;
+  for (Child& c : top) renumberNode(*c.node, next);
+  return next;
+}
+
+int Program::numStatements() const {
+  int total = 0;
+  for (const Child& c : top) countNode(*c.node, total);
+  return total;
+}
+
+void forEachAssign(
+    const Program& p,
+    const std::function<void(const Assign&, const std::vector<const Loop*>&)>&
+        fn) {
+  std::vector<const Loop*> stack;
+  for (const Child& c : p.top)
+    visitAssigns<const Node, const Loop, const Assign>(*c.node, stack, fn);
+}
+
+void forEachAssign(
+    Program& p,
+    const std::function<void(Assign&, const std::vector<Loop*>&)>& fn) {
+  std::vector<Loop*> stack;
+  for (Child& c : p.top) visitAssigns<Node, Loop, Assign>(*c.node, stack, fn);
+}
+
+namespace {
+void visitLoops(const Node& n, int level,
+                const std::function<void(const Loop&, int)>& fn) {
+  if (!n.isLoop()) return;
+  fn(n.loop(), level);
+  for (const Child& c : n.loop().body) visitLoops(*c.node, level + 1, fn);
+}
+}  // namespace
+
+void forEachLoop(const Program& p,
+                 const std::function<void(const Loop&, int level)>& fn) {
+  for (const Child& c : p.top) visitLoops(*c.node, 0, fn);
+}
+
+}  // namespace gcr

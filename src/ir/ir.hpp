@@ -1,0 +1,181 @@
+// Loop-program intermediate representation.
+//
+// This is the input language of Figure 5 of the paper, generalized to
+// multi-dimensional rectangular loop nests:
+//
+//   * a program is a list of loops and non-loop statements;
+//   * every data access is `A[i + c]` (loop-variant) or `A[c0 + c1*N]`
+//     (loop-invariant, typically a border element such as A[1] or A[N]);
+//   * loop bounds are affine in the symbolic problem size N.
+//
+// One extension carries all transformation results: every child of a loop has
+// an optional *guard range* on the loop variable.  Guards express loop
+// alignment (a member loop covering a sub-range of the fused range), boundary
+// peeling/splitting, and statement embedding (a guard of width one), so the
+// output of the fusion pass is ordinary IR that the interpreter executes
+// directly — this is the "direct code generation scheme whose cost is linear
+// in the number of loop levels" that the paper announces as future work in
+// lieu of the Omega library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/affine.hpp"
+#include "support/assert.hpp"
+
+namespace gcr {
+
+using ArrayId = int;
+
+/// Declaration of a global array.  Extents may depend on N.
+struct ArrayDecl {
+  std::string name;
+  std::vector<AffineN> extents;  ///< one per dimension, outermost first
+  int elemSize = 8;              ///< bytes per element
+
+  int rank() const { return static_cast<int>(extents.size()); }
+};
+
+/// One subscript position: `var(depth) + offset` or, when depth < 0, the
+/// loop-invariant value `offset` (which may be affine in N, e.g. A[N-1]).
+struct Subscript {
+  int depth = -1;
+  AffineN offset{};
+
+  bool isConstant() const { return depth < 0; }
+
+  static Subscript var(int depth, AffineN offset = {}) {
+    GCR_CHECK(depth >= 0, "variable subscript needs a depth");
+    return {depth, offset};
+  }
+  static Subscript constant(AffineN value) { return {-1, value}; }
+
+  friend bool operator==(const Subscript& a, const Subscript& b) {
+    return a.depth == b.depth && a.offset == b.offset;
+  }
+};
+
+/// A reference `A[s0][s1]...`.
+struct ArrayRef {
+  ArrayId array = -1;
+  std::vector<Subscript> subs;
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return a.array == b.array && a.subs == b.subs;
+  }
+};
+
+/// A non-loop statement: `lhs = f(rhs...)` where f is an opaque, statement-
+/// specific pure function (realized by the interpreter as a seeded hash, so
+/// that semantic equivalence of transformed programs is an exact check).
+struct Assign {
+  int id = -1;  ///< unique statement id; set by Program::renumber()
+  ArrayRef lhs;
+  std::vector<ArrayRef> rhs;
+  std::uint64_t seed = 1;
+  std::string label;
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Inclusive iteration-range restriction on the loop variable at absolute
+/// nesting depth `depth` (0 = outermost): the guarded child executes only
+/// when `lo <= var(depth) <= hi`.  Multi-level fusion can stack one guard per
+/// enclosing level on a single child.
+struct GuardSpec {
+  int depth = 0;
+  AffineN lo, hi;
+};
+
+/// A member of a loop body (or of the program top level, where guards are
+/// disallowed).
+struct Child {
+  NodePtr node;
+  std::vector<GuardSpec> guards;
+
+  /// The guard at a given depth, if present.
+  const GuardSpec* guardAt(int depth) const {
+    for (const GuardSpec& g : guards)
+      if (g.depth == depth) return &g;
+    return nullptr;
+  }
+  GuardSpec* guardAt(int depth) {
+    for (GuardSpec& g : guards)
+      if (g.depth == depth) return &g;
+    return nullptr;
+  }
+};
+
+/// A counted loop: `for var = lo, hi` (step +1) or, when `reversed`,
+/// `for var = hi, lo, -1`.  Bounds are inclusive either way, and lo <= hi.
+struct Loop {
+  std::string var;
+  AffineN lo, hi;
+  bool reversed = false;
+  std::vector<Child> body;
+};
+
+struct Node {
+  std::variant<Loop, Assign> v;
+
+  explicit Node(Loop l) : v(std::move(l)) {}
+  explicit Node(Assign a) : v(std::move(a)) {}
+
+  bool isLoop() const { return std::holds_alternative<Loop>(v); }
+  bool isAssign() const { return std::holds_alternative<Assign>(v); }
+  Loop& loop() { return std::get<Loop>(v); }
+  const Loop& loop() const { return std::get<Loop>(v); }
+  Assign& assign() { return std::get<Assign>(v); }
+  const Assign& assign() const { return std::get<Assign>(v); }
+};
+
+NodePtr makeNode(Loop l);
+NodePtr makeNode(Assign a);
+NodePtr cloneNode(const Node& n);
+Child cloneChild(const Child& c);
+
+/// A whole program: array declarations plus a top-level statement list.
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<Child> top;
+
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  Program clone() const;
+
+  const ArrayDecl& arrayDecl(ArrayId id) const {
+    GCR_CHECK(id >= 0 && id < static_cast<int>(arrays.size()),
+              "array id out of range");
+    return arrays[static_cast<std::size_t>(id)];
+  }
+
+  /// Reassign statement ids in textual order; returns the statement count.
+  int renumber();
+  int numStatements() const;
+};
+
+/// Depth-first traversal visiting every Assign with its enclosing loop stack
+/// (outermost first).
+void forEachAssign(
+    const Program& p,
+    const std::function<void(const Assign&, const std::vector<const Loop*>&)>&
+        fn);
+void forEachAssign(
+    Program& p,
+    const std::function<void(Assign&, const std::vector<Loop*>&)>& fn);
+
+/// Visit every loop with its nesting level (0 = outermost).
+void forEachLoop(const Program& p,
+                 const std::function<void(const Loop&, int level)>& fn);
+
+}  // namespace gcr

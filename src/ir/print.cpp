@@ -1,0 +1,117 @@
+#include "ir/print.hpp"
+
+#include <sstream>
+
+namespace gcr {
+
+namespace {
+
+void printRef(std::ostream& os, const Program& p, const ArrayRef& r,
+              const std::vector<const Loop*>& stack) {
+  os << p.arrayDecl(r.array).name;
+  for (const Subscript& s : r.subs) {
+    os << "[";
+    if (s.isConstant()) {
+      os << s.offset;
+    } else {
+      if (s.depth < static_cast<int>(stack.size()))
+        os << stack[static_cast<std::size_t>(s.depth)]->var;
+      else
+        os << "i@" << s.depth;  // printed out of context; stay robust
+      if (s.offset.s != 0 || s.offset.c > 0) os << "+" << s.offset;
+      if (s.offset.s == 0 && s.offset.c < 0) os << s.offset;
+    }
+    os << "]";
+  }
+}
+
+void printAssign(std::ostream& os, const Program& p, const Assign& a,
+                 const std::vector<const Loop*>& stack) {
+  printRef(os, p, a.lhs, stack);
+  os << " = f" << a.id << "(";
+  for (std::size_t i = 0; i < a.rhs.size(); ++i) {
+    if (i) os << ", ";
+    printRef(os, p, a.rhs[i], stack);
+  }
+  os << ")";
+  if (!a.label.empty()) os << "   // " << a.label;
+}
+
+void printNode(std::ostream& os, const Program& p, const Node& n,
+               std::vector<const Loop*>& stack, int indent);
+
+void printChild(std::ostream& os, const Program& p, const Child& c,
+                std::vector<const Loop*>& stack, int indent) {
+  if (!c.guards.empty()) {
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << "when";
+    for (std::size_t g = 0; g < c.guards.size(); ++g) {
+      const GuardSpec& spec = c.guards[g];
+      if (g) os << " and";
+      if (spec.depth < static_cast<int>(stack.size()))
+        os << " " << stack[static_cast<std::size_t>(spec.depth)]->var;
+      else
+        os << " i@" << spec.depth;
+      os << " in [" << spec.lo << ".." << spec.hi << "]";
+    }
+    os << "\n";
+    printNode(os, p, *c.node, stack, indent + 1);
+  } else {
+    printNode(os, p, *c.node, stack, indent);
+  }
+}
+
+void printNode(std::ostream& os, const Program& p, const Node& n,
+               std::vector<const Loop*>& stack, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.isAssign()) {
+    os << pad;
+    printAssign(os, p, n.assign(), stack);
+    os << "\n";
+    return;
+  }
+  const Loop& l = n.loop();
+  if (l.reversed)
+    os << pad << "for " << l.var << " = " << l.hi << " downto " << l.lo
+       << " {\n";
+  else
+    os << pad << "for " << l.var << " = " << l.lo << ", " << l.hi << " {\n";
+  stack.push_back(&l);
+  for (const Child& c : l.body) printChild(os, p, c, stack, indent + 1);
+  stack.pop_back();
+  os << pad << "}\n";
+}
+
+}  // namespace
+
+std::string toString(const ArrayDecl& d) {
+  std::ostringstream os;
+  os << "array " << d.name;
+  for (const AffineN& e : d.extents) os << "[" << e << "]";
+  os << " (" << d.elemSize << "B elems)";
+  return os.str();
+}
+
+std::string toString(const Program& p) {
+  std::ostringstream os;
+  os << "program " << p.name << "\n";
+  for (const ArrayDecl& d : p.arrays) os << "  " << toString(d) << "\n";
+  std::vector<const Loop*> stack;
+  for (const Child& c : p.top) printChild(os, p, c, stack, 1);
+  return os.str();
+}
+
+std::string toString(const Program& p, const Node& n) {
+  std::ostringstream os;
+  std::vector<const Loop*> stack;
+  printNode(os, p, n, stack, 0);
+  return os.str();
+}
+
+std::string toString(const Program& p, const Assign& a) {
+  std::ostringstream os;
+  std::vector<const Loop*> stack;
+  printAssign(os, p, a, stack);
+  return os.str();
+}
+
+}  // namespace gcr

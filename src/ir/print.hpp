@@ -1,0 +1,16 @@
+// Pretty-printing of IR programs in a C-like pseudo syntax.  Guards are shown
+// as `when var in [lo..hi]` prefixes so transformed programs read naturally.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+std::string toString(const Program& p);
+std::string toString(const Program& p, const Node& n);
+std::string toString(const Program& p, const Assign& a);
+std::string toString(const ArrayDecl& d);
+
+}  // namespace gcr

@@ -1,0 +1,44 @@
+#include "ir/stats.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gcr {
+
+ProgramStats computeStats(const Program& p) {
+  ProgramStats st;
+  st.numArrays = static_cast<int>(p.arrays.size());
+  st.numStatements = p.numStatements();
+
+  std::set<ArrayId> used;
+  forEachAssign(p, [&](const Assign& a, const std::vector<const Loop*>&) {
+    used.insert(a.lhs.array);
+    for (const ArrayRef& r : a.rhs) used.insert(r.array);
+  });
+  st.numArraysUsed = static_cast<int>(used.size());
+
+  for (const Child& c : p.top)
+    if (c.node->isLoop()) ++st.numLoopNests;
+
+  forEachLoop(p, [&](const Loop&, int level) {
+    ++st.numLoops;
+    st.maxLevel = std::max(st.maxLevel, level + 1);
+    if (static_cast<std::size_t>(level) >= st.loopsPerLevel.size())
+      st.loopsPerLevel.resize(static_cast<std::size_t>(level) + 1, 0);
+    ++st.loopsPerLevel[static_cast<std::size_t>(level)];
+  });
+  return st;
+}
+
+std::string ProgramStats::summary() const {
+  std::ostringstream os;
+  os << numLoops << " loops in " << numLoopNests << " nests (max depth "
+     << maxLevel << "), " << numStatements << " statements, " << numArraysUsed
+     << "/" << numArrays << " arrays used; per level:";
+  for (std::size_t l = 0; l < loopsPerLevel.size(); ++l)
+    os << " L" << l << "=" << loopsPerLevel[l];
+  return os.str();
+}
+
+}  // namespace gcr

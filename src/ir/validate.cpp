@@ -1,0 +1,67 @@
+#include "ir/validate.hpp"
+
+#include "ir/print.hpp"
+
+namespace gcr {
+
+namespace {
+
+void checkRef(const Program& p, const ArrayRef& r, int depth) {
+  GCR_CHECK(r.array >= 0 && r.array < static_cast<int>(p.arrays.size()),
+            "reference to undeclared array");
+  const ArrayDecl& d = p.arrayDecl(r.array);
+  GCR_CHECK(static_cast<int>(r.subs.size()) == d.rank(),
+            "rank mismatch on " + d.name);
+  for (const Subscript& s : r.subs) {
+    if (!s.isConstant())
+      GCR_CHECK(s.depth < depth,
+                "subscript of " + d.name + " uses loop depth " +
+                    std::to_string(s.depth) + " at nest depth " +
+                    std::to_string(depth));
+  }
+}
+
+void checkNode(const Program& p, const Node& n, int depth) {
+  if (n.isAssign()) {
+    const Assign& a = n.assign();
+    checkRef(p, a.lhs, depth);
+    for (const ArrayRef& r : a.rhs) checkRef(p, r, depth);
+    return;
+  }
+  const Loop& l = n.loop();
+  GCR_CHECK(!l.var.empty(), "loop without variable name");
+  for (const Child& c : l.body) {
+    GCR_CHECK(c.node != nullptr, "null loop child");
+    for (const GuardSpec& g : c.guards)
+      GCR_CHECK(g.depth >= 0 && g.depth <= depth,
+                "guard depth " + std::to_string(g.depth) +
+                    " beyond enclosing nest depth " + std::to_string(depth));
+    checkNode(p, *c.node, depth + 1);
+  }
+}
+
+}  // namespace
+
+void validate(const Program& p) {
+  for (const ArrayDecl& d : p.arrays) {
+    GCR_CHECK(!d.name.empty(), "array without name");
+    GCR_CHECK(d.rank() >= 1, "array " + d.name + " has rank 0");
+    GCR_CHECK(d.elemSize > 0, "array " + d.name + " elemSize <= 0");
+  }
+  for (const Child& c : p.top) {
+    GCR_CHECK(c.node != nullptr, "null top-level child");
+    GCR_CHECK(c.guards.empty(), "guard on a top-level statement");
+    checkNode(p, *c.node, 0);
+  }
+}
+
+std::string validationError(const Program& p) {
+  try {
+    validate(p);
+    return "";
+  } catch (const Error& e) {
+    return e.what();
+  }
+}
+
+}  // namespace gcr

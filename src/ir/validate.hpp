@@ -1,0 +1,18 @@
+// Structural validation of IR programs: array ids and ranks, subscript
+// depths, guard placement.  Transform passes validate their outputs in tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Throws gcr::Error describing the first problem found; returns normally for
+/// a well-formed program.
+void validate(const Program& p);
+
+/// Non-throwing variant; returns an error description or empty string.
+std::string validationError(const Program& p);
+
+}  // namespace gcr

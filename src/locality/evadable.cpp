@@ -1,0 +1,64 @@
+#include "locality/evadable.hpp"
+
+namespace gcr {
+
+namespace {
+std::int64_t pairKey(int producer, int consumer) {
+  return (static_cast<std::int64_t>(producer) << 24) ^ consumer;
+}
+}  // namespace
+
+PairwiseReuseCollector::PairwiseReuseCollector(std::int64_t granularity)
+    : granularity_(granularity) {
+  GCR_CHECK(granularity_ > 0, "granularity must be positive");
+}
+
+void PairwiseReuseCollector::accessFrom(int stmtId, std::int64_t addr) {
+  addr /= granularity_;
+  Last& l = last_[addr];
+  if (l.timePlusOne != 0) {
+    const std::uint64_t prev = l.timePlusOne - 1;
+    const std::uint64_t distance = static_cast<std::uint64_t>(
+        time_ > prev + 1 ? marks_.rangeSum(prev + 1, time_ - 1) : 0);
+    marks_.add(prev, -1);
+    histogram_.add(distance);
+    ReusePairStats& st = pairs_[pairKey(l.stmt, stmtId)];
+    ++st.count;
+    st.sumDistance += static_cast<double>(distance);
+    ++totalReuses_;
+  } else {
+    histogram_.add(Log2Histogram::kCold);
+  }
+  marks_.add(time_, +1);
+  l.timePlusOne = time_ + 1;
+  l.stmt = stmtId;
+  ++time_;
+}
+
+void PairwiseReuseCollector::onInstr(int stmtId,
+                                     std::span<const std::int64_t> reads,
+                                     std::int64_t write) {
+  for (std::int64_t r : reads) accessFrom(stmtId, r);
+  accessFrom(stmtId, write);
+}
+
+EvadableReport classifyEvadable(const PairwiseReuseCollector& small,
+                                const PairwiseReuseCollector& large,
+                                double growthFactor, double absoluteFloor) {
+  EvadableReport report;
+  report.totalReuses = large.totalReuses();
+  large.pairs().forEach([&](std::int64_t key, const ReusePairStats& lg) {
+    const ReusePairStats* sm = small.pairs().find(key);
+    bool evadable;
+    if (sm != nullptr && sm->count > 0) {
+      evadable = lg.mean() > growthFactor * sm->mean() &&
+                 lg.mean() >= absoluteFloor;
+    } else {
+      evadable = lg.mean() >= absoluteFloor;
+    }
+    if (evadable) report.evadableReuses += lg.count;
+  });
+  return report;
+}
+
+}  // namespace gcr

@@ -1,0 +1,60 @@
+// Resizable Fenwick (binary indexed) tree over {0,1} marks, used by the
+// O(log n)-per-access reuse-distance algorithm: one mark per currently-live
+// "most recent access" position in the time line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+class FenwickTree {
+ public:
+  /// Add `delta` at position `i` (0-based).  Grows capacity on demand.
+  void add(std::uint64_t i, int delta) {
+    if (i >= size_) grow(i + 1);
+    for (std::uint64_t x = i + 1; x <= size_; x += x & (~x + 1))
+      tree_[x] += delta;
+  }
+
+  /// Sum of positions [0, i] (0-based, inclusive).  i may exceed capacity.
+  std::int64_t prefixSum(std::uint64_t i) const {
+    std::int64_t total = 0;
+    std::uint64_t x = std::min(i + 1, size_);
+    for (; x > 0; x -= x & (~x + 1)) total += tree_[x];
+    return total;
+  }
+
+  /// Sum of positions [lo, hi] inclusive; 0 when the range is empty.
+  std::int64_t rangeSum(std::uint64_t lo, std::uint64_t hi) const {
+    if (lo > hi) return 0;
+    return prefixSum(hi) - (lo == 0 ? 0 : prefixSum(lo - 1));
+  }
+
+  std::uint64_t capacity() const { return size_; }
+
+  /// Pre-size to avoid rebuilds when the final position count is known.
+  void reserve(std::uint64_t n) {
+    if (n > size_) grow(n);
+  }
+
+ private:
+  void grow(std::uint64_t needed) {
+    std::uint64_t newSize = size_ ? size_ : 1024;
+    while (newSize < needed) newSize *= 2;
+    // Extract live marks under the old size, then rebuild at the new size.
+    std::vector<std::uint64_t> marked;
+    for (std::uint64_t i = 0; i < size_; ++i)
+      if (rangeSum(i, i) != 0) marked.push_back(i);
+    tree_.assign(newSize + 1, 0);
+    size_ = newSize;
+    for (std::uint64_t i : marked) add(i, 1);
+  }
+
+  std::uint64_t size_ = 0;
+  std::vector<std::int64_t> tree_;  // 1-based internal
+};
+
+}  // namespace gcr

@@ -1,0 +1,81 @@
+#include "locality/reuse_distance.hpp"
+
+#include <unordered_set>
+
+namespace gcr {
+
+std::uint64_t ReuseDistanceTracker::access(std::int64_t addr) {
+  std::uint64_t& lastPlusOne = last_[addr];
+  std::uint64_t distance = kCold;
+  if (lastPlusOne != 0) {
+    const std::uint64_t prev = lastPlusOne - 1;
+    // Marks strictly after `prev` and strictly before `time_` are the
+    // distinct other data touched in between.
+    distance = static_cast<std::uint64_t>(
+        time_ > prev + 1 ? marks_.rangeSum(prev + 1, time_ - 1) : 0);
+    marks_.add(prev, -1);
+  }
+  marks_.add(time_, +1);
+  lastPlusOne = time_ + 1;
+  ++time_;
+  return distance;
+}
+
+std::vector<std::uint64_t> naiveReuseDistances(
+    const std::vector<std::int64_t>& trace) {
+  std::vector<std::uint64_t> out(trace.size(), ReuseDistanceTracker::kCold);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (std::size_t j = i; j-- > 0;) {
+      if (trace[j] == trace[i]) {
+        std::unordered_set<std::int64_t> between;
+        for (std::size_t k = j + 1; k < i; ++k)
+          if (trace[k] != trace[i]) between.insert(trace[k]);
+        out[i] = between.size();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double ReuseProfile::missFractionAtCapacity(std::uint64_t cap) const {
+  const std::uint64_t finite = histogram.totalFinite();
+  if (finite == 0) return 0.0;
+  return static_cast<double>(histogram.countAtLeast(cap)) /
+         static_cast<double>(finite);
+}
+
+ReuseDistanceSink::ReuseDistanceSink(std::int64_t granularity)
+    : granularity_(granularity) {
+  GCR_CHECK(granularity_ > 0, "granularity must be positive");
+}
+
+void ReuseDistanceSink::touch(std::int64_t addr) {
+  const std::uint64_t d = tracker_.access(addr / granularity_);
+  profile_.histogram.add(d);
+}
+
+void ReuseDistanceSink::onInstr(int, std::span<const std::int64_t> reads,
+                                std::int64_t write) {
+  for (std::int64_t r : reads) touch(r);
+  touch(write);
+}
+
+ReuseProfile ReuseDistanceSink::takeProfile() {
+  profile_.accesses = tracker_.accesses();
+  profile_.distinctData = tracker_.distinctData();
+  return std::move(profile_);
+}
+
+ReuseProfile profileAddresses(const std::vector<std::int64_t>& addrs,
+                              std::int64_t granularity) {
+  ReuseDistanceTracker tracker;
+  tracker.reserve(addrs.size());
+  ReuseProfile prof;
+  for (std::int64_t a : addrs) prof.histogram.add(tracker.access(a / granularity));
+  prof.accesses = tracker.accesses();
+  prof.distinctData = tracker.distinctData();
+  return prof;
+}
+
+}  // namespace gcr

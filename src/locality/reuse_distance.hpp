@@ -1,0 +1,89 @@
+// Reuse-distance analysis (Section 2.1 of the paper).
+//
+// The reuse distance of a reference is the number of *distinct* data items
+// accessed between it and the closest previous reference to the same item
+// (Figure 1: in `a b c a`, the second `a` has distance 2).  On a perfect
+// cache — fully associative, LRU — a reuse hits iff its distance is smaller
+// than the cache capacity; that equivalence is tested against the cache
+// simulator.
+//
+// The streaming tracker costs O(log T) per access: a Fenwick tree holds one
+// mark at the trace position of each datum's most recent access; the distance
+// of a reuse is the number of marks strictly between the previous and the
+// current access to its datum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/trace.hpp"
+#include "locality/fenwick.hpp"
+#include "support/flat_map.hpp"
+#include "support/histogram.hpp"
+
+namespace gcr {
+
+class ReuseDistanceTracker {
+ public:
+  static constexpr std::uint64_t kCold = Log2Histogram::kCold;
+
+  /// Process one access; returns its reuse distance, or kCold for a first
+  /// access.
+  std::uint64_t access(std::int64_t addr);
+
+  std::uint64_t accesses() const { return time_; }
+  std::uint64_t distinctData() const { return last_.size(); }
+
+  void reserve(std::uint64_t expectedAccesses) {
+    marks_.reserve(expectedAccesses);
+  }
+
+ private:
+  FlatMap64<std::uint64_t> last_;  // addr -> 1 + trace position of last access
+  FenwickTree marks_;
+  std::uint64_t time_ = 0;
+};
+
+/// O(T * D) reference implementation for differential testing.
+std::vector<std::uint64_t> naiveReuseDistances(
+    const std::vector<std::int64_t>& trace);
+
+/// Full result of running reuse-distance analysis over a trace.
+struct ReuseProfile {
+  Log2Histogram histogram;        ///< finite reuse distances, log2-binned
+  std::uint64_t accesses = 0;
+  std::uint64_t distinctData = 0;
+
+  /// Fraction of reuses (cold misses excluded) with distance >= `cap`, i.e.
+  /// misses on a perfect cache holding `cap` elements.
+  double missFractionAtCapacity(std::uint64_t cap) const;
+};
+
+/// InstrSink adapter: flattens instructions (reads in order, then the write)
+/// through a ReuseDistanceTracker.  Addresses are divided by `granularity`
+/// (pass the element size to measure element-level reuse, a cache-line size
+/// to measure block-level reuse).
+class ReuseDistanceSink final : public InstrSink {
+ public:
+  explicit ReuseDistanceSink(std::int64_t granularity = 8);
+
+  void onInstr(int stmtId, std::span<const std::int64_t> reads,
+               std::int64_t write) override;
+
+  const ReuseProfile& profile() const { return profile_; }
+  ReuseProfile takeProfile();
+
+ private:
+  void touch(std::int64_t addr);
+
+  std::int64_t granularity_;
+  ReuseDistanceTracker tracker_;
+  ReuseProfile profile_;
+};
+
+/// Run a trace (already flattened to addresses) through a tracker and build a
+/// profile; convenience for tests and the reuse-driven-execution study.
+ReuseProfile profileAddresses(const std::vector<std::int64_t>& addrs,
+                              std::int64_t granularity = 1);
+
+}  // namespace gcr

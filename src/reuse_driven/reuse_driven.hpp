@@ -1,0 +1,59 @@
+// Reuse-driven execution (Section 2.2, Figure 2 of the paper): a machine-
+// level limit study of computation fusion.
+//
+// Pipeline:
+//   1. the interpreter records the dynamic instruction trace (statement
+//      instances with their read/write addresses);
+//   2. flow dependences are extracted (last writer of each read location);
+//   3. the *ideal parallel* order executes an instruction as soon as all its
+//      operands are computed (dataflow levels; the ideal machine renames, so
+//      anti/output dependences do not constrain it);
+//   4. reuse-driven execution re-sequentializes: it gives priority to the
+//      instruction that has the *closest* next reuse of the current
+//      instruction's data — "the inverse of Belady" — via a FIFO queue and a
+//      recursive ForceExecute of pending producers.
+//
+// The output is an execution order whose reuse-distance profile is compared
+// against program order (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/trace.hpp"
+#include "support/histogram.hpp"
+
+namespace gcr {
+
+struct ReuseDrivenOptions {
+  /// Paper: "we experimented with other heuristics ... for example, that of
+  /// not executing the next reuse if it is too far away (in the ideal
+  /// parallel execution order). But the result was not improved."  Enable to
+  /// reproduce that negative result.
+  bool skipFarReuse = false;
+  std::uint64_t farThresholdIdealSlots = 1 << 16;
+};
+
+/// Dataflow levels and the ideal parallel execution order of a trace.
+struct IdealSchedule {
+  std::vector<std::uint32_t> level;  ///< per instruction, 0-based
+  std::vector<std::uint32_t> order;  ///< instruction indices, level-major
+};
+
+IdealSchedule idealParallelOrder(const InstrTrace& trace);
+
+/// Figure 2.  Returns the reuse-driven execution order (a permutation of
+/// instruction indices).
+std::vector<std::uint32_t> reuseDrivenOrder(
+    const InstrTrace& trace, const ReuseDrivenOptions& opts = {});
+
+/// Replay a trace in the given order through reuse-distance analysis;
+/// returns the log2 histogram of reuse distances (element granularity).
+Log2Histogram profileOrder(const InstrTrace& trace,
+                           const std::vector<std::uint32_t>& order,
+                           std::int64_t granularity = 8);
+
+/// Identity order (program order) for baseline profiles.
+std::vector<std::uint32_t> programOrder(const InstrTrace& trace);
+
+}  // namespace gcr

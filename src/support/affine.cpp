@@ -1,0 +1,27 @@
+#include "support/affine.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gcr {
+
+std::string AffineN::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, AffineN v) {
+  if (v.s == 0) return os << v.c;
+  if (v.s == 1)
+    os << "N";
+  else if (v.s == -1)
+    os << "-N";
+  else
+    os << v.s << "*N";
+  if (v.c > 0) os << "+" << v.c;
+  if (v.c < 0) os << v.c;
+  return os;
+}
+
+}  // namespace gcr

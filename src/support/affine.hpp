@@ -1,0 +1,110 @@
+// Affine integers in the symbolic program parameter N.
+//
+// The paper's fusibility criterion is that the alignment factor between two
+// loops is a *bounded constant* — a value that does not grow with the data
+// size.  We make that test exact by carrying all loop bounds, subscript
+// offsets, dependence distances and alignment factors as `c + s*N` and
+// checking `s == 0` where boundedness is required.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+/// An integer of the form `c + s*N` where N is the (positive, arbitrarily
+/// large) symbolic problem-size parameter.
+struct AffineN {
+  std::int64_t c = 0;  ///< constant term
+  std::int64_t s = 0;  ///< coefficient of N
+
+  constexpr AffineN() = default;
+  constexpr AffineN(std::int64_t constant) : c(constant) {}  // NOLINT implicit
+  constexpr AffineN(std::int64_t constant, std::int64_t nCoeff)
+      : c(constant), s(nCoeff) {}
+
+  /// The symbolic parameter N itself.
+  static constexpr AffineN N(std::int64_t coeff = 1) { return {0, coeff}; }
+
+  /// True when the value does not depend on N.
+  constexpr bool isConstant() const { return s == 0; }
+
+  /// Evaluate at a concrete problem size.
+  constexpr std::int64_t eval(std::int64_t n) const { return c + s * n; }
+
+  friend constexpr AffineN operator+(AffineN a, AffineN b) {
+    return {a.c + b.c, a.s + b.s};
+  }
+  friend constexpr AffineN operator-(AffineN a, AffineN b) {
+    return {a.c - b.c, a.s - b.s};
+  }
+  friend constexpr AffineN operator-(AffineN a) { return {-a.c, -a.s}; }
+  friend constexpr AffineN operator*(std::int64_t k, AffineN a) {
+    return {k * a.c, k * a.s};
+  }
+  friend constexpr bool operator==(AffineN a, AffineN b) {
+    return a.c == b.c && a.s == b.s;
+  }
+  friend constexpr bool operator!=(AffineN a, AffineN b) { return !(a == b); }
+
+  /// Ordering "for all sufficiently large N": a < b iff a.s < b.s, or equal
+  /// slopes and a.c < b.c.  This is the ordering used when comparing loop
+  /// bounds and alignment factors, because the compiler must be correct for
+  /// every (large) problem size.
+  friend constexpr bool eventuallyLess(AffineN a, AffineN b) {
+    return a.s != b.s ? a.s < b.s : a.c < b.c;
+  }
+  friend constexpr bool eventuallyLessEq(AffineN a, AffineN b) {
+    return a == b || eventuallyLess(a, b);
+  }
+
+  /// max/min under the eventual ordering.
+  friend constexpr AffineN eventualMax(AffineN a, AffineN b) {
+    return eventuallyLess(a, b) ? b : a;
+  }
+  friend constexpr AffineN eventualMin(AffineN a, AffineN b) {
+    return eventuallyLess(a, b) ? a : b;
+  }
+
+  std::string str() const;
+};
+
+/// Exact decision procedures for affine integers over the domain n >= m:
+/// a <= b for ALL n >= m  iff  a(m) <= b(m) and slope(a) <= slope(b).
+/// The fusion pass uses these so its legality decisions are sound for every
+/// problem size at or above the declared minimum, not just "eventually".
+constexpr bool definitelyLessEq(AffineN a, AffineN b, std::int64_t m) {
+  return a.eval(m) <= b.eval(m) && a.s <= b.s;
+}
+constexpr bool definitelyLess(AffineN a, AffineN b, std::int64_t m) {
+  return a.eval(m) < b.eval(m) && a.s <= b.s;
+}
+/// a != b for all n >= m.
+constexpr bool definitelyNotEqual(AffineN a, AffineN b, std::int64_t m) {
+  return definitelyLess(a, b, m) || definitelyLess(b, a, m);
+}
+/// Smallest affine h with h(n) >= a(n) and h(n) >= b(n) for all n >= m,
+/// within the family of affine functions anchored at m (exact when one
+/// argument dominates; a safe over-approximation otherwise).
+constexpr AffineN dominatingMax(AffineN a, AffineN b, std::int64_t m) {
+  if (definitelyLessEq(a, b, m)) return b;
+  if (definitelyLessEq(b, a, m)) return a;
+  const std::int64_t slope = a.s > b.s ? a.s : b.s;
+  const std::int64_t atM = a.eval(m) > b.eval(m) ? a.eval(m) : b.eval(m);
+  return AffineN{atM - slope * m, slope};
+}
+/// Dual of dominatingMax: h(n) <= a(n), b(n) for all n >= m.
+constexpr AffineN dominatedMin(AffineN a, AffineN b, std::int64_t m) {
+  if (definitelyLessEq(a, b, m)) return a;
+  if (definitelyLessEq(b, a, m)) return b;
+  const std::int64_t slope = a.s < b.s ? a.s : b.s;
+  const std::int64_t atM = a.eval(m) < b.eval(m) ? a.eval(m) : b.eval(m);
+  return AffineN{atM - slope * m, slope};
+}
+
+std::ostream& operator<<(std::ostream& os, AffineN v);
+
+}  // namespace gcr

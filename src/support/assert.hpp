@@ -1,0 +1,33 @@
+// Error-handling primitives for the gcr library.
+//
+// GCR_CHECK is an always-on invariant check that throws gcr::Error; it is used
+// for conditions that depend on user input (malformed IR, inconsistent
+// layouts).  GCR_ASSERT marks internal invariants; it also throws so that unit
+// tests can observe violations portably.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcr {
+
+/// Exception type thrown by all gcr invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
+                                   const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              cond + "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace gcr
+
+#define GCR_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) ::gcr::failCheck(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define GCR_ASSERT(cond) GCR_CHECK(cond, "internal invariant")

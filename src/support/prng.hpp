@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for tests and workload
+// generators.  SplitMix64: tiny, fast, excellent distribution, and — unlike
+// std::mt19937 seeded via seed_seq — bit-identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace gcr {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  constexpr std::uint64_t nextBelow(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(nextBelow(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  constexpr double nextUnit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot mixing function used by the interpreter to give every statement
+/// exact, order-of-evaluation-independent value semantics.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t mixCombine(std::uint64_t acc, std::uint64_t v) {
+  return mix64(acc ^ (v + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2)));
+}
+
+}  // namespace gcr

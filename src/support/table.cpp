@@ -1,0 +1,80 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+namespace {
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char ch : s)
+    if (!std::isdigit(static_cast<unsigned char>(ch)) && ch != '.' &&
+        ch != '-' && ch != '+' && ch != '%' && ch != 'x' && ch != 'e')
+      return false;
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  GCR_CHECK(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (looksNumeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emitRow(header_);
+  std::size_t total = header_.size() ? (header_.size() - 1) * 2 : 0;
+  for (auto w : width) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emitRow(row);
+  return os.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::fmtRatio(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, ratio);
+  return buf;
+}
+
+}  // namespace gcr

@@ -1,0 +1,30 @@
+// Plain-text table rendering for benchmark output, so every bench binary can
+// print rows in the shape the paper's tables and figures use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gcr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with column alignment.  Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmtPercent(double fraction, int precision = 1);
+  /// "0.43x" style ratio.
+  static std::string fmtRatio(double ratio, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gcr

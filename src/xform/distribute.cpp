@@ -1,0 +1,133 @@
+#include "xform/distribute.hpp"
+
+#include "fusion/align.hpp"
+#include "fusion/atoms.hpp"
+
+namespace gcr {
+
+namespace {
+
+/// Wrap one body child in a copy of its enclosing loop so the fusion-unit
+/// atom machinery applies to it.
+Child asUnit(const Loop& l, const Child& member) {
+  Loop wrapper;
+  wrapper.var = l.var;
+  wrapper.lo = l.lo;
+  wrapper.hi = l.hi;
+  wrapper.reversed = l.reversed;
+  wrapper.body.push_back(cloneChild(member));
+  return Child{makeNode(std::move(wrapper)), {}};
+}
+
+/// True when a dependence runs from an instance later(i1) to earlier(i2)
+/// with i1 < i2 — the "backward" case that distribution would break.
+bool backwardDependence(const Program& p, const Loop& l, const Child& earlier,
+                        const Child& later, int level, std::int64_t minN) {
+  const Child uEarlier = asUnit(l, earlier);
+  const Child uLater = asUnit(l, later);
+  const auto atomsE = collectAtoms(p, uEarlier, level, minN);
+  const auto atomsL = collectAtoms(p, uLater, level, minN);
+  for (const RefAtom& aL : atomsL) {
+    for (const RefAtom& aE : atomsE) {
+      if (aL.array != aE.array || !(aL.isWrite || aE.isWrite)) continue;
+      const PairConstraint pc = analyzePair(aL, aE, minN);
+      switch (pc.kind) {
+        case PairConstraint::Kind::None:
+          break;
+        case PairConstraint::Kind::Parametric:
+          // later(i1) and earlier(i2) touch the same element when
+          // i1 + cL = i2 + cE, i.e. i2 = i1 - delta (delta = cE - cL);
+          // a pair where i1 executes before i2 exists iff delta < 0
+          // (forward) or delta > 0 (reversed iteration order).
+          if (l.reversed ? pc.delta > 0 : pc.delta < 0) return true;
+          break;
+        case PairConstraint::Kind::Interval:
+          // Conservative: an "i1 executes before i2" pair is impossible
+          // only when every "source" (later) iteration runs at or after
+          // every "sink" (earlier) one in loop order.
+          if (l.reversed) {
+            if (!definitelyLessEq(pc.srcHi, pc.sinkLo, minN)) return true;
+          } else {
+            if (!definitelyLessEq(pc.sinkHi, pc.srcLo, minN)) return true;
+          }
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Child> distributeLoopChild(const Program& p, Child loopChild,
+                                       int level, std::int64_t minN,
+                                       int* count);
+
+/// Distribute every loop in a body; loops may expand into several siblings.
+std::vector<Child> distributeBody(const Program& p, std::vector<Child> body,
+                                  int level, std::int64_t minN, int* count) {
+  std::vector<Child> out;
+  out.reserve(body.size());
+  for (Child& c : body) {
+    if (c.node->isLoop()) {
+      for (Child& piece :
+           distributeLoopChild(p, std::move(c), level, minN, count))
+        out.push_back(std::move(piece));
+    } else {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<Child> distributeLoopChild(const Program& p, Child loopChild,
+                                       int level, std::int64_t minN,
+                                       int* count) {
+  Loop& l = loopChild.node->loop();
+  l.body = distributeBody(p, std::move(l.body), level + 1, minN, count);
+
+  const std::size_t n = l.body.size();
+  std::vector<Child> result;
+  if (n <= 1) {
+    result.push_back(std::move(loopChild));
+    return result;
+  }
+
+  // A cut between positions t-1 and t is legal iff no backward dependence
+  // crosses it.
+  std::vector<std::uint8_t> cutOk(n, 1);  // cutOk[t]: may cut before index t
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = k + 1; m < n; ++m) {
+      if (backwardDependence(p, l, l.body[k], l.body[m], level, minN)) {
+        for (std::size_t t = k + 1; t <= m; ++t) cutOk[t] = 0;
+      }
+    }
+  }
+
+  std::size_t start = 0;
+  std::vector<Child> members = std::move(l.body);
+  for (std::size_t t = 1; t <= n; ++t) {
+    if (t < n && !cutOk[t]) continue;
+    Loop piece;
+    piece.var = l.var;
+    piece.lo = l.lo;
+    piece.hi = l.hi;
+    piece.reversed = l.reversed;
+    for (std::size_t k = start; k < t; ++k)
+      piece.body.push_back(std::move(members[k]));
+    result.push_back(
+        Child{makeNode(std::move(piece)), loopChild.guards});
+    start = t;
+  }
+  if (count) *count += static_cast<int>(result.size()) - 1;
+  return result;
+}
+
+}  // namespace
+
+Program distributeLoops(const Program& in, std::int64_t minN, int* count) {
+  Program p = in.clone();
+  p.top = distributeBody(p, std::move(p.top), 0, minN, count);
+  p.renumber();
+  return p;
+}
+
+}  // namespace gcr

@@ -1,0 +1,24 @@
+// Loop distribution (Section 4.1 pre-pass).
+//
+// Fusion wants maximal freedom to regroup computation, so the pipeline first
+// distributes every multi-statement loop into one loop per body statement
+// wherever dependences allow.  Distribution of `for i {S1; S2}` into
+// `for i S1; for i S2` is legal iff no dependence runs from an instance
+// S2(i1) to a later instance S1(i2), i1 < i2 — such "backward" loop-carried
+// dependences force the statements to stay in one loop.  Statements bound by
+// a backward dependence are kept together with everything between them, so
+// textual order is preserved.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Returns a new program with loops maximally distributed at every level.
+/// `count`, when given, receives the number of loops created by splitting.
+Program distributeLoops(const Program& in, std::int64_t minN = 16,
+                        int* count = nullptr);
+
+}  // namespace gcr

@@ -1,0 +1,251 @@
+#include "xform/interchange.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace gcr {
+
+namespace {
+
+/// A perfect 2-level nest: outer loop whose body is exactly one unguarded
+/// inner loop.
+const Loop* innerOf(const Loop& outer) {
+  if (outer.body.size() != 1 || !outer.body[0].guards.empty()) return nullptr;
+  if (!outer.body[0].node->isLoop()) return nullptr;
+  return &outer.body[0].node->loop();
+}
+
+Loop* innerOf(Loop& outer) {
+  return const_cast<Loop*>(innerOf(static_cast<const Loop&>(outer)));
+}
+
+struct RefInfo {
+  ArrayId array;
+  bool isWrite;
+  /// Per-dimension subscript relative to the nest: which level (-1 =
+  /// constant) and the offset.
+  std::vector<std::pair<int, AffineN>> dims;  // (level: 0 outer/1 inner/-1)
+};
+
+void collectRefs(const Node& n, int outerDepth, std::vector<RefInfo>& out,
+                 bool& analyzable) {
+  auto classify = [&](const ArrayRef& r, bool isWrite) {
+    RefInfo info;
+    info.array = r.array;
+    info.isWrite = isWrite;
+    for (const Subscript& s : r.subs) {
+      if (s.isConstant()) {
+        info.dims.emplace_back(-1, s.offset);
+      } else if (s.depth == outerDepth) {
+        info.dims.emplace_back(0, s.offset);
+      } else if (s.depth == outerDepth + 1) {
+        info.dims.emplace_back(1, s.offset);
+      } else {
+        analyzable = false;  // references an enclosing level: stay safe
+        info.dims.emplace_back(-2, s.offset);
+      }
+    }
+    out.push_back(std::move(info));
+  };
+  if (n.isAssign()) {
+    const Assign& a = n.assign();
+    for (const ArrayRef& r : a.rhs) classify(r, false);
+    classify(a.lhs, true);
+    return;
+  }
+  for (const Child& c : n.loop().body) {
+    if (!c.guards.empty()) analyzable = false;
+    collectRefs(*c.node, outerDepth, out, analyzable);
+  }
+}
+
+/// Dependence distance (outer, inner) between two references, nullopt when
+/// provably independent, and `analyzable=false` when beyond the simple
+/// parametric form (conservatively treated as interchange-blocking).
+std::optional<std::pair<AffineN, AffineN>> distance(const RefInfo& a,
+                                                    const RefInfo& b,
+                                                    std::int64_t minN,
+                                                    bool& analyzable) {
+  AffineN dOuter{}, dInner{};
+  bool haveOuter = false, haveInner = false;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    const auto& [la, oa] = a.dims[d];
+    const auto& [lb, ob] = b.dims[d];
+    if (la == -1 && lb == -1) {
+      if (definitelyNotEqual(oa, ob, minN)) return std::nullopt;
+      continue;
+    }
+    if (la != lb || la < 0) {
+      analyzable = false;  // mixed/constant-vs-variant or foreign level
+      return std::nullopt;
+    }
+    // i_a + oa = i_b + ob  =>  i_b - i_a = oa - ob.
+    const AffineN delta = oa - ob;
+    if (!delta.isConstant()) {
+      analyzable = false;
+      return std::nullopt;
+    }
+    if (la == 0) {
+      if (haveOuter && !(dOuter == delta)) return std::nullopt;  // conflict
+      dOuter = delta;
+      haveOuter = true;
+    } else {
+      if (haveInner && !(dInner == delta)) return std::nullopt;
+      dInner = delta;
+      haveInner = true;
+    }
+  }
+  return std::make_pair(dOuter, dInner);
+}
+
+}  // namespace
+
+bool interchangeLegal(const Program&, const Loop& loop, std::int64_t minN) {
+  const Loop* inner = innerOf(loop);
+  if (inner == nullptr) return false;
+  // The direction-vector test below assumes forward iteration at both
+  // levels; reversed nests are left alone (conservative).
+  if (loop.reversed || inner->reversed) return false;
+
+  bool analyzable = true;
+  std::vector<RefInfo> refs;
+  for (const Child& c : inner->body) {
+    if (!c.guards.empty()) return false;
+    collectRefs(*c.node, /*outerDepth=*/0, refs, analyzable);
+  }
+  // Depth bookkeeping: collectRefs was written for subscripts at depths 0/1
+  // relative to the nest; subscripts of deeper loops inside the inner body
+  // flagged it un-analyzable.
+  if (!analyzable) return false;
+
+  for (const RefInfo& a : refs) {
+    for (const RefInfo& b : refs) {
+      if (a.array != b.array || !(a.isWrite || b.isWrite)) continue;
+      bool ok = true;
+      const auto dist = distance(a, b, minN, ok);
+      if (!ok) return false;
+      if (!dist) continue;
+      // Orient source->sink: the lexicographically positive direction.
+      auto [dO, dI] = *dist;
+      std::int64_t o = dO.c, i = dI.c;
+      if (o < 0 || (o == 0 && i < 0)) {
+        o = -o;
+        i = -i;
+      }
+      // Illegal iff a (<, >) direction exists: swap would run the sink
+      // before its source.
+      if (o > 0 && i < 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void swapDepths(Node& n, int a, int b) {
+  if (n.isAssign()) {
+    auto swapRef = [&](ArrayRef& r) {
+      for (Subscript& s : r.subs) {
+        if (s.isConstant()) continue;
+        if (s.depth == a)
+          s.depth = b;
+        else if (s.depth == b)
+          s.depth = a;
+      }
+    };
+    swapRef(n.assign().lhs);
+    for (ArrayRef& r : n.assign().rhs) swapRef(r);
+    return;
+  }
+  for (Child& c : n.loop().body) {
+    for (GuardSpec& g : c.guards) {
+      if (g.depth == a)
+        g.depth = b;
+      else if (g.depth == b)
+        g.depth = a;
+    }
+    swapDepths(*c.node, a, b);
+  }
+}
+
+}  // namespace
+
+void interchangeNest(Loop& loop) {
+  Loop* inner = innerOf(loop);
+  GCR_CHECK(inner != nullptr, "interchangeNest on a non-perfect nest");
+  std::swap(loop.var, inner->var);
+  std::swap(loop.lo, inner->lo);
+  std::swap(loop.hi, inner->hi);
+  std::swap(loop.reversed, inner->reversed);
+  for (Child& c : inner->body) {
+    for (GuardSpec& g : c.guards) {
+      if (g.depth == 0)
+        g.depth = 1;
+      else if (g.depth == 1)
+        g.depth = 0;
+    }
+    swapDepths(*c.node, 0, 1);
+  }
+}
+
+int orderLevelsForFusion(Program& p, std::int64_t minN) {
+  // Which array dimension does a top-level nest iterate outermost?
+  // (-1: inconsistent.)  Every nest votes; only perfect 2-level nests are
+  // interchange candidates.
+  auto outerDimOf = [](const Loop& outer) -> int {
+    int dim = -1;
+    bool consistent = true;
+    std::function<void(const Node&)> scan = [&](const Node& n) {
+      if (n.isAssign()) {
+        auto look = [&](const ArrayRef& r) {
+          for (std::size_t d = 0; d < r.subs.size(); ++d) {
+            if (r.subs[d].isConstant() || r.subs[d].depth != 0) continue;
+            if (dim < 0)
+              dim = static_cast<int>(d);
+            else if (dim != static_cast<int>(d))
+              consistent = false;
+          }
+        };
+        look(n.assign().lhs);
+        for (const ArrayRef& r : n.assign().rhs) look(r);
+        return;
+      }
+      for (const Child& c : n.loop().body) scan(*c.node);
+    };
+    for (const Child& c : outer.body) scan(*c.node);
+    return consistent ? dim : -1;
+  };
+
+  // Majority vote over candidate nests.
+  std::map<int, int> votes;
+  for (const Child& c : p.top) {
+    if (!c.node->isLoop()) continue;
+    const int dim = outerDimOf(c.node->loop());
+    if (dim >= 0) ++votes[dim];
+  }
+  if (votes.empty()) return 0;
+  int target = votes.begin()->first;
+  for (const auto& [dim, count] : votes)
+    if (count > votes[target]) target = dim;
+
+  int changed = 0;
+  for (Child& c : p.top) {
+    if (!c.node->isLoop()) continue;
+    Loop& outer = c.node->loop();
+    const int dim = outerDimOf(outer);
+    if (dim < 0 || dim == target) continue;
+    // Only a 2-D transposition is handled: after interchange the outer var
+    // must iterate the target dimension.
+    if (!interchangeLegal(p, outer, minN)) continue;
+    interchangeNest(outer);
+    if (outerDimOf(outer) == target) {
+      ++changed;
+    } else {
+      interchangeNest(outer);  // undo: it did not produce the wanted order
+    }
+  }
+  return changed;
+}
+
+}  // namespace gcr

@@ -1,0 +1,236 @@
+#include "xform/unroll_split.hpp"
+
+#include <optional>
+
+namespace gcr {
+
+namespace {
+
+// ---------------------------------------------------------------- unrolling
+
+/// Substitute the loop variable at `depth` with constant `value` and shift
+/// deeper variable references up by one level (the loop disappears).
+void substituteVar(Node& n, int depth, std::int64_t value);
+
+/// Returns false when a guard at `depth` excludes `value` (child dropped);
+/// non-constant guard bounds at that depth make the loop non-unrollable and
+/// are checked beforehand.
+bool substituteChild(Child& c, int depth, std::int64_t value) {
+  for (std::size_t g = 0; g < c.guards.size();) {
+    GuardSpec& spec = c.guards[g];
+    if (spec.depth == depth) {
+      GCR_CHECK(spec.lo.isConstant() && spec.hi.isConstant(),
+                "unroll over symbolic guard");
+      if (value < spec.lo.c || value > spec.hi.c) return false;
+      c.guards.erase(c.guards.begin() + static_cast<std::ptrdiff_t>(g));
+      continue;
+    }
+    if (spec.depth > depth) --spec.depth;
+    ++g;
+  }
+  substituteVar(*c.node, depth, value);
+  return true;
+}
+
+void substituteRef(ArrayRef& r, int depth, std::int64_t value) {
+  for (Subscript& s : r.subs) {
+    if (s.isConstant()) continue;
+    if (s.depth == depth) {
+      s = Subscript::constant(s.offset + AffineN{value});
+    } else if (s.depth > depth) {
+      --s.depth;
+    }
+  }
+}
+
+void substituteVar(Node& n, int depth, std::int64_t value) {
+  if (n.isAssign()) {
+    Assign& a = n.assign();
+    substituteRef(a.lhs, depth, value);
+    for (ArrayRef& r : a.rhs) substituteRef(r, depth, value);
+    return;
+  }
+  Loop& l = n.loop();
+  for (std::size_t i = 0; i < l.body.size();) {
+    if (substituteChild(l.body[i], depth, value)) {
+      ++i;
+    } else {
+      l.body.erase(l.body.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+/// All guards at `depth` in the subtree have constant bounds?
+bool guardsConstantAt(const Node& n, int depth) {
+  if (n.isAssign()) return true;
+  for (const Child& c : n.loop().body) {
+    for (const GuardSpec& g : c.guards)
+      if (g.depth == depth && !(g.lo.isConstant() && g.hi.isConstant()))
+        return false;
+    if (!guardsConstantAt(*c.node, depth)) return false;
+  }
+  return true;
+}
+
+std::vector<Child> unrollBody(std::vector<Child> body, int depth,
+                              std::int64_t maxWidth, int* count);
+
+/// Unroll one loop child if eligible; returns the replacement sequence.
+std::vector<Child> unrollChild(Child c, int depth, std::int64_t maxWidth,
+                               int* count) {
+  Loop& l = c.node->loop();
+  l.body = unrollBody(std::move(l.body), depth + 1, maxWidth, count);
+
+  std::vector<Child> out;
+  const bool constantBounds = l.lo.isConstant() && l.hi.isConstant();
+  const std::int64_t width = constantBounds ? l.hi.c - l.lo.c + 1 : -1;
+  if (!constantBounds || width > maxWidth || width < 1 ||
+      !guardsConstantAt(*c.node, depth)) {
+    out.push_back(std::move(c));
+    return out;
+  }
+  if (count) ++(*count);
+  std::vector<std::int64_t> values;
+  if (l.reversed)
+    for (std::int64_t v = l.hi.c; v >= l.lo.c; --v) values.push_back(v);
+  else
+    for (std::int64_t v = l.lo.c; v <= l.hi.c; ++v) values.push_back(v);
+  for (std::int64_t v : values) {
+    for (const Child& member : l.body) {
+      Child copy = cloneChild(member);
+      if (!substituteChild(copy, depth, v)) continue;
+      // Unrolled members inherit the loop child's enclosing guards.
+      copy.guards.insert(copy.guards.end(), c.guards.begin(), c.guards.end());
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+std::vector<Child> unrollBody(std::vector<Child> body, int depth,
+                              std::int64_t maxWidth, int* count) {
+  std::vector<Child> out;
+  for (Child& c : body) {
+    if (c.node->isLoop()) {
+      for (Child& piece : unrollChild(std::move(c), depth, maxWidth, count))
+        out.push_back(std::move(piece));
+    } else {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- splitting
+
+/// Split plan for one pass: (array, dim) -> new array ids per index.
+struct SplitPlan {
+  ArrayId array = -1;
+  int dim = -1;
+  std::int64_t extent = 0;
+};
+
+/// Find the first splittable (array, dim): constant extent <= maxExtent and
+/// every subscript at that dim constant with a known value.
+std::optional<SplitPlan> findSplit(const Program& p, std::int64_t maxExtent) {
+  for (std::size_t a = 0; a < p.arrays.size(); ++a) {
+    const ArrayDecl& d = p.arrays[a];
+    if (d.rank() < 2) continue;  // keep at least one dimension
+    for (int dim = 0; dim < d.rank(); ++dim) {
+      const AffineN e = d.extents[static_cast<std::size_t>(dim)];
+      if (!e.isConstant() || e.c > maxExtent || e.c < 1) continue;
+      bool allConstant = true;
+      forEachAssign(p, [&](const Assign& s, const std::vector<const Loop*>&) {
+        auto scan = [&](const ArrayRef& r) {
+          if (r.array != static_cast<ArrayId>(a)) return;
+          const Subscript& sub = r.subs[static_cast<std::size_t>(dim)];
+          if (!sub.isConstant() || !sub.offset.isConstant() ||
+              sub.offset.c < 0 || sub.offset.c >= e.c)
+            allConstant = false;
+        };
+        scan(s.lhs);
+        for (const ArrayRef& r : s.rhs) scan(r);
+      });
+      if (allConstant)
+        return SplitPlan{static_cast<ArrayId>(a), dim, e.c};
+    }
+  }
+  return std::nullopt;
+}
+
+void rewriteRefsForSplit(Node& n, ArrayId target, int dim,
+                         const std::vector<ArrayId>& replacements) {
+  if (n.isAssign()) {
+    Assign& a = n.assign();
+    auto rewrite = [&](ArrayRef& r) {
+      if (r.array != target) return;
+      const std::int64_t v = r.subs[static_cast<std::size_t>(dim)].offset.c;
+      r.array = replacements[static_cast<std::size_t>(v)];
+      r.subs.erase(r.subs.begin() + dim);
+    };
+    rewrite(a.lhs);
+    for (ArrayRef& r : a.rhs) rewrite(r);
+    return;
+  }
+  for (Child& c : n.loop().body)
+    rewriteRefsForSplit(*c.node, target, dim, replacements);
+}
+
+}  // namespace
+
+Program unrollSmallLoops(const Program& in, std::int64_t maxWidth,
+                         int* count) {
+  Program p = in.clone();
+  p.top = unrollBody(std::move(p.top), 0, maxWidth, count);
+  p.renumber();
+  return p;
+}
+
+SplitResult splitConstantDims(const Program& in, std::int64_t maxExtent,
+                              int* count) {
+  SplitResult result;
+  result.program = in.clone();
+  result.origins.resize(in.arrays.size());
+  for (std::size_t a = 0; a < in.arrays.size(); ++a)
+    result.origins[a] = ArrayOrigin{static_cast<ArrayId>(a), {}};
+
+  while (auto plan = findSplit(result.program, maxExtent)) {
+    Program& p = result.program;
+    const ArrayDecl decl = p.arrays[static_cast<std::size_t>(plan->array)];
+    const ArrayOrigin origin =
+        result.origins[static_cast<std::size_t>(plan->array)];
+
+    // New arrays replace the split one at the end of the declaration list;
+    // the old slot keeps its id but becomes the index-0 slice (so ids stay
+    // dense and references stay valid after rewriting).
+    std::vector<ArrayId> replacements;
+    for (std::int64_t v = 0; v < plan->extent; ++v) {
+      ArrayDecl slice = decl;
+      slice.name = decl.name + "_" + std::to_string(v);
+      slice.extents.erase(slice.extents.begin() + plan->dim);
+      ArrayOrigin sliceOrigin = origin;
+      sliceOrigin.fixed.emplace_back(plan->dim, v);
+      if (v == 0) {
+        p.arrays[static_cast<std::size_t>(plan->array)] = std::move(slice);
+        result.origins[static_cast<std::size_t>(plan->array)] = sliceOrigin;
+        replacements.push_back(plan->array);
+      } else {
+        p.arrays.push_back(std::move(slice));
+        result.origins.push_back(sliceOrigin);
+        replacements.push_back(static_cast<ArrayId>(p.arrays.size()) - 1);
+      }
+    }
+    for (Child& c : p.top)
+      rewriteRefsForSplit(*c.node, plan->array, plan->dim, replacements);
+    if (count) ++(*count);
+  }
+  result.program.renumber();
+  return result;
+}
+
+SplitResult unrollAndSplit(const Program& in, std::int64_t maxWidth,
+                           std::int64_t maxExtent) {
+  return splitConstantDims(unrollSmallLoops(in, maxWidth), maxExtent);
+}
+
+}  // namespace gcr

@@ -1,0 +1,52 @@
+// Loop unrolling of small constant dimensions + array splitting
+// (Section 4.1: "array splitting and loop unrolling, which eliminates data
+// dimensions of a small constant size and loops that iterate those
+// dimensions" — e.g. NAS/SP's u(5, nx, ny, nz) becomes five 3-D arrays;
+// the paper's SP goes from 15 arrays to 42 this way).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Fully unroll every loop with constant bounds and trip count <= maxWidth
+/// (guards on such loops must be constant too, else the loop is left alone).
+Program unrollSmallLoops(const Program& in, std::int64_t maxWidth = 8,
+                         int* count = nullptr);
+
+/// Where each array of a split program came from.  `fixed` records, in split
+/// order, the (dimension, index) pinned by each split; each dimension is in
+/// the coordinates of the array *at the time of that split*.  To map a slice
+/// index vector back to original coordinates, iterate `fixed` in reverse and
+/// insert each index at its dimension.
+struct ArrayOrigin {
+  ArrayId original = -1;
+  std::vector<std::pair<int, std::int64_t>> fixed;
+
+  std::vector<std::int64_t> originalIndex(
+      std::vector<std::int64_t> sliceIndex) const {
+    for (auto it = fixed.rbegin(); it != fixed.rend(); ++it)
+      sliceIndex.insert(sliceIndex.begin() + it->first, it->second);
+    return sliceIndex;
+  }
+};
+
+struct SplitResult {
+  Program program;
+  std::vector<ArrayOrigin> origins;  ///< one per array of `program`
+};
+
+/// Split every array dimension of constant extent <= maxExtent whose
+/// subscripts are constant everywhere (run unrollSmallLoops first).  Applied
+/// to a fixed point, so u[5][N][3] fully decomposes.
+SplitResult splitConstantDims(const Program& in, std::int64_t maxExtent = 8,
+                              int* count = nullptr);
+
+/// Convenience: unroll then split to fixed point.
+SplitResult unrollAndSplit(const Program& in, std::int64_t maxWidth = 8,
+                           std::int64_t maxExtent = 8);
+
+}  // namespace gcr

@@ -1,0 +1,104 @@
+// Regression tests pinning the paper-shaped *behaviors* of the evaluation
+// apps on the simulator — the qualitative results EXPERIMENTS.md reports.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(AppsBehavior, AdiFusionHalvesMissesAndTime) {
+  // Figure 10 ADI: large reductions at every level of the hierarchy.
+  Program p = apps::buildApp("ADI");
+  const std::int64_t n = 512;
+  const MachineConfig m = MachineConfig::origin2000();
+  Measurement orig = measure(makeNoOpt(p), n, m);
+  Measurement opt = measure(makeFusedRegrouped(p), n, m);
+  EXPECT_LT(opt.counts.l1Misses, orig.counts.l1Misses * 6 / 10);
+  EXPECT_LT(opt.counts.l2Misses, orig.counts.l2Misses * 7 / 10);
+  EXPECT_LT(opt.cycles, orig.cycles * 8 / 10);
+}
+
+TEST(AppsBehavior, SwimFusionTradesL1ForL2) {
+  // Figure 10 Swim: fusion raises L1 misses (capacity) but cuts L2 misses
+  // hard; the combined strategy still wins.
+  Program p = apps::buildApp("Swim");
+  const std::int64_t n = 200;
+  const MachineConfig m = MachineConfig::octane();
+  Measurement orig = measure(makeNoOpt(p), n, m, 2);
+  Measurement fused = measure(makeFused(p), n, m, 2);
+  Measurement full = measure(makeFusedRegrouped(p), n, m, 2);
+  EXPECT_GT(fused.counts.l1Misses, orig.counts.l1Misses);  // the L1 cost
+  EXPECT_LT(fused.counts.l2Misses, orig.counts.l2Misses * 8 / 10);
+  EXPECT_LT(full.cycles, orig.cycles);          // combined still a win
+  EXPECT_LE(full.counts.l1Misses, fused.counts.l1Misses);  // grouping helps
+}
+
+TEST(AppsBehavior, SpFullFusionThrashesSmallPageTlbAndGroupingRecovers) {
+  // Figure 10 SP, the paper's sharpest contrast, at test-sized inputs.
+  Program p = apps::buildApp("SP");
+  const std::int64_t n = 16;
+  MachineConfig m = MachineConfig::origin2000();
+  m.pageSize = 4096;
+  m.tlbEntries = 16;  // reach scaled to the test-sized grid
+  Measurement orig = measure(makeNoOpt(p), n, m);
+  Measurement fused3 = measure(makeFused(p, 4), n, m);
+  Measurement full = measure(makeFusedRegrouped(p, 4), n, m);
+  EXPECT_GT(fused3.counts.tlbMisses, orig.counts.tlbMisses * 4);
+  EXPECT_GT(fused3.cycles, orig.cycles);  // full fusion alone backfires
+  EXPECT_LT(full.counts.tlbMisses, fused3.counts.tlbMisses / 4);
+  EXPECT_LT(full.cycles, orig.cycles);
+}
+
+TEST(AppsBehavior, SpOneLevelFusionIsSafe) {
+  // 1-level fusion does not create the inner-loop pressure of full fusion.
+  Program p = apps::buildApp("SP");
+  const std::int64_t n = 16;
+  MachineConfig m = MachineConfig::origin2000();
+  m.pageSize = 4096;
+  m.tlbEntries = 16;
+  Measurement orig = measure(makeNoOpt(p), n, m);
+  Measurement fused1 = measure(makeFused(p, 1), n, m);
+  // "Safe" is about magnitude: nowhere near full fusion's order-of-magnitude
+  // blowup (see the companion test), and still a net win.
+  EXPECT_LE(fused1.counts.tlbMisses, orig.counts.tlbMisses * 2);
+  EXPECT_LT(fused1.cycles, orig.cycles);
+}
+
+TEST(AppsBehavior, GlobalStrategyCutsMemoryTraffic) {
+  // The title claim: the transformed programs move fewer bytes.  The data
+  // must exceed the cache for this to show (Swim at 200² almost fits in the
+  // Origin2000's 4MB L2, so it is measured against the 1MB Octane).
+  struct Run {
+    const char* name;
+    std::int64_t n;
+    MachineConfig machine;
+  };
+  const Run runs[] = {{"ADI", 512, MachineConfig::origin2000()},
+                      {"Swim", 320, MachineConfig::octane()}};
+  for (const Run& run : runs) {
+    Program p = apps::buildApp(run.name);
+    Measurement orig = measure(makeNoOpt(p), run.n, run.machine);
+    Measurement opt = measure(makeFusedRegrouped(p), run.n, run.machine);
+    EXPECT_LT(opt.memoryTrafficBytes, orig.memoryTrafficBytes) << run.name;
+    EXPECT_GT(opt.effectiveBandwidth, orig.effectiveBandwidth) << run.name;
+  }
+}
+
+TEST(AppsBehavior, PrefetchHidesLatencyButNotTraffic) {
+  // Section 1: latency-oriented techniques do not reduce the volume moved.
+  Program p = apps::buildApp("ADI");
+  const std::int64_t n = 512;
+  MachineConfig plain = MachineConfig::origin2000();
+  MachineConfig pf = plain;
+  pf.l2NextLinePrefetch = true;
+  Measurement noPf = measure(makeNoOpt(p), n, plain);
+  Measurement withPf = measure(makeNoOpt(p), n, pf);
+  EXPECT_LT(withPf.counts.l2Misses, noPf.counts.l2Misses);  // latency hidden
+  EXPECT_GE(withPf.memoryTrafficBytes, noPf.memoryTrafficBytes);  // not saved
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,146 @@
+// End-to-end: the full optimization pipeline must preserve each evaluation
+// application's semantics and actually transform it (fusions happen, groups
+// form, reuse distances stop growing).
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "interp/interp.hpp"
+#include "ir/stats.hpp"
+#include "ir/validate.hpp"
+
+namespace gcr {
+namespace {
+
+// Fusion-only and NoOpt share the array set (pre-passes may split arrays for
+// SP, so compare per-version against the distributed-but-unfused variant).
+::testing::AssertionResult pipelinePreservesSemantics(const Program& p,
+                                                      std::int64_t n) {
+  PipelineOptions unoptimized;
+  unoptimized.fuse = false;
+  unoptimized.regroup = false;
+  PipelineResult base = optimize(p, unoptimized);
+
+  PipelineOptions full;
+  PipelineResult opt = optimize(p, full);
+  if (!validationError(opt.program).empty())
+    return ::testing::AssertionFailure()
+           << "invalid IR: " << validationError(opt.program);
+  if (base.program.arrays.size() != opt.program.arrays.size())
+    return ::testing::AssertionFailure() << "array sets diverged";
+
+  DataLayout lb = base.layoutAt(n);
+  DataLayout lo = opt.layoutAt(n);
+  ExecResult rb = execute(base.program, lb, {.n = n});
+  ExecResult ro = execute(opt.program, lo, {.n = n});
+  for (std::size_t a = 0; a < base.program.arrays.size(); ++a) {
+    if (extractArray(rb, lb, base.program, static_cast<ArrayId>(a), n) !=
+        extractArray(ro, lo, opt.program, static_cast<ArrayId>(a), n))
+      return ::testing::AssertionFailure()
+             << "array " << base.program.arrays[a].name << " differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(AppsPipeline, AdiSemanticsPreserved) {
+  Program p = apps::buildApp("ADI");
+  for (std::int64_t n : {16, 33}) EXPECT_TRUE(pipelinePreservesSemantics(p, n));
+}
+
+TEST(AppsPipeline, SwimSemanticsPreserved) {
+  Program p = apps::buildApp("Swim");
+  for (std::int64_t n : {16, 25}) EXPECT_TRUE(pipelinePreservesSemantics(p, n));
+}
+
+TEST(AppsPipeline, TomcatvSemanticsPreserved) {
+  Program p = apps::buildApp("Tomcatv");
+  for (std::int64_t n : {16, 25}) EXPECT_TRUE(pipelinePreservesSemantics(p, n));
+}
+
+TEST(AppsPipeline, SpSemanticsPreserved) {
+  Program p = apps::buildApp("SP");
+  for (std::int64_t n : {16}) EXPECT_TRUE(pipelinePreservesSemantics(p, n));
+}
+
+TEST(AppsPipeline, Sweep3dSemanticsPreserved) {
+  Program p = apps::buildApp("Sweep3D");
+  for (std::int64_t n : {16}) EXPECT_TRUE(pipelinePreservesSemantics(p, n));
+}
+
+TEST(AppsPipeline, AdiFusesToOneNest) {
+  Program p = apps::buildApp("ADI");
+  PipelineOptions opts;
+  opts.regroup = false;
+  PipelineResult r = optimize(p, opts);
+  EXPECT_GE(r.fusionReport.fusions, 3);
+  EXPECT_EQ(computeStats(r.program).numLoopNests, 1);
+}
+
+TEST(AppsPipeline, SwimFusionNeedsPeeling) {
+  // The paper: "Swim also requires loop splitting."
+  Program p = apps::buildApp("Swim");
+  PipelineOptions opts;
+  opts.regroup = false;
+  PipelineResult r = optimize(p, opts);
+  EXPECT_GE(r.fusionReport.peels, 1);
+  // Fusion must still reduce the nest count substantially.
+  EXPECT_LT(computeStats(r.program).numLoopNests,
+            computeStats(p).numLoopNests);
+}
+
+TEST(AppsPipeline, SpOneLevelFusionCollapsesOuterLoops) {
+  // Section 4.4: one-level fusion merged the 157 first-level loops into 8.
+  Program p = apps::buildApp("SP");
+  PipelineOptions opts;
+  opts.fusionLevels = 1;
+  opts.regroup = false;
+  PipelineResult r = optimize(p, opts);
+  ASSERT_FALSE(r.fusionReport.loopsPerLevelBefore.empty());
+  const int before = r.fusionReport.loopsPerLevelBefore[0];
+  const int after = r.fusionReport.loopsPerLevelAfter[0];
+  EXPECT_GT(before, 30);         // distribution produced many outer loops
+  EXPECT_LE(after, before / 4);  // fusion collapses most of them
+}
+
+TEST(AppsPipeline, SpRegroupingFormsGroups) {
+  Program p = apps::buildApp("SP");
+  PipelineResult r = optimize(p, {});
+  EXPECT_GE(r.regroupReport.partitionsFormed, 2);
+  EXPECT_EQ(r.arraysAfterSplit, 42);
+}
+
+TEST(AppsPipeline, FusionStopsReuseDistanceGrowth) {
+  // The central claim, on a real app: ADI's maximum reuse distance grows
+  // with N before optimization and is N-independent after fusion.
+  Program p = apps::buildApp("ADI");
+  ProgramVersion noOpt = makeNoOpt(p);
+  ProgramVersion fused = makeFused(p);
+
+  auto maxBin = [](const ReuseProfile& prof) {
+    return prof.histogram.highestNonEmptyBin();
+  };
+  const int noOptSmall = maxBin(reuseProfileOf(noOpt, 32));
+  const int noOptLarge = maxBin(reuseProfileOf(noOpt, 128));
+  EXPECT_GT(noOptLarge, noOptSmall);
+
+  const int fusedSmall = maxBin(reuseProfileOf(fused, 32));
+  const int fusedLarge = maxBin(reuseProfileOf(fused, 128));
+  EXPECT_EQ(fusedLarge, fusedSmall);
+}
+
+TEST(AppsPipeline, TomcatvWithoutInterchangeSignalsOrKeepsNests) {
+  // The pre-interchange Tomcatv has solver nests iterating columns
+  // outermost; outer fusion across them must not happen.
+  Program hand = apps::buildApp("Tomcatv");
+  Program raw = apps::buildApp("Tomcatv-noInterchange");
+  PipelineOptions opts;
+  opts.regroup = false;
+  PipelineResult rHand = optimize(hand, opts);
+  PipelineResult rRaw = optimize(raw, opts);
+  EXPECT_GT(computeStats(rRaw.program).numLoopNests,
+            computeStats(rHand.program).numLoopNests);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,83 @@
+#include "codegen/emit_c.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+Program sample() {
+  ProgramBuilder b("sample");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(1)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(1)});
+  b.loop("i", 1, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})}, "recurrence");
+  });
+  b.assign(b.ref(c, {cst(0)}), {b.ref(a, {cst(AffineN::N())})});
+  return b.take();
+}
+
+TEST(EmitC, ContainsExpectedStructure) {
+  Program p = sample();
+  DataLayout l = contiguousLayout(p, 16);
+  const std::string code = emitC(p, l, {.n = 16});
+  EXPECT_NE(code.find("static uint64_t gcr_mem["), std::string::npos);
+  EXPECT_NE(code.find("void gcr_init(void)"), std::string::npos);
+  EXPECT_NE(code.find("void gcr_run(int64_t steps)"), std::string::npos);
+  EXPECT_NE(code.find("uint64_t gcr_checksum(void)"), std::string::npos);
+  // Loop bounds baked in at N = 16.
+  EXPECT_NE(code.find("for (int64_t i0 = 1; i0 <= 16;"), std::string::npos);
+  // The statement label survives as a comment.
+  EXPECT_NE(code.find("/* recurrence */"), std::string::npos);
+  // No main unless requested.
+  EXPECT_EQ(code.find("int main"), std::string::npos);
+}
+
+TEST(EmitC, MainEmittedOnRequest) {
+  Program p = sample();
+  DataLayout l = contiguousLayout(p, 8);
+  const std::string code =
+      emitC(p, l, {.n = 8, .emitMain = true, .timeSteps = 3});
+  EXPECT_NE(code.find("int main(void)"), std::string::npos);
+  EXPECT_NE(code.find("gcr_run(3)"), std::string::npos);
+}
+
+TEST(EmitC, GuardsBecomeIfs) {
+  Program p = sample();
+  p.top[0].node->loop().body[0].guards = {GuardSpec{0, AffineN(3), AffineN(5)}};
+  DataLayout l = contiguousLayout(p, 16);
+  const std::string code = emitC(p, l, {.n = 16});
+  EXPECT_NE(code.find("if (i0 >= 3 && i0 <= 5)"), std::string::npos);
+}
+
+TEST(EmitC, LayoutBakedIntoSubscripts) {
+  // Under a padded layout, B's base shifts; the emitted index must too.
+  Program p = sample();
+  DataLayout plain = contiguousLayout(p, 8);
+  DataLayout padded = paddedLayout(p, 8, 800);
+  const std::string c1 = emitC(p, plain, {.n = 8});
+  const std::string c2 = emitC(p, padded, {.n = 8});
+  EXPECT_NE(c1, c2);
+}
+
+TEST(EmitC, ChecksumMatchesInterpreterDefinition) {
+  // contentChecksum must be layout-independent (logical contents only).
+  Program p = sample();
+  const std::int64_t n = 12;
+  DataLayout l1 = contiguousLayout(p, n);
+  DataLayout l2 = paddedLayout(p, n, 256);
+  ExecResult r1 = execute(p, l1, {.n = n});
+  ExecResult r2 = execute(p, l2, {.n = n});
+  EXPECT_EQ(contentChecksum(p, r1, l1, n), contentChecksum(p, r2, l2, n));
+}
+
+TEST(EmitC, RejectsNonWordElements) {
+  Program p = sample();
+  p.arrays[0].elemSize = 4;
+  DataLayout l = contiguousLayout(p, 8);
+  EXPECT_THROW(emitC(p, l, {.n = 8}), Error);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,115 @@
+// Random generator of valid Figure-5-language programs, for differential
+// testing of transformation passes: generate, transform, interpret both,
+// compare final array contents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/prng.hpp"
+
+namespace gcr::testing {
+
+struct RandomProgramOptions {
+  int numArrays = 4;
+  int numUnits = 6;          ///< top-level loops/statements
+  int maxStmtsPerLoop = 3;
+  int maxReads = 3;
+  bool allowBorderStmts = true;
+  bool allowTwoDim = false;   ///< generate some 2-D nests
+  bool allowReversed = false; ///< generate some reversed (downto) loops
+};
+
+/// Builds a program whose subscripts stay in bounds for every n >= 8.
+inline Program randomProgram(std::uint64_t seed,
+                             const RandomProgramOptions& opts = {}) {
+  SplitMix64 rng(seed);
+  ProgramBuilder b("random-" + std::to_string(seed));
+
+  // Extents N+4 with subscript offsets in [-2, 2] and loop bounds [2, N-3]
+  // keep every access in range; border constants use {0,1} and {N+2, N+3}.
+  std::vector<ArrayId> oneD, twoD;
+  for (int a = 0; a < opts.numArrays; ++a) {
+    const bool is2d = opts.allowTwoDim && rng.nextBelow(3) == 0;
+    if (is2d)
+      twoD.push_back(b.array("T" + std::to_string(a),
+                             {AffineN::N() + AffineN(4),
+                              AffineN::N() + AffineN(4)}));
+    else
+      oneD.push_back(
+          b.array("A" + std::to_string(a), {AffineN::N() + AffineN(4)}));
+  }
+  if (oneD.empty())
+    oneD.push_back(b.array("A_last", {AffineN::N() + AffineN(4)}));
+
+  auto pick1d = [&] { return oneD[rng.nextBelow(oneD.size())]; };
+  auto offset = [&] { return rng.nextInRange(-2, 2); };
+  auto borderConst = [&]() -> AffineN {
+    if (rng.nextBelow(2) == 0) return AffineN(rng.nextInRange(0, 1));
+    return AffineN::N() + AffineN(rng.nextInRange(2, 3));
+  };
+
+  auto makeRef1d = [&](IxVar i) {
+    return b.ref(pick1d(), {i + offset()});
+  };
+
+  for (int u = 0; u < opts.numUnits; ++u) {
+    const auto kind = rng.nextBelow(10);
+    if (opts.allowBorderStmts && kind < 2) {
+      // Border statement: A[k1] = f(B[k2], ...).
+      std::vector<ArrayRef> rhs;
+      const auto nReads = rng.nextBelow(
+          static_cast<std::uint64_t>(opts.maxReads) + 1);
+      for (std::uint64_t r = 0; r < nReads; ++r)
+        rhs.push_back(b.ref(pick1d(), {cst(borderConst())}));
+      b.assign(b.ref(pick1d(), {cst(borderConst())}), std::move(rhs));
+    } else if (!twoD.empty() && kind < 4) {
+      // 2-D nest over a couple of 2-D arrays.
+      b.loop2("i", 2, AffineN::N() - AffineN(3), "j", 2,
+              AffineN::N() - AffineN(3), [&](IxVar i, IxVar j) {
+                const auto stmts =
+                    1 + rng.nextBelow(
+                            static_cast<std::uint64_t>(opts.maxStmtsPerLoop));
+                for (std::uint64_t s = 0; s < stmts; ++s) {
+                  ArrayId dst = twoD[rng.nextBelow(twoD.size())];
+                  std::vector<ArrayRef> rhs;
+                  const auto nReads = rng.nextBelow(
+                      static_cast<std::uint64_t>(opts.maxReads) + 1);
+                  for (std::uint64_t r = 0; r < nReads; ++r) {
+                    ArrayId src = twoD[rng.nextBelow(twoD.size())];
+                    rhs.push_back(b.ref(src, {i + offset(), j + offset()}));
+                  }
+                  b.assign(b.ref(dst, {i + offset(), j + offset()}),
+                           std::move(rhs));
+                }
+              });
+    } else {
+      // 1-D loop, occasionally reversed.
+      const bool reversed = opts.allowReversed && rng.nextBelow(3) == 0;
+      auto bodyFn = [&](IxVar i) {
+        const auto stmts =
+            1 + rng.nextBelow(static_cast<std::uint64_t>(opts.maxStmtsPerLoop));
+        for (std::uint64_t s = 0; s < stmts; ++s) {
+          std::vector<ArrayRef> rhs;
+          const auto nReads =
+              rng.nextBelow(static_cast<std::uint64_t>(opts.maxReads) + 1);
+          for (std::uint64_t r = 0; r < nReads; ++r) {
+            if (opts.allowBorderStmts && rng.nextBelow(8) == 0)
+              rhs.push_back(b.ref(pick1d(), {cst(borderConst())}));
+            else
+              rhs.push_back(makeRef1d(i));
+          }
+          b.assign(makeRef1d(i), std::move(rhs));
+        }
+      };
+      if (reversed)
+        b.loopDown("i", 2, AffineN::N() - AffineN(3), bodyFn);
+      else
+        b.loop("i", 2, AffineN::N() - AffineN(3), bodyFn);
+    }
+  }
+  return b.take();
+}
+
+}  // namespace gcr::testing

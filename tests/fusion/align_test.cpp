@@ -1,0 +1,168 @@
+#include "fusion/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+constexpr std::int64_t kMinN = 16;
+
+struct TwoUnits {
+  Program p;
+  std::vector<RefAtom> first, second;
+};
+
+// Build two single-loop units and collect their level-0 atoms.
+TwoUnits build(const std::function<void(ProgramBuilder&, ArrayId, ArrayId)>&
+                   makeUnits) {
+  ProgramBuilder b("align");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(4)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(4)});
+  makeUnits(b, a, c);
+  TwoUnits out;
+  out.p = b.take();
+  out.first = collectAtoms(out.p, out.p.top[0], 0);
+  out.second = collectAtoms(out.p, out.p.top[1], 0);
+  return out;
+}
+
+TEST(Align, FlowDependenceGivesParametricBound) {
+  // L1: A[i] = ...; L2: B[i] = f(A[i-2]).  s >= -2, reuse candidate -2.
+  auto t = build([](ProgramBuilder& b, ArrayId a, ArrayId c) {
+    b.loop("i", 2, AffineN::N(), [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i - 2})}); });
+  });
+  const auto s = summarizeAlignment(t.first, t.second, kMinN);
+  EXPECT_FALSE(s.hasUnbounded);
+  EXPECT_TRUE(s.hasConstraint);
+  EXPECT_EQ(s.sMin, -2);
+  EXPECT_EQ(s.chooseAlignment(), -2);
+}
+
+TEST(Align, ReadReadPrefersClosestReuse) {
+  // Both loops only read A (writes to disjoint arrays): no legality bound,
+  // but the reuse candidate aligns the A accesses.
+  auto t = build([](ProgramBuilder& b, ArrayId a, ArrayId c) {
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i + 2})}); });
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+  });
+  // Note both write B[i]: output dependence s >= 0 as well.
+  const auto s = summarizeAlignment(t.first, t.second, kMinN);
+  EXPECT_FALSE(s.hasUnbounded);
+  // Candidates: A offset diff = 0 - 2 = -2? and B: 0.  Constraint s >= 0.
+  EXPECT_EQ(s.sMin, 0);
+  EXPECT_EQ(s.chooseAlignment(), 0);
+}
+
+TEST(Align, NegativeAlignmentWhenOnlyReads) {
+  // L1 reads A[i+2] (writes B), L2 reads A[i] (writes C — no shared writes).
+  ProgramBuilder b("neg");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(4)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(4)});
+  ArrayId d = b.array("C", {AffineN::N() + AffineN(4)});
+  b.loop("i", 2, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i + 2})}); });
+  b.loop("i", 2, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(d, {i}), {b.ref(a, {i})}); });
+  Program p = b.take();
+  const auto s = summarizeAlignment(collectAtoms(p, p.top[0], 0),
+                                    collectAtoms(p, p.top[1], 0), kMinN);
+  EXPECT_FALSE(s.hasConstraint);
+  ASSERT_FALSE(s.reuseCandidates.empty());
+  EXPECT_EQ(s.chooseAlignment(), -2);  // bring A[i+2] and A[i] together
+}
+
+TEST(Align, InvariantReadOfWrittenArrayIsUnbounded) {
+  // L1: A[i] = ...; L2: B[i] = f(A[N+2]) — every iteration of L2 reads the
+  // element written by L1's last iterations: unbounded alignment.
+  auto t = build([](ProgramBuilder& b, ArrayId a, ArrayId c) {
+    b.loop("i", 2, AffineN::N() + AffineN(2),
+           [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+    b.loop("i", 2, AffineN::N(), [&](IxVar i) {
+      b.assign(b.ref(c, {i}), {b.ref(a, {cst(AffineN::N() + AffineN(2))})});
+    });
+  });
+  const auto s = summarizeAlignment(t.first, t.second, kMinN);
+  EXPECT_TRUE(s.hasUnbounded);
+}
+
+TEST(Align, BorderWriteReadBySingleIterationIsPeelable) {
+  // L1 writes A[0] every iteration (via constant subscript); L2 reads
+  // A[i-2], touching A[0] only at i=2: the sink interval is one boundary
+  // iteration -> peelable rather than hopeless.
+  auto t = build([](ProgramBuilder& b, ArrayId a, ArrayId c) {
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(a, {cst(0)}), {b.ref(c, {i})}); });
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i - 2})}); });
+  });
+  const auto s = summarizeAlignment(t.first, t.second, kMinN);
+  ASSERT_TRUE(s.hasUnbounded);
+  ASSERT_FALSE(s.unboundedPairs.empty());
+  bool foundBoundarySink = false;
+  for (const auto& pc : s.unboundedPairs) {
+    if (pc.sinkLo == AffineN(2) && pc.sinkHi == AffineN(2))
+      foundBoundarySink = true;
+  }
+  EXPECT_TRUE(foundBoundarySink);
+}
+
+TEST(Align, DisjointConstantColumnsNoDependence) {
+  // 2-D: L1 writes column 0, L2 reads column 1 — provably independent.
+  ProgramBuilder b("cols");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2), AffineN::N() + AffineN(2)});
+  b.loop("i", 0, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(a, {i, cst(0)}), {}); });
+  b.loop("i", 0, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(a, {i, cst(1)}), {}); });
+  Program p = b.take();
+  const auto s = summarizeAlignment(collectAtoms(p, p.top[0], 0),
+                                    collectAtoms(p, p.top[1], 0), kMinN);
+  EXPECT_FALSE(s.hasUnbounded);
+  EXPECT_FALSE(s.hasConstraint);
+}
+
+TEST(Align, RangesThatNeverMeetAreIndependent) {
+  // L1 writes A[2..N/?]: use disjoint halves via offsets: L1 touches
+  // A[i] for i in [2, 5]; L2 reads A[i] for i in [8, 12].
+  ProgramBuilder b("ranges");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(4)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(4)});
+  b.loop("i", 2, 5, [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  b.loop("i", 8, 12, [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+  Program p = b.take();
+  const auto s = summarizeAlignment(collectAtoms(p, p.top[0], 0),
+                                    collectAtoms(p, p.top[1], 0), kMinN);
+  EXPECT_FALSE(s.hasConstraint);
+  EXPECT_FALSE(s.hasUnbounded);
+}
+
+TEST(Align, AnyDependenceDetects) {
+  auto t = build([](ProgramBuilder& b, ArrayId a, ArrayId c) {
+    b.loop("i", 2, AffineN::N(), [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+    b.loop("i", 2, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+  });
+  EXPECT_TRUE(anyDependence(t.first, t.second, kMinN));
+
+  // Read-read only: not a dependence.
+  ProgramBuilder b2("rr");
+  ArrayId a2 = b2.array("A", {AffineN::N() + AffineN(4)});
+  ArrayId c2 = b2.array("B", {AffineN::N() + AffineN(4)});
+  ArrayId d2 = b2.array("C", {AffineN::N() + AffineN(4)});
+  b2.loop("i", 2, AffineN::N(),
+          [&](IxVar i) { b2.assign(b2.ref(c2, {i}), {b2.ref(a2, {i})}); });
+  b2.loop("i", 2, AffineN::N(),
+          [&](IxVar i) { b2.assign(b2.ref(d2, {i}), {b2.ref(a2, {i})}); });
+  Program p2 = b2.take();
+  EXPECT_FALSE(anyDependence(collectAtoms(p2, p2.top[0], 0),
+                             collectAtoms(p2, p2.top[1], 0), kMinN));
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,98 @@
+#include "fusion/atoms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(Atoms, LoopUnitClassification) {
+  ProgramBuilder b("atoms");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2), AffineN::N() + AffineN(2)});
+  b.loop2("i", 1, AffineN::N(), "j", 2, AffineN::N() - AffineN(1),
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(a, {i + 1, j}), {b.ref(a, {i, cst(0)})});
+          });
+  Program p = b.take();
+  const auto atoms = collectAtoms(p, p.top[0], /*level=*/0);
+  ASSERT_EQ(atoms.size(), 2u);  // one read, one write
+
+  const RefAtom& read = atoms[0];
+  EXPECT_FALSE(read.isWrite);
+  EXPECT_EQ(read.dims[0].kind, SubKind::LevelVar);
+  EXPECT_EQ(read.dims[0].offset, AffineN(0));
+  EXPECT_EQ(read.dims[1].kind, SubKind::Constant);
+  EXPECT_EQ(read.dims[1].offset, AffineN(0));
+  EXPECT_TRUE(read.hasLevelRange);
+  EXPECT_EQ(read.actLo, AffineN(1));
+  EXPECT_EQ(read.actHi, AffineN::N());
+
+  const RefAtom& write = atoms[1];
+  EXPECT_TRUE(write.isWrite);
+  EXPECT_EQ(write.dims[0].offset, AffineN(1));
+  EXPECT_EQ(write.dims[1].kind, SubKind::Inner);
+  EXPECT_EQ(write.dims[1].rangeLo, AffineN(2));
+  EXPECT_EQ(write.dims[1].rangeHi, AffineN::N() - AffineN(1));
+  EXPECT_EQ(write.levelDim(), 0);
+}
+
+TEST(Atoms, InnerLevelClassification) {
+  ProgramBuilder b("atoms2");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2), AffineN::N() + AffineN(2)});
+  b.loop2("i", 0, AffineN::N(), "j", 0, AffineN::N(),
+          [&](IxVar i, IxVar j) { b.assign(b.ref(a, {i, j}), {}); });
+  Program p = b.take();
+  // At level 1 the unit is the inner loop; dim 0 is Enclosing, dim 1 LevelVar.
+  const Loop& outer = p.top[0].node->loop();
+  const auto atoms = collectAtoms(p, outer.body[0], /*level=*/1);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0].dims[0].kind, SubKind::Enclosing);
+  EXPECT_EQ(atoms[0].dims[0].depth, 0);
+  EXPECT_EQ(atoms[0].dims[1].kind, SubKind::LevelVar);
+}
+
+TEST(Atoms, GuardNarrowsActiveRange) {
+  ProgramBuilder b("atoms3");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  b.loop("i", 0, AffineN::N(), [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  p.top[0].node->loop().body[0].guards = {
+      GuardSpec{0, AffineN(5), AffineN(7)}};
+  const auto atoms = collectAtoms(p, p.top[0], /*level=*/0);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0].actLo, AffineN(5));
+  EXPECT_EQ(atoms[0].actHi, AffineN(7));
+}
+
+TEST(Atoms, AssignUnitHasNoRange) {
+  ProgramBuilder b("atoms4");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  b.assign(b.ref(a, {cst(1)}), {b.ref(a, {cst(AffineN::N())})});
+  Program p = b.take();
+  const auto atoms = collectAtoms(p, p.top[0], /*level=*/0);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_FALSE(atoms[0].hasLevelRange);
+  EXPECT_EQ(atoms[0].dims[0].kind, SubKind::Constant);
+  EXPECT_EQ(atoms[0].dims[0].offset, AffineN::N());
+}
+
+TEST(Atoms, ShareDataDetectsCommonArrays) {
+  ProgramBuilder b("atoms5");
+  ArrayId a = b.array("A", {AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N()});
+  ArrayId d = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(c, {i})}); });
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(d, {i}), {b.ref(c, {i})}); });
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(d, {i}), {b.ref(d, {i})}); });
+  Program p = b.take();
+  EXPECT_TRUE(shareData(p, p.top[0], p.top[1]));   // common B
+  EXPECT_FALSE(shareData(p, p.top[0], p.top[2]));  // A,B vs C,D... no: D only
+  EXPECT_TRUE(shareData(p, p.top[1], p.top[2]));   // common C (array id d)
+}
+
+}  // namespace
+}  // namespace gcr

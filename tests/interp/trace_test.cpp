@@ -1,0 +1,45 @@
+#include "interp/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcr {
+namespace {
+
+TEST(InstrTrace, RoundTripsInstructions) {
+  InstrTrace t;
+  const std::int64_t reads0[] = {8, 16};
+  const std::int64_t reads1[] = {24};
+  t.onInstr(5, reads0, 32);
+  t.onInstr(7, reads1, 40);
+  t.onInstr(5, {}, 48);
+
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.stmtId(0), 5);
+  EXPECT_EQ(t.stmtId(1), 7);
+  EXPECT_EQ(t.writeAddr(0), 32);
+  EXPECT_EQ(t.writeAddr(2), 48);
+  ASSERT_EQ(t.reads(0).size(), 2u);
+  EXPECT_EQ(t.reads(0)[1], 16);
+  ASSERT_EQ(t.reads(1).size(), 1u);
+  EXPECT_EQ(t.reads(2).size(), 0u);
+}
+
+TEST(CountingSink, CountsInstrsAndRefs) {
+  CountingSink s;
+  const std::int64_t reads[] = {0, 8, 16};
+  s.onInstr(0, reads, 24);
+  s.onInstr(1, {}, 32);
+  EXPECT_EQ(s.instrs(), 2u);
+  EXPECT_EQ(s.refs(), 4u + 1u);
+}
+
+TEST(TeeSink, ForwardsToAll) {
+  CountingSink a, b;
+  TeeSink tee({&a, &b});
+  tee.onInstr(0, {}, 8);
+  EXPECT_EQ(a.instrs(), 1u);
+  EXPECT_EQ(b.instrs(), 1u);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,89 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcr {
+namespace {
+
+TEST(ProgramBuilder, BuildsSingleLoop) {
+  ProgramBuilder b("simple");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(1)});
+  b.loop("i", 1, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})});
+  });
+  Program p = b.take();
+
+  ASSERT_EQ(p.top.size(), 1u);
+  ASSERT_TRUE(p.top[0].node->isLoop());
+  const Loop& l = p.top[0].node->loop();
+  EXPECT_EQ(l.var, "i");
+  EXPECT_EQ(l.lo, AffineN(1));
+  EXPECT_EQ(l.hi, AffineN::N());
+  ASSERT_EQ(l.body.size(), 1u);
+  ASSERT_TRUE(l.body[0].node->isAssign());
+  const Assign& s = l.body[0].node->assign();
+  EXPECT_EQ(s.lhs.array, a);
+  ASSERT_EQ(s.rhs.size(), 1u);
+  EXPECT_EQ(s.rhs[0].subs[0].depth, 0);
+  EXPECT_EQ(s.rhs[0].subs[0].offset, AffineN(-1));
+}
+
+TEST(ProgramBuilder, NestedLoopDepths) {
+  ProgramBuilder b("nest");
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 0, AffineN::N() - AffineN(1), "j", 0,
+          AffineN::N() - AffineN(1), [&](IxVar i, IxVar j) {
+            b.assign(b.ref(a, {i, j}), {b.ref(a, {i, j - 1})});
+          });
+  Program p = b.take();
+  const Loop& outer = p.top[0].node->loop();
+  const Loop& inner = outer.body[0].node->loop();
+  const Assign& s = inner.body[0].node->assign();
+  EXPECT_EQ(s.lhs.subs[0].depth, 0);
+  EXPECT_EQ(s.lhs.subs[1].depth, 1);
+}
+
+TEST(ProgramBuilder, StatementIdsAssignedInTextualOrder) {
+  ProgramBuilder b("ids");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.assign(b.ref(a, {cst(0)}), {});
+  b.loop("i", 1, AffineN::N() - AffineN(1), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})});
+    b.assign(b.ref(a, {i}), {b.ref(a, {i})});
+  });
+  b.assign(b.ref(a, {cst(0)}), {b.ref(a, {cst(AffineN::N() - AffineN(1))})});
+  Program p = b.take();
+
+  std::vector<int> ids;
+  forEachAssign(p, [&](const Assign& s, const std::vector<const Loop*>&) {
+    ids.push_back(s.id);
+  });
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(p.numStatements(), 4);
+}
+
+TEST(ProgramBuilder, UniqueSeeds) {
+  ProgramBuilder b("seeds");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.assign(b.ref(a, {cst(0)}), {});
+  b.assign(b.ref(a, {cst(1)}), {});
+  Program p = b.take();
+  const auto& s0 = p.top[0].node->assign();
+  const auto& s1 = p.top[1].node->assign();
+  EXPECT_NE(s0.seed, s1.seed);
+}
+
+TEST(ProgramBuilder, RejectsDuplicateArrayNames) {
+  ProgramBuilder b("dup");
+  b.array("A", {AffineN::N()});
+  EXPECT_THROW(b.array("A", {AffineN::N()}), Error);
+}
+
+TEST(ProgramBuilder, RejectsRankMismatch) {
+  ProgramBuilder b("rank");
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  EXPECT_THROW(b.ref(a, {cst(0)}), Error);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+
+namespace gcr {
+namespace {
+
+Program makeSample() {
+  ProgramBuilder b("sample");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(2)});
+  b.loop("i", 1, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})});
+  });
+  b.assign(b.ref(a, {cst(0)}), {b.ref(a, {cst(AffineN::N())})});
+  b.loop("i", 1, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(c, {i}), {b.ref(a, {i})});
+  });
+  return b.take();
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  Program p = makeSample();
+  Program q = p.clone();
+  EXPECT_EQ(toString(p), toString(q));
+
+  // Mutate the clone; the original must not change.
+  q.top[0].node->loop().hi = AffineN(5);
+  EXPECT_NE(toString(p), toString(q));
+}
+
+TEST(Clone, GuardsAreCopied) {
+  Program p = makeSample();
+  p.top[0].node->loop().body[0].guards = {GuardSpec{0, AffineN(2), AffineN::N()}};
+  Program q = p.clone();
+  ASSERT_EQ(q.top[0].node->loop().body[0].guards.size(), 1u);
+  EXPECT_EQ(q.top[0].node->loop().body[0].guards[0].lo, AffineN(2));
+}
+
+TEST(Clone, RenumberCountsAllStatements) {
+  Program p = makeSample();
+  EXPECT_EQ(p.renumber(), 3);
+  EXPECT_EQ(p.numStatements(), 3);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,45 @@
+#include "ir/print.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(Print, LoopAndSubscripts) {
+  ProgramBuilder b("printy");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  b.loop("i", 2, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})}, "recurrence");
+  });
+  Program p = b.take();
+  const std::string s = toString(p);
+  EXPECT_NE(s.find("for i = 2, N {"), std::string::npos);
+  EXPECT_NE(s.find("A[i] = f0(A[i-1])"), std::string::npos);
+  EXPECT_NE(s.find("// recurrence"), std::string::npos);
+}
+
+TEST(Print, GuardsRendered) {
+  ProgramBuilder b("guards");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  b.loop("i", 0, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {});
+  });
+  Program p = b.take();
+  p.top[0].node->loop().body[0].guards = {GuardSpec{0, AffineN(3), AffineN::N()}};
+  const std::string s = toString(p);
+  EXPECT_NE(s.find("when i in [3..N]"), std::string::npos);
+}
+
+TEST(Print, ConstantSubscriptsAndBorders) {
+  ProgramBuilder b("borders");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+  b.assign(b.ref(a, {cst(1)}), {b.ref(a, {cst(AffineN::N())})});
+  Program p = b.take();
+  const std::string s = toString(p);
+  EXPECT_NE(s.find("A[1] = f0(A[N])"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,35 @@
+#include "ir/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(Stats, CountsLoopsNestsLevels) {
+  ProgramBuilder b("stats");
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N(), AffineN::N()});
+  b.array("Unused", {AffineN::N()});
+  b.loop2("i", 0, AffineN::N() - AffineN(1), "j", 0, AffineN::N() - AffineN(1),
+          [&](IxVar i, IxVar j) { b.assign(b.ref(a, {i, j}), {}); });
+  b.loop("i", 0, AffineN::N() - AffineN(1), [&](IxVar i) {
+    b.assign(b.ref(c, {i, cst(0)}), {b.ref(a, {i, cst(0)})});
+  });
+  Program p = b.take();
+  const ProgramStats st = computeStats(p);
+  EXPECT_EQ(st.numArrays, 3);
+  EXPECT_EQ(st.numArraysUsed, 2);
+  EXPECT_EQ(st.numStatements, 2);
+  EXPECT_EQ(st.numLoops, 3);
+  EXPECT_EQ(st.numLoopNests, 2);
+  EXPECT_EQ(st.maxLevel, 2);
+  ASSERT_EQ(st.loopsPerLevel.size(), 2u);
+  EXPECT_EQ(st.loopsPerLevel[0], 2);
+  EXPECT_EQ(st.loopsPerLevel[1], 1);
+  EXPECT_FALSE(st.summary().empty());
+}
+
+}  // namespace
+}  // namespace gcr

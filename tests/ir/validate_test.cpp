@@ -1,0 +1,63 @@
+#include "ir/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(Validate, AcceptsWellFormed) {
+  ProgramBuilder b("ok");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  EXPECT_NO_THROW(validate(p));
+  EXPECT_EQ(validationError(p), "");
+}
+
+TEST(Validate, RejectsSubscriptDepthBeyondNest) {
+  ProgramBuilder b("bad-depth");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  // Corrupt: statement at top level referencing loop depth 2.
+  p.top.push_back(Child{
+      makeNode(Assign{-1, ArrayRef{a, {Subscript::var(2)}}, {}, 1, ""}),
+      {}});
+  EXPECT_NE(validationError(p), "");
+}
+
+TEST(Validate, RejectsRankMismatch) {
+  ProgramBuilder b("bad-rank");
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  Program p = b.take();
+  p.top.push_back(Child{
+      makeNode(Assign{-1, ArrayRef{a, {Subscript::constant(0)}}, {}, 1, ""}),
+      {}});
+  EXPECT_NE(validationError(p), "");
+}
+
+TEST(Validate, RejectsGuardAtTopLevel) {
+  ProgramBuilder b("bad-guard");
+  ArrayId a = b.array("A", {AffineN::N()});
+  Program p = b.take();
+  Child c{makeNode(Assign{-1, ArrayRef{a, {Subscript::constant(0)}}, {}, 1, ""}),
+          {GuardSpec{0, AffineN(0), AffineN(0)}}};
+  p.top.push_back(std::move(c));
+  EXPECT_NE(validationError(p), "");
+}
+
+TEST(Validate, RejectsUndeclaredArray) {
+  Program p;
+  p.name = "ghost";
+  p.top.push_back(Child{
+      makeNode(Assign{-1, ArrayRef{0, {Subscript::constant(0)}}, {}, 1, ""}),
+      {}});
+  EXPECT_NE(validationError(p), "");
+}
+
+}  // namespace
+}  // namespace gcr

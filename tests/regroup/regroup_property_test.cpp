@@ -1,0 +1,93 @@
+// Property tests for regrouping: for random programs, the regrouped layout
+// must be injective (no two logical elements share an address), fit in the
+// declared data segment, and leave program semantics untouched.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random_program.hpp"
+#include "interp/interp.hpp"
+#include "regroup/regroup.hpp"
+
+namespace gcr {
+namespace {
+
+class RegroupProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegroupProperty, LayoutIsInjectiveAndInBounds) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  Program p = testing::randomProgram(GetParam() * 101 + 7, opts);
+  Regrouping rg = Regrouping::analyze(p);
+  const std::int64_t n = 11;
+  DataLayout l = rg.layout(p, n);
+
+  std::set<std::int64_t> seen;
+  for (std::size_t a = 0; a < p.arrays.size(); ++a) {
+    const auto ext = concreteExtents(p.arrays[a], n);
+    std::vector<std::int64_t> idx(ext.size(), 0);
+    for (;;) {
+      const std::int64_t addr = l.addressOf(static_cast<ArrayId>(a), idx);
+      ASSERT_GE(addr, 0);
+      ASSERT_LE(addr + 8, l.totalBytes());
+      ASSERT_TRUE(seen.insert(addr).second)
+          << "address collision in " << p.arrays[a].name;
+      int d = static_cast<int>(ext.size()) - 1;
+      while (d >= 0 &&
+             ++idx[static_cast<std::size_t>(d)] == ext[static_cast<std::size_t>(d)]) {
+        idx[static_cast<std::size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+}
+
+TEST_P(RegroupProperty, SemanticsPreserved) {
+  testing::RandomProgramOptions ropts;
+  ropts.allowTwoDim = true;
+  Program p = testing::randomProgram(GetParam() * 37 + 3, ropts);
+  Regrouping rg = Regrouping::analyze(p);
+  for (std::int64_t n : {16, 23}) {
+    DataLayout plain = contiguousLayout(p, n);
+    DataLayout grouped = rg.layout(p, n);
+    ExecResult r1 = execute(p, plain, {.n = n});
+    ExecResult r2 = execute(p, grouped, {.n = n});
+    ASSERT_TRUE(sameArrayContents(p, r1, plain, r2, grouped, n));
+  }
+}
+
+TEST_P(RegroupProperty, OptionsStillInjective) {
+  testing::RandomProgramOptions ropts;
+  ropts.allowTwoDim = true;
+  Program p = testing::randomProgram(GetParam() * 53 + 1, ropts);
+  for (const bool skipInner : {false, true}) {
+    RegroupOptions opts;
+    opts.skipInnermostDim = skipInner;
+    opts.innermostOnly = !skipInner;
+    Regrouping rg = Regrouping::analyze(p, opts);
+    const std::int64_t n = 9;
+    DataLayout l = rg.layout(p, n);
+    std::set<std::int64_t> seen;
+    for (std::size_t a = 0; a < p.arrays.size(); ++a) {
+      const auto ext = concreteExtents(p.arrays[a], n);
+      std::vector<std::int64_t> idx(ext.size(), 0);
+      for (;;) {
+        ASSERT_TRUE(seen.insert(l.addressOf(static_cast<ArrayId>(a), idx)).second);
+        int d = static_cast<int>(ext.size()) - 1;
+        while (d >= 0 && ++idx[static_cast<std::size_t>(d)] ==
+                             ext[static_cast<std::size_t>(d)]) {
+          idx[static_cast<std::size_t>(d)] = 0;
+          --d;
+        }
+        if (d < 0) break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegroupProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace gcr

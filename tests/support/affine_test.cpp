@@ -1,0 +1,53 @@
+#include "support/affine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcr {
+namespace {
+
+TEST(AffineN, ConstructionAndEval) {
+  AffineN c{7};
+  EXPECT_TRUE(c.isConstant());
+  EXPECT_EQ(c.eval(100), 7);
+
+  AffineN n = AffineN::N();
+  EXPECT_FALSE(n.isConstant());
+  EXPECT_EQ(n.eval(100), 100);
+
+  AffineN v{3, 2};  // 3 + 2N
+  EXPECT_EQ(v.eval(10), 23);
+}
+
+TEST(AffineN, Arithmetic) {
+  AffineN a{1, 1};   // N+1
+  AffineN b{-3, 0};  // -3
+  EXPECT_EQ((a + b), (AffineN{-2, 1}));
+  EXPECT_EQ((a - b), (AffineN{4, 1}));
+  EXPECT_EQ((-a), (AffineN{-1, -1}));
+  EXPECT_EQ((3 * a), (AffineN{3, 3}));
+}
+
+TEST(AffineN, EventualOrdering) {
+  AffineN n = AffineN::N();
+  AffineN big{1000000, 0};
+  // For all sufficiently large N, N > any constant.
+  EXPECT_TRUE(eventuallyLess(big, n));
+  EXPECT_FALSE(eventuallyLess(n, big));
+  // Same slope: compare constants.
+  EXPECT_TRUE(eventuallyLess(AffineN(2, 1), AffineN(5, 1)));
+  EXPECT_TRUE(eventuallyLessEq(AffineN(2, 1), AffineN(2, 1)));
+  EXPECT_EQ(eventualMax(AffineN(2, 1), AffineN(5, 0)), (AffineN(2, 1)));
+  EXPECT_EQ(eventualMin(AffineN(2, 1), AffineN(5, 0)), (AffineN(5, 0)));
+}
+
+TEST(AffineN, Printing) {
+  EXPECT_EQ(AffineN(5).str(), "5");
+  EXPECT_EQ(AffineN::N().str(), "N");
+  EXPECT_EQ((AffineN::N() + AffineN(1)).str(), "N+1");
+  EXPECT_EQ((AffineN(-2, 1)).str(), "N-2");
+  EXPECT_EQ((AffineN(0, -1)).str(), "-N");
+  EXPECT_EQ((AffineN(3, 2)).str(), "2*N+3");
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,68 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcr {
+namespace {
+
+TEST(Log2Histogram, BinAssignment) {
+  EXPECT_EQ(Log2Histogram::binOf(0), 0);
+  EXPECT_EQ(Log2Histogram::binOf(1), 1);
+  EXPECT_EQ(Log2Histogram::binOf(2), 2);
+  EXPECT_EQ(Log2Histogram::binOf(3), 2);
+  EXPECT_EQ(Log2Histogram::binOf(4), 3);
+  EXPECT_EQ(Log2Histogram::binOf(1023), 10);
+  EXPECT_EQ(Log2Histogram::binOf(1024), 11);
+}
+
+TEST(Log2Histogram, BinLowEdges) {
+  EXPECT_EQ(Log2Histogram::binLow(0), 0u);
+  EXPECT_EQ(Log2Histogram::binLow(1), 1u);
+  EXPECT_EQ(Log2Histogram::binLow(2), 2u);
+  EXPECT_EQ(Log2Histogram::binLow(3), 4u);
+  EXPECT_EQ(Log2Histogram::binLow(11), 1024u);
+}
+
+TEST(Log2Histogram, AddAndCount) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(0);
+  h.add(5);
+  h.add(Log2Histogram::kCold);
+  EXPECT_EQ(h.binCount(0), 2u);
+  EXPECT_EQ(h.binCount(3), 1u);
+  EXPECT_EQ(h.coldCount(), 1u);
+  EXPECT_EQ(h.totalFinite(), 3u);
+  EXPECT_EQ(h.highestNonEmptyBin(), 3);
+}
+
+TEST(Log2Histogram, Merge) {
+  Log2Histogram a, b;
+  a.add(1);
+  b.add(1);
+  b.add(100);
+  b.add(Log2Histogram::kCold);
+  a.merge(b);
+  EXPECT_EQ(a.binCount(1), 2u);
+  EXPECT_EQ(a.totalFinite(), 3u);
+  EXPECT_EQ(a.coldCount(), 1u);
+}
+
+TEST(Log2Histogram, CountAtLeastExactPowers) {
+  Log2Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(1u << i);  // one per bin 1..10
+  // Threshold at a power of two: all bins at or above it count.
+  EXPECT_EQ(h.countAtLeast(1u << 5), 5u);
+  EXPECT_EQ(h.countAtLeast(1), 10u);
+}
+
+TEST(Log2Histogram, Csv) {
+  Log2Histogram h;
+  h.add(2);
+  const std::string csv = h.toCsv();
+  EXPECT_NE(csv.find("bin,low_edge,count"), std::string::npos);
+  EXPECT_NE(csv.find("cold,inf,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcr

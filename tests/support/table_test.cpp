@@ -1,0 +1,32 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1.5"});
+  t.addRow({"beta", "20"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(TextTable, Formatting) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmtPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(TextTable::fmtRatio(2.5, 2), "2.50x");
+}
+
+}  // namespace
+}  // namespace gcr

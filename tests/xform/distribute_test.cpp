@@ -1,0 +1,113 @@
+#include "xform/distribute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "ir/stats.hpp"
+#include "ir/validate.hpp"
+
+namespace gcr {
+namespace {
+
+bool sameSemantics(const Program& a, const Program& b, std::int64_t n) {
+  DataLayout la = contiguousLayout(a, n);
+  DataLayout lb = contiguousLayout(b, n);
+  ExecResult ra = execute(a, la, {.n = n});
+  ExecResult rb = execute(b, lb, {.n = n});
+  for (std::size_t ar = 0; ar < a.arrays.size(); ++ar)
+    if (extractArray(ra, la, a, static_cast<ArrayId>(ar), n) !=
+        extractArray(rb, lb, b, static_cast<ArrayId>(ar), n))
+      return false;
+  return true;
+}
+
+TEST(Distribute, IndependentStatementsSplit) {
+  ProgramBuilder b("indep");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {b.ref(a, {i})});
+    b.assign(b.ref(c, {i}), {b.ref(c, {i})});
+  });
+  Program p = b.take();
+  int count = 0;
+  Program d = distributeLoops(p, 16, &count);
+  validate(d);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(computeStats(d).numLoopNests, 2);
+  EXPECT_TRUE(sameSemantics(p, d, 20));
+}
+
+TEST(Distribute, ForwardDependenceStillSplits) {
+  // S2 reads what S1 wrote this iteration: forward dep, distribution legal.
+  ProgramBuilder b("fwd");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.assign(b.ref(a, {i}), {});
+    b.assign(b.ref(c, {i}), {b.ref(a, {i})});
+  });
+  Program p = b.take();
+  Program d = distributeLoops(p);
+  EXPECT_EQ(computeStats(d).numLoopNests, 2);
+  EXPECT_TRUE(sameSemantics(p, d, 20));
+}
+
+TEST(Distribute, BackwardDependenceBlocksSplit) {
+  // S2 writes A[i]; S1 reads A[i-1] (the value S2 wrote LAST iteration):
+  // dependence from S2(i1) to S1(i1+1) — backward; must stay together.
+  ProgramBuilder b("bwd");
+  ArrayId a = b.array("A", {AffineN::N() + AffineN(1)});
+  ArrayId c = b.array("B", {AffineN::N() + AffineN(1)});
+  b.loop("i", 1, AffineN::N(), [&](IxVar i) {
+    b.assign(b.ref(c, {i}), {b.ref(a, {i - 1})});
+    b.assign(b.ref(a, {i}), {b.ref(c, {i})});
+  });
+  Program p = b.take();
+  int count = 0;
+  Program d = distributeLoops(p, 16, &count);
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(computeStats(d).numLoopNests, 1);
+  EXPECT_TRUE(sameSemantics(p, d, 20));
+}
+
+TEST(Distribute, RecursesIntoInnerLoops) {
+  ProgramBuilder b("nested");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  ArrayId c = b.array("B", {AffineN::N(), AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.loop("j", 0, hi, [&](IxVar j) {
+      b.assign(b.ref(a, {i, j}), {b.ref(a, {i, j})});
+      b.assign(b.ref(c, {i, j}), {b.ref(c, {i, j})});
+    });
+  });
+  Program p = b.take();
+  Program d = distributeLoops(p);
+  // Inner loop splits into two inner loops; outer may then also split.
+  const ProgramStats st = computeStats(d);
+  EXPECT_GE(st.numLoops, 3);
+  EXPECT_TRUE(sameSemantics(p, d, 16));
+}
+
+TEST(Distribute, MixedStatementAndLoopSiblings) {
+  ProgramBuilder b("mixed");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.assign(b.ref(a, {i, cst(0)}), {});
+    b.loop("j", 1, hi, [&](IxVar j) {
+      b.assign(b.ref(a, {i, j}), {b.ref(a, {i, j - 1})});
+    });
+  });
+  Program p = b.take();
+  Program d = distributeLoops(p);
+  validate(d);
+  EXPECT_TRUE(sameSemantics(p, d, 16));
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,176 @@
+#include "xform/unroll_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "ir/stats.hpp"
+#include "ir/validate.hpp"
+#include "support/prng.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(Unroll, SmallConstantLoopDisappears) {
+  // for i=0,N-1 { for m=0,2: A[m][i] = f(A[m][i]) }
+  ProgramBuilder b("unroll");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN(3), AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.loop("m", 0, 2, [&](IxVar m) {
+      b.assign(b.ref(a, {m, i}), {b.ref(a, {m, i})});
+    });
+  });
+  Program p = b.take();
+  int count = 0;
+  Program u = unrollSmallLoops(p, 8, &count);
+  validate(u);
+  EXPECT_EQ(count, 1);
+  const ProgramStats st = computeStats(u);
+  EXPECT_EQ(st.numLoops, 1);       // only the i loop remains
+  EXPECT_EQ(st.numStatements, 3);  // three unrolled copies
+
+  // Subscripts at the unrolled dim became constants 0,1,2 and the i
+  // subscript dropped to depth 0.
+  forEachAssign(u, [&](const Assign& s, const std::vector<const Loop*>&) {
+    EXPECT_TRUE(s.lhs.subs[0].isConstant());
+    EXPECT_EQ(s.lhs.subs[1].depth, 0);
+  });
+
+  DataLayout lp = contiguousLayout(p, 12);
+  ExecResult rp = execute(p, lp, {.n = 12});
+  ExecResult ru = execute(u, lp, {.n = 12});
+  EXPECT_TRUE(sameArrayContents(p, rp, lp, ru, lp, 12));
+}
+
+TEST(Unroll, SymbolicLoopsUntouched) {
+  ProgramBuilder b("keep");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - AffineN(1),
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  int count = 0;
+  Program u = unrollSmallLoops(p, 8, &count);
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(computeStats(u).numLoops, 1);
+}
+
+TEST(Unroll, WideConstantLoopsUntouched) {
+  ProgramBuilder b("wide");
+  ArrayId a = b.array("A", {AffineN(100)});
+  b.loop("i", 0, 99, [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  Program u = unrollSmallLoops(p, 8);
+  EXPECT_EQ(computeStats(u).numLoops, 1);
+}
+
+TEST(Split, ConstantDimBecomesSeparateArrays) {
+  // A[3][N] accessed only with constant first subscripts -> A_0, A_1, A_2.
+  ProgramBuilder b("split");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("A", {AffineN(3), AffineN::N()});
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.assign(b.ref(a, {cst(0), i}), {b.ref(a, {cst(1), i}), b.ref(a, {cst(2), i})});
+  });
+  Program p = b.take();
+  int count = 0;
+  SplitResult r = splitConstantDims(p, 8, &count);
+  validate(r.program);
+  EXPECT_EQ(count, 1);
+  ASSERT_EQ(r.program.arrays.size(), 3u);
+  EXPECT_EQ(r.program.arrays[0].name, "A_0");
+  EXPECT_EQ(r.program.arrays[0].rank(), 1);
+  ASSERT_EQ(r.origins.size(), 3u);
+  EXPECT_EQ(r.origins[1].original, a);
+  EXPECT_EQ(r.origins[1].fixed.front(), (std::pair<int, std::int64_t>{0, 1}));
+}
+
+TEST(Split, VariantSubscriptPreventsSplit) {
+  ProgramBuilder b("nosplit");
+  ArrayId a = b.array("A", {AffineN(3), AffineN::N()});
+  b.loop2("m", 0, 2, "i", 0, AffineN::N() - AffineN(1),
+          [&](IxVar m, IxVar i) { b.assign(b.ref(a, {m, i}), {}); });
+  Program p = b.take();
+  // Without unrolling, the m subscript is variant: no split.
+  SplitResult r = splitConstantDims(p, 8);
+  EXPECT_EQ(r.program.arrays.size(), 1u);
+  // unrollAndSplit removes the m loop first, then splits.
+  SplitResult r2 = unrollAndSplit(p);
+  EXPECT_EQ(r2.program.arrays.size(), 3u);
+}
+
+TEST(Split, SemanticsPreservedViaOriginMapping) {
+  ProgramBuilder b("semantics");
+  const AffineN hi = AffineN::N() - AffineN(1);
+  ArrayId a = b.array("U", {AffineN(2), AffineN::N()});
+  ArrayId c = b.array("V", {AffineN::N()});
+  b.loop("i", 1, hi, [&](IxVar i) {
+    b.loop("m", 0, 1, [&](IxVar m) {
+      b.assign(b.ref(a, {m, i}), {b.ref(a, {m, i - 1}), b.ref(c, {i})});
+    });
+  });
+  Program p = b.take();
+  SplitResult r = unrollAndSplit(p);
+  const std::int64_t n = 10;
+
+  DataLayout lp = contiguousLayout(p, n);
+  DataLayout ls = contiguousLayout(r.program, n);
+  ExecResult rp = execute(p, lp, {.n = n});
+  // Initialize each slice element with the value its original element gets
+  // under the default initializer, so untouched data agrees.
+  ExecOptions splitOpts;
+  splitOpts.n = n;
+  splitOpts.initValue = [&](ArrayId s, std::span<const std::int64_t> idx) {
+    const ArrayOrigin& origin = r.origins[static_cast<std::size_t>(s)];
+    const auto origIdx =
+        origin.originalIndex(std::vector<std::int64_t>(idx.begin(), idx.end()));
+    const auto ext = concreteExtents(p.arrayDecl(origin.original), n);
+    std::int64_t linear = 0;
+    for (std::size_t d = 0; d < ext.size(); ++d)
+      linear = linear * ext[d] + origIdx[d];
+    return mix64(mixCombine(0xabcd1234u +
+                                static_cast<std::uint64_t>(origin.original),
+                            static_cast<std::uint64_t>(linear)));
+  };
+  ExecResult rs = execute(r.program, ls, splitOpts);
+
+  // Every element of every slice must equal the corresponding original
+  // element.
+  for (std::size_t s = 0; s < r.program.arrays.size(); ++s) {
+    const ArrayOrigin& origin = r.origins[s];
+    const auto ext = concreteExtents(r.program.arrays[s], n);
+    std::vector<std::int64_t> idx(ext.size(), 0);
+    for (;;) {
+      const std::int64_t sliceAddr =
+          ls.addressOf(static_cast<ArrayId>(s), idx);
+      const auto origIdx = origin.originalIndex(idx);
+      const std::int64_t origAddr = lp.addressOf(origin.original, origIdx);
+      EXPECT_EQ(rs.memory[static_cast<std::size_t>(sliceAddr / 8)],
+                rp.memory[static_cast<std::size_t>(origAddr / 8)]);
+      int d = static_cast<int>(ext.size()) - 1;
+      while (d >= 0 && ++idx[static_cast<std::size_t>(d)] ==
+                           ext[static_cast<std::size_t>(d)]) {
+        idx[static_cast<std::size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+}
+
+TEST(Split, DoubleSplitResolvesBothDims) {
+  ProgramBuilder b("double");
+  ArrayId a = b.array("W", {AffineN(2), AffineN::N(), AffineN(2)});
+  const AffineN hi = AffineN::N() - AffineN(1);
+  b.loop("i", 0, hi, [&](IxVar i) {
+    b.assign(b.ref(a, {cst(0), i, cst(1)}), {b.ref(a, {cst(1), i, cst(0)})});
+  });
+  Program p = b.take();
+  SplitResult r = splitConstantDims(p);
+  validate(r.program);
+  EXPECT_EQ(r.program.arrays.size(), 4u);
+  for (const ArrayDecl& d : r.program.arrays) EXPECT_EQ(d.rank(), 1);
+}
+
+}  // namespace
+}  // namespace gcr

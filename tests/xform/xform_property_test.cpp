@@ -1,0 +1,54 @@
+// Property tests: distribution preserves semantics on random programs, and
+// distribution followed by fusion also preserves semantics (the paper's
+// actual pipeline ordering).
+#include <gtest/gtest.h>
+
+#include "common/random_program.hpp"
+#include "fusion/fusion.hpp"
+#include "interp/interp.hpp"
+#include "ir/validate.hpp"
+#include "xform/distribute.hpp"
+
+namespace gcr {
+namespace {
+
+bool sameSemantics(const Program& a, const Program& b, std::int64_t n) {
+  DataLayout la = contiguousLayout(a, n);
+  DataLayout lb = contiguousLayout(b, n);
+  ExecResult ra = execute(a, la, {.n = n});
+  ExecResult rb = execute(b, lb, {.n = n});
+  for (std::size_t ar = 0; ar < a.arrays.size(); ++ar)
+    if (extractArray(ra, la, a, static_cast<ArrayId>(ar), n) !=
+        extractArray(rb, lb, b, static_cast<ArrayId>(ar), n))
+      return false;
+  return true;
+}
+
+class XformProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XformProperty, DistributionPreservesSemantics) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.maxStmtsPerLoop = 4;
+  Program p = testing::randomProgram(GetParam() * 11 + 2, opts);
+  Program d = distributeLoops(p);
+  ASSERT_EQ(validationError(d), "");
+  for (std::int64_t n : {16, 27}) ASSERT_TRUE(sameSemantics(p, d, n)) << n;
+}
+
+TEST_P(XformProperty, DistributeThenFusePreservesSemantics) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.maxStmtsPerLoop = 4;
+  Program p = testing::randomProgram(GetParam() * 13 + 9, opts);
+  Program d = distributeLoops(p);
+  Program f = fuseProgram(d);
+  ASSERT_EQ(validationError(f), "");
+  for (std::int64_t n : {16, 31}) ASSERT_TRUE(sameSemantics(p, f, n)) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XformProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace gcr
