@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combined.dir/bench_ablation_combined.cpp.o"
+  "CMakeFiles/bench_ablation_combined.dir/bench_ablation_combined.cpp.o.d"
+  "bench_ablation_combined"
+  "bench_ablation_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

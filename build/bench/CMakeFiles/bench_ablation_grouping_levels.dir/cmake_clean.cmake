@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grouping_levels.dir/bench_ablation_grouping_levels.cpp.o"
+  "CMakeFiles/bench_ablation_grouping_levels.dir/bench_ablation_grouping_levels.cpp.o.d"
+  "bench_ablation_grouping_levels"
+  "bench_ablation_grouping_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grouping_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tlb_reach.dir/bench_ablation_tlb_reach.cpp.o"
+  "CMakeFiles/bench_ablation_tlb_reach.dir/bench_ablation_tlb_reach.cpp.o.d"
+  "bench_ablation_tlb_reach"
+  "bench_ablation_tlb_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tlb_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_adi.dir/bench_fig10_adi.cpp.o"
+  "CMakeFiles/bench_fig10_adi.dir/bench_fig10_adi.cpp.o.d"
+  "bench_fig10_adi"
+  "bench_fig10_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sp.dir/bench_fig10_sp.cpp.o"
+  "CMakeFiles/bench_fig10_sp.dir/bench_fig10_sp.cpp.o.d"
+  "bench_fig10_sp"
+  "bench_fig10_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

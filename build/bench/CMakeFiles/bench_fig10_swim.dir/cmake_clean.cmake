@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_swim.dir/bench_fig10_swim.cpp.o"
+  "CMakeFiles/bench_fig10_swim.dir/bench_fig10_swim.cpp.o.d"
+  "bench_fig10_swim"
+  "bench_fig10_swim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_swim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

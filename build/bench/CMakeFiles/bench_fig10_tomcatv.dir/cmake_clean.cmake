@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tomcatv.dir/bench_fig10_tomcatv.cpp.o"
+  "CMakeFiles/bench_fig10_tomcatv.dir/bench_fig10_tomcatv.cpp.o.d"
+  "bench_fig10_tomcatv"
+  "bench_fig10_tomcatv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tomcatv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

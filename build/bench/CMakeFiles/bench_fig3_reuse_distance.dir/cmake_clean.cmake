@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reuse_distance.dir/bench_fig3_reuse_distance.cpp.o"
+  "CMakeFiles/bench_fig3_reuse_distance.dir/bench_fig3_reuse_distance.cpp.o.d"
+  "bench_fig3_reuse_distance"
+  "bench_fig3_reuse_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

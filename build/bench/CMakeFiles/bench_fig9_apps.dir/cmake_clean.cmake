@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_apps.dir/bench_fig9_apps.cpp.o"
+  "CMakeFiles/bench_fig9_apps.dir/bench_fig9_apps.cpp.o.d"
+  "bench_fig9_apps"
+  "bench_fig9_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

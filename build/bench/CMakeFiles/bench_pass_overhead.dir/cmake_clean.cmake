@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pass_overhead.dir/bench_pass_overhead.cpp.o"
+  "CMakeFiles/bench_pass_overhead.dir/bench_pass_overhead.cpp.o.d"
+  "bench_pass_overhead"
+  "bench_pass_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pass_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec22_evadable.dir/bench_sec22_evadable.cpp.o"
+  "CMakeFiles/bench_sec22_evadable.dir/bench_sec22_evadable.cpp.o.d"
+  "bench_sec22_evadable"
+  "bench_sec22_evadable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec22_evadable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

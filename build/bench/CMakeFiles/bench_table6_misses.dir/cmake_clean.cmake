@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_misses.dir/bench_table6_misses.cpp.o"
+  "CMakeFiles/bench_table6_misses.dir/bench_table6_misses.cpp.o.d"
+  "bench_table6_misses"
+  "bench_table6_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

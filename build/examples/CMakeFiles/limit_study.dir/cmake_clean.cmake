@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_study.dir/limit_study.cpp.o"
+  "CMakeFiles/limit_study.dir/limit_study.cpp.o.d"
+  "limit_study"
+  "limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adi.cpp" "src/apps/CMakeFiles/gcr_apps.dir/adi.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/adi.cpp.o.d"
+  "/root/repo/src/apps/extra_kernels.cpp" "src/apps/CMakeFiles/gcr_apps.dir/extra_kernels.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/extra_kernels.cpp.o.d"
+  "/root/repo/src/apps/fft_trace.cpp" "src/apps/CMakeFiles/gcr_apps.dir/fft_trace.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/fft_trace.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/gcr_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "src/apps/CMakeFiles/gcr_apps.dir/sp.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/sp.cpp.o.d"
+  "/root/repo/src/apps/sweep3d.cpp" "src/apps/CMakeFiles/gcr_apps.dir/sweep3d.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/sweep3d.cpp.o.d"
+  "/root/repo/src/apps/swim.cpp" "src/apps/CMakeFiles/gcr_apps.dir/swim.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/swim.cpp.o.d"
+  "/root/repo/src/apps/tomcatv.cpp" "src/apps/CMakeFiles/gcr_apps.dir/tomcatv.cpp.o" "gcc" "src/apps/CMakeFiles/gcr_apps.dir/tomcatv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gcr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gcr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_apps.dir/adi.cpp.o"
+  "CMakeFiles/gcr_apps.dir/adi.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/extra_kernels.cpp.o"
+  "CMakeFiles/gcr_apps.dir/extra_kernels.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/fft_trace.cpp.o"
+  "CMakeFiles/gcr_apps.dir/fft_trace.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/registry.cpp.o"
+  "CMakeFiles/gcr_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/sp.cpp.o"
+  "CMakeFiles/gcr_apps.dir/sp.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/sweep3d.cpp.o"
+  "CMakeFiles/gcr_apps.dir/sweep3d.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/swim.cpp.o"
+  "CMakeFiles/gcr_apps.dir/swim.cpp.o.d"
+  "CMakeFiles/gcr_apps.dir/tomcatv.cpp.o"
+  "CMakeFiles/gcr_apps.dir/tomcatv.cpp.o.d"
+  "libgcr_apps.a"
+  "libgcr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

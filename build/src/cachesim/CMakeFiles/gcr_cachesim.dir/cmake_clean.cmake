@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/gcr_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/gcr_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/gcr_cachesim.dir/hierarchy.cpp.o.d"
+  "libgcr_cachesim.a"
+  "libgcr_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_codegen.dir/emit_c.cpp.o"
+  "CMakeFiles/gcr_codegen.dir/emit_c.cpp.o.d"
+  "libgcr_codegen.a"
+  "libgcr_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/measure.cpp" "src/driver/CMakeFiles/gcr_driver.dir/measure.cpp.o" "gcc" "src/driver/CMakeFiles/gcr_driver.dir/measure.cpp.o.d"
+  "/root/repo/src/driver/pipeline.cpp" "src/driver/CMakeFiles/gcr_driver.dir/pipeline.cpp.o" "gcc" "src/driver/CMakeFiles/gcr_driver.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gcr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gcr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/gcr_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/regroup/CMakeFiles/gcr_regroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/gcr_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gcr_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/gcr_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

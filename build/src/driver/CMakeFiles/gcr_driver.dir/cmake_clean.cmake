@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_driver.dir/measure.cpp.o"
+  "CMakeFiles/gcr_driver.dir/measure.cpp.o.d"
+  "CMakeFiles/gcr_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/gcr_driver.dir/pipeline.cpp.o.d"
+  "libgcr_driver.a"
+  "libgcr_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcr_driver.a"
+)

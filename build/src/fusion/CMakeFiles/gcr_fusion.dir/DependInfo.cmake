@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/align.cpp" "src/fusion/CMakeFiles/gcr_fusion.dir/align.cpp.o" "gcc" "src/fusion/CMakeFiles/gcr_fusion.dir/align.cpp.o.d"
+  "/root/repo/src/fusion/atoms.cpp" "src/fusion/CMakeFiles/gcr_fusion.dir/atoms.cpp.o" "gcc" "src/fusion/CMakeFiles/gcr_fusion.dir/atoms.cpp.o.d"
+  "/root/repo/src/fusion/fusion.cpp" "src/fusion/CMakeFiles/gcr_fusion.dir/fusion.cpp.o" "gcc" "src/fusion/CMakeFiles/gcr_fusion.dir/fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gcr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

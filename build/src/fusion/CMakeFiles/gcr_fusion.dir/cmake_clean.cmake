@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_fusion.dir/align.cpp.o"
+  "CMakeFiles/gcr_fusion.dir/align.cpp.o.d"
+  "CMakeFiles/gcr_fusion.dir/atoms.cpp.o"
+  "CMakeFiles/gcr_fusion.dir/atoms.cpp.o.d"
+  "CMakeFiles/gcr_fusion.dir/fusion.cpp.o"
+  "CMakeFiles/gcr_fusion.dir/fusion.cpp.o.d"
+  "libgcr_fusion.a"
+  "libgcr_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

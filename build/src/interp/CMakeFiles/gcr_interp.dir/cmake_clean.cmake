@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_interp.dir/interp.cpp.o"
+  "CMakeFiles/gcr_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/gcr_interp.dir/layout.cpp.o"
+  "CMakeFiles/gcr_interp.dir/layout.cpp.o.d"
+  "libgcr_interp.a"
+  "libgcr_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_ir.dir/builder.cpp.o"
+  "CMakeFiles/gcr_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/gcr_ir.dir/ir.cpp.o"
+  "CMakeFiles/gcr_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/gcr_ir.dir/print.cpp.o"
+  "CMakeFiles/gcr_ir.dir/print.cpp.o.d"
+  "CMakeFiles/gcr_ir.dir/stats.cpp.o"
+  "CMakeFiles/gcr_ir.dir/stats.cpp.o.d"
+  "CMakeFiles/gcr_ir.dir/validate.cpp.o"
+  "CMakeFiles/gcr_ir.dir/validate.cpp.o.d"
+  "libgcr_ir.a"
+  "libgcr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_locality.dir/evadable.cpp.o"
+  "CMakeFiles/gcr_locality.dir/evadable.cpp.o.d"
+  "CMakeFiles/gcr_locality.dir/reuse_distance.cpp.o"
+  "CMakeFiles/gcr_locality.dir/reuse_distance.cpp.o.d"
+  "libgcr_locality.a"
+  "libgcr_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

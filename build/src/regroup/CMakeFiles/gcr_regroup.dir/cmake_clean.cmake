@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_regroup.dir/regroup.cpp.o"
+  "CMakeFiles/gcr_regroup.dir/regroup.cpp.o.d"
+  "libgcr_regroup.a"
+  "libgcr_regroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_regroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

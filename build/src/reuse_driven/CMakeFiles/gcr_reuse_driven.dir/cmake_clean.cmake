@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_reuse_driven.dir/reuse_driven.cpp.o"
+  "CMakeFiles/gcr_reuse_driven.dir/reuse_driven.cpp.o.d"
+  "libgcr_reuse_driven.a"
+  "libgcr_reuse_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_reuse_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcr_reuse_driven.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_support.dir/affine.cpp.o"
+  "CMakeFiles/gcr_support.dir/affine.cpp.o.d"
+  "CMakeFiles/gcr_support.dir/histogram.cpp.o"
+  "CMakeFiles/gcr_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/gcr_support.dir/table.cpp.o"
+  "CMakeFiles/gcr_support.dir/table.cpp.o.d"
+  "libgcr_support.a"
+  "libgcr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/distribute.cpp" "src/xform/CMakeFiles/gcr_xform.dir/distribute.cpp.o" "gcc" "src/xform/CMakeFiles/gcr_xform.dir/distribute.cpp.o.d"
+  "/root/repo/src/xform/interchange.cpp" "src/xform/CMakeFiles/gcr_xform.dir/interchange.cpp.o" "gcc" "src/xform/CMakeFiles/gcr_xform.dir/interchange.cpp.o.d"
+  "/root/repo/src/xform/unroll_split.cpp" "src/xform/CMakeFiles/gcr_xform.dir/unroll_split.cpp.o" "gcc" "src/xform/CMakeFiles/gcr_xform.dir/unroll_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gcr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/gcr_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

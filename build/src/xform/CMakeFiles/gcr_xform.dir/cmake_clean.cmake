@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_xform.dir/distribute.cpp.o"
+  "CMakeFiles/gcr_xform.dir/distribute.cpp.o.d"
+  "CMakeFiles/gcr_xform.dir/interchange.cpp.o"
+  "CMakeFiles/gcr_xform.dir/interchange.cpp.o.d"
+  "CMakeFiles/gcr_xform.dir/unroll_split.cpp.o"
+  "CMakeFiles/gcr_xform.dir/unroll_split.cpp.o.d"
+  "libgcr_xform.a"
+  "libgcr_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

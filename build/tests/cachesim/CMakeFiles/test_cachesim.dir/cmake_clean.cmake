@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim.dir/cache_property_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cache_property_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cache_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cache_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/hierarchy_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/hierarchy_test.cpp.o.d"
+  "test_cachesim"
+  "test_cachesim.pdb"
+  "test_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion.dir/align_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/align_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/atoms_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/atoms_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/fusion_bound_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/fusion_bound_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/fusion_property_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/fusion_property_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/fusion_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/fusion_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/reversed_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/reversed_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/strategy_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/strategy_test.cpp.o.d"
+  "test_fusion"
+  "test_fusion.pdb"
+  "test_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/builder_test.cpp.o"
+  "CMakeFiles/test_ir.dir/builder_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/clone_test.cpp.o"
+  "CMakeFiles/test_ir.dir/clone_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/print_test.cpp.o"
+  "CMakeFiles/test_ir.dir/print_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/stats_test.cpp.o"
+  "CMakeFiles/test_ir.dir/stats_test.cpp.o.d"
+  "CMakeFiles/test_ir.dir/validate_test.cpp.o"
+  "CMakeFiles/test_ir.dir/validate_test.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locality.dir/evadable_test.cpp.o"
+  "CMakeFiles/test_locality.dir/evadable_test.cpp.o.d"
+  "CMakeFiles/test_locality.dir/fenwick_test.cpp.o"
+  "CMakeFiles/test_locality.dir/fenwick_test.cpp.o.d"
+  "CMakeFiles/test_locality.dir/reuse_distance_test.cpp.o"
+  "CMakeFiles/test_locality.dir/reuse_distance_test.cpp.o.d"
+  "test_locality"
+  "test_locality.pdb"
+  "test_locality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regroup.dir/regroup_property_test.cpp.o"
+  "CMakeFiles/test_regroup.dir/regroup_property_test.cpp.o.d"
+  "CMakeFiles/test_regroup.dir/regroup_test.cpp.o"
+  "CMakeFiles/test_regroup.dir/regroup_test.cpp.o.d"
+  "CMakeFiles/test_regroup.dir/signature_test.cpp.o"
+  "CMakeFiles/test_regroup.dir/signature_test.cpp.o.d"
+  "test_regroup"
+  "test_regroup.pdb"
+  "test_regroup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

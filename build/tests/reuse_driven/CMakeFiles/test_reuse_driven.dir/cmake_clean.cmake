@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_driven.dir/reuse_driven_test.cpp.o"
+  "CMakeFiles/test_reuse_driven.dir/reuse_driven_test.cpp.o.d"
+  "test_reuse_driven"
+  "test_reuse_driven.pdb"
+  "test_reuse_driven[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/affine_test.cpp.o"
+  "CMakeFiles/test_support.dir/affine_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/flat_map_test.cpp.o"
+  "CMakeFiles/test_support.dir/flat_map_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/histogram_test.cpp.o"
+  "CMakeFiles/test_support.dir/histogram_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/prng_test.cpp.o"
+  "CMakeFiles/test_support.dir/prng_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/table_test.cpp.o"
+  "CMakeFiles/test_support.dir/table_test.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

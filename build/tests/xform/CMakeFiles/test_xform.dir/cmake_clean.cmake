@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xform.dir/distribute_test.cpp.o"
+  "CMakeFiles/test_xform.dir/distribute_test.cpp.o.d"
+  "CMakeFiles/test_xform.dir/interchange_test.cpp.o"
+  "CMakeFiles/test_xform.dir/interchange_test.cpp.o.d"
+  "CMakeFiles/test_xform.dir/unroll_split_test.cpp.o"
+  "CMakeFiles/test_xform.dir/unroll_split_test.cpp.o.d"
+  "CMakeFiles/test_xform.dir/xform_property_test.cpp.o"
+  "CMakeFiles/test_xform.dir/xform_property_test.cpp.o.d"
+  "test_xform"
+  "test_xform.pdb"
+  "test_xform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

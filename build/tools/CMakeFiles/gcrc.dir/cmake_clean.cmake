@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcrc.dir/gcrc.cpp.o"
+  "CMakeFiles/gcrc.dir/gcrc.cpp.o.d"
+  "gcrc"
+  "gcrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
