@@ -16,11 +16,17 @@ int main() {
   const std::int64_t n = bench::fullSize() ? 2048 : 1024;
   const MachineConfig machine = MachineConfig::origin2000();
 
-  std::vector<bench::VersionRow> rows;
-  rows.push_back({"original", measure(makeNoOpt(p), n, machine)});
-  rows.push_back({"+ computation fusion", measure(makeFused(p), n, machine)});
-  rows.push_back(
-      {"+ data regrouping", measure(makeFusedRegrouped(p), n, machine)});
+  std::vector<bench::VersionRow> rows = bench::measureVersions(
+      {"original", "+ computation fusion", "+ data regrouping"},
+      [&] {
+        std::vector<MeasureTask> t;
+        t.push_back({.version = makeNoOpt(p), .n = n, .machine = machine});
+        t.push_back({.version = makeFused(p), .n = n, .machine = machine});
+        t.push_back(
+            {.version = makeFusedRegrouped(p), .n = n, .machine = machine});
+        return t;
+      }());
   bench::printFig10Panel("ADI", n, machine, rows);
+  bench::printThroughput(rows);
   return 0;
 }

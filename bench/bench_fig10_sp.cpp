@@ -36,13 +36,20 @@ int main() {
   machine.pageSize = 4096;
   machine.tlbEntries = 32;
 
-  std::vector<bench::VersionRow> rows;
-  rows.push_back({"original", measure(makeNoOpt(p), n, machine)});
-  rows.push_back({"1-level fusion", measure(makeFused(p, 1), n, machine)});
-  rows.push_back({"3-level fusion", measure(makeFused(p, 4), n, machine)});
-  rows.push_back(
-      {"3-level fusion + grouping", measure(makeFusedRegrouped(p, 4), n, machine)});
+  std::vector<bench::VersionRow> rows = bench::measureVersions(
+      {"original", "1-level fusion", "3-level fusion",
+       "3-level fusion + grouping"},
+      [&] {
+        std::vector<MeasureTask> t;
+        t.push_back({.version = makeNoOpt(p), .n = n, .machine = machine});
+        t.push_back({.version = makeFused(p, 1), .n = n, .machine = machine});
+        t.push_back({.version = makeFused(p, 4), .n = n, .machine = machine});
+        t.push_back(
+            {.version = makeFusedRegrouped(p, 4), .n = n, .machine = machine});
+        return t;
+      }());
   bench::printFig10Panel("NAS/SP", n, machine, rows);
+  bench::printThroughput(rows);
 
   // ---- Section 4.4 structural numbers.
   std::printf("\n-- Section 4.4 program changes --\n");

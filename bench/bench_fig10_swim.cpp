@@ -17,15 +17,31 @@ int main() {
   Program p = apps::buildApp("Swim");
   const std::int64_t n = bench::fullSize() ? 513 : 320;
 
-  for (const MachineConfig& machine :
-       {MachineConfig::octane(), MachineConfig::origin2000()}) {
-    std::vector<bench::VersionRow> rows;
-    rows.push_back({"original", measure(makeNoOpt(p), n, machine, 2)});
-    rows.push_back(
-        {"+ computation fusion", measure(makeFused(p), n, machine, 2)});
-    rows.push_back(
-        {"+ data regrouping", measure(makeFusedRegrouped(p), n, machine, 2)});
-    bench::printFig10Panel("Swim", n, machine, rows);
+  // Both machines' version sets form one task list: all six independent
+  // simulations run concurrently on the pool.
+  const std::vector<MachineConfig> machines{MachineConfig::octane(),
+                                            MachineConfig::origin2000()};
+  std::vector<std::string> names;
+  std::vector<MeasureTask> tasks;
+  for (const MachineConfig& machine : machines) {
+    names.insert(names.end(),
+                 {"original", "+ computation fusion", "+ data regrouping"});
+    tasks.push_back(
+        {.version = makeNoOpt(p), .n = n, .machine = machine, .timeSteps = 2});
+    tasks.push_back(
+        {.version = makeFused(p), .n = n, .machine = machine, .timeSteps = 2});
+    tasks.push_back({.version = makeFusedRegrouped(p),
+                     .n = n,
+                     .machine = machine,
+                     .timeSteps = 2});
   }
+  std::vector<bench::VersionRow> rows =
+      bench::measureVersions(std::move(names), std::move(tasks));
+  for (std::size_t m = 0; m < machines.size(); ++m)
+    bench::printFig10Panel(
+        "Swim", n, machines[m],
+        {rows.begin() + static_cast<std::ptrdiff_t>(3 * m),
+         rows.begin() + static_cast<std::ptrdiff_t>(3 * m + 3)});
+  bench::printThroughput(rows);
   return 0;
 }

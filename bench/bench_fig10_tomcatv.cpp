@@ -19,12 +19,25 @@ int main() {
   const std::int64_t n = bench::fullSize() ? 513 : 320;
   const MachineConfig machine = MachineConfig::origin2000();
 
-  std::vector<bench::VersionRow> rows;
-  rows.push_back({"original", measure(makeNoOpt(p), n, machine, 2)});
-  rows.push_back(
-      {"+ computation fusion", measure(makeFused(p), n, machine, 2)});
-  rows.push_back(
-      {"+ data regrouping", measure(makeFusedRegrouped(p), n, machine, 2)});
+  std::vector<bench::VersionRow> rows = bench::measureVersions(
+      {"original", "+ computation fusion", "+ data regrouping"},
+      [&] {
+        std::vector<MeasureTask> t;
+        t.push_back({.version = makeNoOpt(p),
+                     .n = n,
+                     .machine = machine,
+                     .timeSteps = 2});
+        t.push_back({.version = makeFused(p),
+                     .n = n,
+                     .machine = machine,
+                     .timeSteps = 2});
+        t.push_back({.version = makeFusedRegrouped(p),
+                     .n = n,
+                     .machine = machine,
+                     .timeSteps = 2});
+        return t;
+      }());
   bench::printFig10Panel("Tomcatv", n, machine, rows);
+  bench::printThroughput(rows);
   return 0;
 }

@@ -43,12 +43,33 @@ int main() {
   double sumSgi[3] = {0, 0, 0}, sumNew[3] = {0, 0, 0};
   int count = 0;
 
+  // All (program x version) simulations are independent: build the full
+  // 4x3 task list up front and sweep it through the measurement engine's
+  // thread pool.  Task order matches the sequential loop below, so the
+  // printed table is byte-identical for any GCR_THREADS.
+  std::vector<MeasureTask> tasks;
   for (const AppRun& run : runs) {
     Program p = apps::buildApp(run.name);
-    Measurement noOpt = measure(makeNoOpt(p), run.n, machine, run.steps);
-    Measurement sgi = measure(makeSgiLike(p), run.n, machinePf, run.steps);
-    Measurement nw =
-        measure(makeFusedRegrouped(p), run.n, machinePf, run.steps);
+    tasks.push_back({.version = makeNoOpt(p),
+                     .n = run.n,
+                     .machine = machine,
+                     .timeSteps = run.steps});
+    tasks.push_back({.version = makeSgiLike(p),
+                     .n = run.n,
+                     .machine = machinePf,
+                     .timeSteps = run.steps});
+    tasks.push_back({.version = makeFusedRegrouped(p),
+                     .n = run.n,
+                     .machine = machinePf,
+                     .timeSteps = run.steps});
+  }
+  const std::vector<Measurement> results = measureAll(tasks);
+
+  for (std::size_t r = 0; r < std::size(runs); ++r) {
+    const AppRun& run = runs[r];
+    const Measurement& noOpt = results[3 * r];
+    const Measurement& sgi = results[3 * r + 1];
+    const Measurement& nw = results[3 * r + 2];
 
     auto ratio = [](std::uint64_t v, std::uint64_t base) {
       return base ? static_cast<double>(v) / static_cast<double>(base) : 1.0;
@@ -83,6 +104,18 @@ int main() {
   // Reorder to match header (SGI/New per level already interleaved).
   t.addRow({avg[0], avg[1], avg[2], avg[3], avg[4], avg[5], avg[6]});
   std::printf("%s", t.render().c_str());
+  {
+    std::uint64_t refs = 0;
+    double seconds = 0;
+    for (const Measurement& m : results) {
+      refs += m.counts.refs;
+      seconds += m.wallSeconds;
+    }
+    std::printf("\nanalysis throughput: %.1f Maccesses/s (%llu refs, "
+                "%.2f s simulation time)\n",
+                seconds > 0 ? static_cast<double>(refs) / seconds / 1e6 : 0.0,
+                static_cast<unsigned long long>(refs), seconds);
+  }
 
   const char* levels[3] = {"L1", "L2", "TLB"};
   std::printf("\naverage miss reductions (1 - normalized):\n");

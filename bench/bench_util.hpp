@@ -16,6 +16,7 @@
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace gcr::bench {
 
@@ -36,6 +37,36 @@ struct VersionRow {
   std::string name;
   Measurement m;
 };
+
+/// Run the named simulations of one panel through the measurement engine's
+/// thread pool (GCR_THREADS workers; row i <- task i, so the printed tables
+/// are byte-identical for every thread count).
+inline std::vector<VersionRow> measureVersions(
+    std::vector<std::string> names, std::vector<MeasureTask> tasks) {
+  std::vector<Measurement> ms = measureAll(tasks);
+  std::vector<VersionRow> rows;
+  rows.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    rows.push_back({std::move(names[i]), ms[i]});
+  return rows;
+}
+
+/// Aggregate analysis throughput of a finished sweep.  Wall-clock based, so
+/// deliberately printed *outside* the result tables: this line varies run
+/// to run while the tables must not.
+inline void printThroughput(const std::vector<VersionRow>& rows) {
+  std::uint64_t refs = 0;
+  double seconds = 0;
+  for (const VersionRow& r : rows) {
+    refs += r.m.counts.refs;
+    seconds += r.m.wallSeconds;
+  }
+  std::printf("analysis throughput: %.1f Maccesses/s "
+              "(%llu refs, %.2f s simulation time, %d threads)\n",
+              seconds > 0 ? static_cast<double>(refs) / seconds / 1e6 : 0.0,
+              static_cast<unsigned long long>(refs), seconds,
+              ThreadPool::defaultThreadCount());
+}
 
 /// Print the Figure 10 panel: execution time and miss counts normalized to
 /// the first (original) version, plus the raw rates.

@@ -1,8 +1,17 @@
 // Measurement harness: run a program version through the cache hierarchy
 // and locality analyses — our stand-in for the R10K/R12K hardware counters.
+//
+// Two execution regimes:
+//   * single measurement — measure()/reuseProfileOf(), unchanged semantics;
+//   * parallel sweep — measureAll()/reuseProfilesOf() run a batch of
+//     independent (version x size x machine) tasks on a fixed-size thread
+//     pool (GCR_THREADS).  Task i always fills result slot i and every task
+//     owns its simulator state, so results are bit-identical for any thread
+//     count; only the wall-clock fields differ between runs.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cachesim/hierarchy.hpp"
 #include "driver/pipeline.hpp"
@@ -11,11 +20,28 @@
 
 namespace gcr {
 
+/// Knobs of the measurement engine.
+struct MeasureOptions {
+  /// Workers for batch APIs (including the calling thread).  0 selects
+  /// GCR_THREADS / hardware_concurrency; 1 is strictly sequential.
+  int threads = 0;
+  /// Reuse-distance sampling rate in (0, 1].  1.0 (default) is the exact
+  /// tracker; smaller rates switch reuseProfileOf() to the SHARDS-style
+  /// SampledReuseTracker with distances and counts scaled by 1/rate.  All
+  /// published tables are generated at rate 1.
+  double sampleRate = 1.0;
+};
+
 struct Measurement {
   MissCounts counts;
   double cycles = 0;                 ///< CostModel cycles
   std::uint64_t memoryTrafficBytes = 0;
   double effectiveBandwidth = 0;     ///< useful bytes / transferred bytes
+
+  // Analysis-throughput observability (not part of the simulated results:
+  // these vary run to run and are excluded from determinism comparisons).
+  double wallSeconds = 0;            ///< wall-clock time of the simulation
+  double accessesPerSecond = 0;      ///< counts.refs / wallSeconds
 
   double speedupOver(const Measurement& base) const {
     return cycles > 0 ? base.cycles / cycles : 0.0;
@@ -28,9 +54,39 @@ Measurement measure(const ProgramVersion& version, std::int64_t n,
                     std::uint64_t timeSteps = 1,
                     const CostModel& cost = {});
 
-/// Element-granularity reuse-distance profile of a version.
+/// One independent simulation of a parallel sweep.
+struct MeasureTask {
+  ProgramVersion version;
+  std::int64_t n = 16;
+  MachineConfig machine;
+  std::uint64_t timeSteps = 1;
+  CostModel cost = {};
+};
+
+/// Run every task (in parallel when opts.threads != 1); result i belongs to
+/// tasks[i] regardless of thread count.
+std::vector<Measurement> measureAll(const std::vector<MeasureTask>& tasks,
+                                    const MeasureOptions& opts = {});
+
+/// Element-granularity reuse-distance profile of a version.  With
+/// opts.sampleRate < 1 the profile is the sampled estimate (see
+/// locality/sampled_reuse.hpp); at rate 1 it is exact and bit-identical to
+/// the historical output.
 ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
-                            std::uint64_t timeSteps = 1);
+                            std::uint64_t timeSteps = 1,
+                            const MeasureOptions& opts = {});
+
+/// One reuse-profile task of a parallel sweep.
+struct ReuseTask {
+  ProgramVersion version;
+  std::int64_t n = 16;
+  std::uint64_t timeSteps = 1;
+};
+
+/// Batch reuseProfileOf with the same slot-per-task determinism as
+/// measureAll.  Aggregate across tasks with mergeProfiles().
+std::vector<ReuseProfile> reuseProfilesOf(const std::vector<ReuseTask>& tasks,
+                                          const MeasureOptions& opts = {});
 
 /// Per-statement-pair reuse statistics (for evadable-reuse classification).
 void collectPairwise(const ProgramVersion& version, std::int64_t n,

@@ -31,6 +31,22 @@ ProgramStats computeStats(const Program& p) {
   return st;
 }
 
+std::uint64_t estimateDynamicRefs(const Program& p, std::int64_t n,
+                                  std::uint64_t timeSteps) {
+  std::uint64_t total = 0;
+  forEachAssign(p, [&](const Assign& a,
+                       const std::vector<const Loop*>& stack) {
+    std::uint64_t iters = 1;
+    for (const Loop* l : stack) {
+      const std::int64_t lo = l->lo.eval(n);
+      const std::int64_t hi = l->hi.eval(n);
+      iters *= hi >= lo ? static_cast<std::uint64_t>(hi - lo + 1) : 0;
+    }
+    total += iters * (a.rhs.size() + 1);
+  });
+  return total * timeSteps;
+}
+
 std::string ProgramStats::summary() const {
   std::ostringstream os;
   os << numLoops << " loops in " << numLoopNests << " nests (max depth "

@@ -24,4 +24,11 @@ struct ProgramStats {
 
 ProgramStats computeStats(const Program& p);
 
+/// Upper bound on the dynamic memory references (reads + writes) executed at
+/// problem size `n`: guard ranges are ignored, so every statement is charged
+/// the full trip count of its enclosing loops.  Used to pre-size the
+/// reuse-distance structures before a trace run.
+std::uint64_t estimateDynamicRefs(const Program& p, std::int64_t n,
+                                  std::uint64_t timeSteps = 1);
+
 }  // namespace gcr

@@ -67,6 +67,16 @@ ReuseProfile ReuseDistanceSink::takeProfile() {
   return std::move(profile_);
 }
 
+ReuseProfile mergeProfiles(std::span<const ReuseProfile> parts) {
+  ReuseProfile total;
+  for (const ReuseProfile& p : parts) {
+    total.histogram.merge(p.histogram);
+    total.accesses += p.accesses;
+    total.distinctData += p.distinctData;
+  }
+  return total;
+}
+
 ReuseProfile profileAddresses(const std::vector<std::int64_t>& addrs,
                               std::int64_t granularity) {
   ReuseDistanceTracker tracker;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "interp/trace.hpp"
@@ -34,8 +35,17 @@ class ReuseDistanceTracker {
   std::uint64_t accesses() const { return time_; }
   std::uint64_t distinctData() const { return last_.size(); }
 
-  void reserve(std::uint64_t expectedAccesses) {
+  /// Pre-size both internal structures: the mark tree for the trace length
+  /// and the last-access map for the distinct-datum count.  Pass
+  /// expectedDistinctData = 0 when only the trace length is known; the map
+  /// is then sized for the trace length too (distinct data is bounded by
+  /// it), which avoids every mid-trace rehash at the cost of memory — use
+  /// the two-argument form for large traces.
+  void reserve(std::uint64_t expectedAccesses,
+               std::uint64_t expectedDistinctData = 0) {
     marks_.reserve(expectedAccesses);
+    last_.reserve(static_cast<std::size_t>(
+        expectedDistinctData > 0 ? expectedDistinctData : expectedAccesses));
   }
 
  private:
@@ -70,6 +80,15 @@ class ReuseDistanceSink final : public InstrSink {
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override;
 
+  /// Forwarded to the tracker; `expectedDistinctBytes` is divided by the
+  /// granularity to size the last-access map.
+  void reserve(std::uint64_t expectedAccesses,
+               std::uint64_t expectedDistinctBytes = 0) {
+    tracker_.reserve(expectedAccesses,
+                     static_cast<std::uint64_t>(expectedDistinctBytes) /
+                         static_cast<std::uint64_t>(granularity_));
+  }
+
   const ReuseProfile& profile() const { return profile_; }
   ReuseProfile takeProfile();
 
@@ -85,5 +104,11 @@ class ReuseDistanceSink final : public InstrSink {
 /// profile; convenience for tests and the reuse-driven-execution study.
 ReuseProfile profileAddresses(const std::vector<std::int64_t>& addrs,
                               std::int64_t granularity = 1);
+
+/// Aggregate per-task profiles (one per version/size/app in a parallel
+/// sweep) into a suite-wide profile: histograms merge bin-wise, access
+/// counts sum.  `distinctData` sums too and is therefore an upper bound —
+/// the tasks' address spaces may overlap.
+ReuseProfile mergeProfiles(std::span<const ReuseProfile> parts);
 
 }  // namespace gcr

@@ -48,6 +48,14 @@ class FlatMap64 {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Pre-size so that `expected` keys fit without rehashing (load factor
+  /// stays under 0.7).  Never shrinks.
+  void reserve(std::size_t expected) {
+    std::size_t cap = capacity_;
+    while ((expected + 1) * 10 > cap * 7) cap *= 2;
+    if (cap > capacity_) rehash(cap);
+  }
+
   void clear() {
     std::fill(occupied_.begin(), occupied_.end(), 0);
     size_ = 0;

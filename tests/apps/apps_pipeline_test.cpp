@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hpp"
+#include "common/random_program.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
@@ -128,6 +129,31 @@ TEST(AppsPipeline, FusionStopsReuseDistanceGrowth) {
   const int fusedLarge = maxBin(reuseProfileOf(fused, 128));
   EXPECT_EQ(fusedLarge, fusedSmall);
 }
+
+// Fuzz sweep: the full optimize() pipeline (unroll/split + distribution +
+// fusion + regrouping) must preserve semantics on randomly generated
+// programs with 2-D nests and reversed loops enabled.  Each seed is its own
+// ctest case (gtest parameterization + gtest_discover_tests), so a failure
+// names the seed that triggered it.
+class RandomPipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPipelineFuzz, OptimizePreservesSemantics) {
+  const std::uint64_t seed = GetParam();
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.allowReversed = true;
+  Program p = testing::randomProgram(seed, opts);
+  for (std::int64_t n : {16, 21}) {
+    EXPECT_TRUE(pipelinePreservesSemantics(p, n)) << "seed " << seed
+                                                  << " n " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomPipelineFuzz, ::testing::Range<std::uint64_t>(0, 32),
+    [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
 
 TEST(AppsPipeline, TomcatvWithoutInterchangeSignalsOrKeepsNests) {
   // The pre-interchange Tomcatv has solver nests iterating columns

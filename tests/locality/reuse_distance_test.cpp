@@ -55,6 +55,44 @@ TEST(ReuseDistance, MatchesNaiveOnRandomTraces) {
   }
 }
 
+// Differential check of the streaming tracker against the O(T*D) reference
+// on a trace chosen to stress one structural extreme.
+void expectMatchesNaive(const std::vector<std::int64_t>& trace,
+                        const char* what) {
+  const auto expected = naiveReuseDistances(trace);
+  ReuseDistanceTracker t;
+  t.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    ASSERT_EQ(t.access(trace[i]), expected[i]) << what << " pos " << i;
+}
+
+TEST(ReuseDistance, AdversarialAllSameAddress) {
+  // Every access after the first reuses at distance 0; the Fenwick tree
+  // holds exactly one live mark the whole time.
+  expectMatchesNaive(std::vector<std::int64_t>(500, 7), "all-same");
+}
+
+TEST(ReuseDistance, AdversarialAllDistinct) {
+  // No reuse at all: the mark count grows monotonically to the trace
+  // length (the worst case for the tree's grow/rebuild path).
+  std::vector<std::int64_t> trace;
+  for (std::int64_t i = 0; i < 600; ++i) trace.push_back(i * 3 - 100);
+  expectMatchesNaive(trace, "all-distinct");
+}
+
+TEST(ReuseDistance, AdversarialSawTooth) {
+  // 0..k up then k..0 down, repeatedly: every element's reuse distance
+  // oscillates between 0 (at the turning points) and its depth in the
+  // tooth — dense coverage of mark add/remove interleavings.
+  std::vector<std::int64_t> trace;
+  constexpr std::int64_t kTooth = 47;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (std::int64_t i = 0; i <= kTooth; ++i) trace.push_back(i);
+    for (std::int64_t i = kTooth; i >= 0; --i) trace.push_back(i);
+  }
+  expectMatchesNaive(trace, "saw-tooth");
+}
+
 TEST(ReuseDistance, SequentialScanHasNoFiniteReuse) {
   ReuseDistanceTracker t;
   for (std::int64_t i = 0; i < 1000; ++i)

@@ -1,0 +1,97 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gcr {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesSlotOrder) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  for (int threads : {1, 3, 7}) {
+    ThreadPool pool(threads);
+    const std::vector<int> out =
+        pool.parallelMap(items, [](int v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], static_cast<int>(i * i)) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyBatches) {
+  ThreadPool pool(4);
+  pool.parallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+  std::atomic<int> ran{0};
+  pool.parallelFor(1, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 1);
+  // More threads than tasks: the excess workers must idle harmlessly.
+  ran = 0;
+  pool.parallelFor(2, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallelFor(17, [&](std::size_t i) { sum += static_cast<int>(i); });
+    ASSERT_EQ(sum.load(), 17 * 16 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](std::size_t i) {
+                           if (i == 13) throw std::runtime_error("boom");
+                           ++completed;
+                         }),
+        std::runtime_error);
+    // The batch drains (no stuck workers) even when a task throws.
+    EXPECT_EQ(completed.load(), 63);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallelFor(8, [&](std::size_t outer) {
+    pool.parallelFor(8, [&](std::size_t inner) {
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  setenv("GCR_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+  setenv("GCR_THREADS", "0", 1);  // invalid → hardware fallback
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+  unsetenv("GCR_THREADS");
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace gcr
