@@ -16,6 +16,7 @@
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
+#include "ir/stats.hpp"
 #include "reuse_driven/reuse_driven.hpp"
 #include "support/table.hpp"
 
@@ -25,6 +26,8 @@ using namespace gcr;
 
 InstrTrace traceOf(const ProgramVersion& v, std::int64_t n) {
   InstrTrace t;
+  const std::uint64_t refs = estimateDynamicRefs(v.program, n);
+  t.reserve(refs, refs);
   DataLayout l = v.layoutAt(n);
   execute(v.program, l, {.n = n}, &t);
   return t;

@@ -1,0 +1,235 @@
+// Interpreter throughput: tree-walking executor vs the compiled access-plan
+// engine, with and without a trace sink attached, over the four evaluation
+// apps (ADI, Swim, Tomcatv, NAS/SP).
+//
+// This is the engine behind every table in the suite, so the benchmark also
+// runs a differential self-check (memory image, instruction count, and full
+// instruction trace must be byte-identical across engines) and refuses to
+// report a speedup that changed the answers.  Results go to stdout and to
+// BENCH_interp.json (consumed by CI).
+//
+// Sizes: GCR_BENCH_N overrides the grid size for all apps; GCR_FULL_SIZE=1
+// selects the large preset.  Wall-clock numbers vary run to run; the
+// self-check verdict must not.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+#include "driver/pipeline.hpp"
+#include "interp/interp.hpp"
+#include "interp/plan.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace gcr;
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct EngineTiming {
+  double seconds = 0;       // best-of-reps wall time for one execution
+  std::uint64_t accesses = 0;  // reads + writes per execution
+};
+
+EngineTiming timeEngine(const Program& p, const DataLayout& layout,
+                        ExecOptions opts, bool withSink, int reps) {
+  EngineTiming t;
+  t.seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    CountingSink sink;
+    const double t0 = now();
+    const ExecResult res =
+        execute(p, layout, opts, withSink ? &sink : nullptr);
+    const double dt = now() - t0;
+    t.seconds = std::min(t.seconds, dt);
+    if (withSink) {
+      t.accesses = sink.refs();
+    } else if (t.accesses == 0) {
+      // Count once via a plan compile (exact) or a counting rerun.
+      CountingSink count;
+      execute(p, layout, opts, &count);
+      t.accesses = count.refs();
+    }
+    (void)res;
+  }
+  return t;
+}
+
+bool tracesIdentical(const InstrTrace& a, const InstrTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.stmtId(i) != b.stmtId(i) || a.writeAddr(i) != b.writeAddr(i))
+      return false;
+    const auto ra = a.reads(i);
+    const auto rb = b.reads(i);
+    if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+  }
+  return true;
+}
+
+/// Both engines must produce byte-identical results on this program before
+/// any throughput number for it is trusted.
+bool selfCheck(const Program& p, const DataLayout& layout, ExecOptions opts) {
+  if (!compilePlan(p, layout, opts).ok()) return false;
+  opts.engine = ExecEngine::TreeWalk;
+  InstrTrace walkTrace;
+  const ExecResult walk = execute(p, layout, opts, &walkTrace);
+  opts.engine = ExecEngine::Plan;
+  InstrTrace planTrace;
+  const ExecResult plan = execute(p, layout, opts, &planTrace);
+  return walk.instrCount == plan.instrCount && walk.memory == plan.memory &&
+         tracesIdentical(walkTrace, planTrace);
+}
+
+struct AppResult {
+  std::string app;
+  std::int64_t n = 0;
+  std::uint64_t accesses = 0;
+  double walkNoSink = 0, planNoSink = 0;    // seconds
+  double walkSink = 0, planSink = 0;        // seconds
+  bool checkOk = false;
+
+  double speedupNoSink() const { return walkNoSink / planNoSink; }
+  double speedupSink() const { return walkSink / planSink; }
+};
+
+double geomean(const std::vector<double>& xs) {
+  double logSum = 0;
+  for (double x : xs) logSum += std::log(x);
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+std::int64_t benchSize(const std::string& app) {
+  if (const char* env = std::getenv("GCR_BENCH_N")) {
+    const std::int64_t n = std::atoll(env);
+    if (n >= 8) return n;
+  }
+  const bool full = gcr::bench::fullSize();
+  if (app == "SP") return full ? 40 : 20;  // 3-D nest: n^3 instances
+  return full ? 256 : 96;
+}
+
+// The fig10 sweeps run multiple time steps per simulation; timing several
+// steps measures the steady-state engine rate rather than the (identical,
+// one-time) memory-initialization cost.  GCR_BENCH_T overrides.
+std::uint64_t benchSteps() {
+  if (const char* env = std::getenv("GCR_BENCH_T")) {
+    const std::uint64_t t = static_cast<std::uint64_t>(std::atoll(env));
+    if (t >= 1) return t;
+  }
+  return 8;
+}
+
+AppResult runApp(const std::string& app, int reps) {
+  AppResult r;
+  r.app = app;
+  r.n = benchSize(app);
+  Program p = apps::buildApp(app);
+  ProgramVersion v = makeNoOpt(p);
+  DataLayout layout = v.layoutAt(r.n);
+
+  // Correctness gate at a size small enough to hold two full traces.
+  const std::int64_t checkN = std::min<std::int64_t>(r.n, 24);
+  DataLayout checkLayout = v.layoutAt(checkN);
+  r.checkOk = selfCheck(v.program, checkLayout, {.n = checkN, .timeSteps = 2});
+
+  ExecOptions walkOpts{.n = r.n, .timeSteps = benchSteps()};
+  walkOpts.engine = ExecEngine::TreeWalk;
+  ExecOptions planOpts{.n = r.n, .timeSteps = benchSteps()};
+  planOpts.engine = ExecEngine::Plan;
+
+  const EngineTiming wn = timeEngine(v.program, layout, walkOpts, false, reps);
+  const EngineTiming pn = timeEngine(v.program, layout, planOpts, false, reps);
+  const EngineTiming ws = timeEngine(v.program, layout, walkOpts, true, reps);
+  const EngineTiming ps = timeEngine(v.program, layout, planOpts, true, reps);
+  r.accesses = wn.accesses;
+  r.walkNoSink = wn.seconds;
+  r.planNoSink = pn.seconds;
+  r.walkSink = ws.seconds;
+  r.planSink = ps.seconds;
+  return r;
+}
+
+void writeJson(const std::vector<AppResult>& rows, double geoNoSink,
+               double geoSink, bool allOk) {
+  std::FILE* f = std::fopen("BENCH_interp.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_interp.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"interp_throughput\",\n");
+  std::fprintf(f, "  \"self_check_ok\": %s,\n", allOk ? "true" : "false");
+  std::fprintf(f, "  \"geomean_speedup_no_sink\": %.3f,\n", geoNoSink);
+  std::fprintf(f, "  \"geomean_speedup_with_sink\": %.3f,\n", geoSink);
+  std::fprintf(f, "  \"apps\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AppResult& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"app\": \"%s\", \"n\": %lld, \"accesses\": %llu,\n"
+        "     \"walk_no_sink_s\": %.6f, \"plan_no_sink_s\": %.6f,\n"
+        "     \"walk_with_sink_s\": %.6f, \"plan_with_sink_s\": %.6f,\n"
+        "     \"speedup_no_sink\": %.3f, \"speedup_with_sink\": %.3f,\n"
+        "     \"self_check_ok\": %s}%s\n",
+        r.app.c_str(), static_cast<long long>(r.n),
+        static_cast<unsigned long long>(r.accesses), r.walkNoSink,
+        r.planNoSink, r.walkSink, r.planSink, r.speedupNoSink(),
+        r.speedupSink(), r.checkOk ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Interpreter throughput: tree walker vs compiled access plan",
+      "engine microbenchmark (methodology in EXPERIMENTS.md)");
+
+  const int reps = bench::fullSize() ? 3 : 5;
+  const std::vector<std::string> appNames = {"ADI", "Swim", "Tomcatv", "SP"};
+  std::vector<AppResult> rows;
+  for (const std::string& app : appNames) rows.push_back(runApp(app, reps));
+
+  TextTable t({"app", "n", "accesses", "walk Macc/s", "plan Macc/s",
+               "speedup", "walk+sink", "plan+sink", "speedup+sink", "check"});
+  std::vector<double> spNoSink, spSink;
+  bool allOk = true;
+  for (const AppResult& r : rows) {
+    const double acc = static_cast<double>(r.accesses);
+    t.addRow({r.app, std::to_string(r.n), std::to_string(r.accesses),
+              TextTable::fmt(acc / r.walkNoSink / 1e6, 1),
+              TextTable::fmt(acc / r.planNoSink / 1e6, 1),
+              TextTable::fmt(r.speedupNoSink(), 2) + "x",
+              TextTable::fmt(acc / r.walkSink / 1e6, 1),
+              TextTable::fmt(acc / r.planSink / 1e6, 1),
+              TextTable::fmt(r.speedupSink(), 2) + "x",
+              r.checkOk ? "ok" : "FAIL"});
+    spNoSink.push_back(r.speedupNoSink());
+    spSink.push_back(r.speedupSink());
+    allOk = allOk && r.checkOk;
+  }
+  std::printf("%s", t.render().c_str());
+
+  const double geoNoSink = geomean(spNoSink);
+  const double geoSink = geomean(spSink);
+  std::printf("geomean speedup: %.2fx without sink, %.2fx with counting "
+              "sink\n", geoNoSink, geoSink);
+  std::printf("differential self-check: %s\n",
+              allOk ? "ok (engines byte-identical)" : "FAILED");
+  writeJson(rows, geoNoSink, geoSink, allOk);
+  std::printf("wrote BENCH_interp.json\n");
+  return allOk ? 0 : 1;
+}

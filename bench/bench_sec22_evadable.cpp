@@ -17,6 +17,7 @@
 #include "bench_util.hpp"
 #include "driver/pipeline.hpp"
 #include "interp/interp.hpp"
+#include "ir/stats.hpp"
 #include "locality/reuse_distance.hpp"
 #include "reuse_driven/reuse_driven.hpp"
 #include "support/table.hpp"
@@ -29,6 +30,8 @@ constexpr std::uint64_t kCapacity = 1024;  // elements
 
 InstrTrace traceOf(const Program& p, std::int64_t n) {
   InstrTrace t;
+  const std::uint64_t refs = estimateDynamicRefs(p, n);
+  t.reserve(refs, refs);
   DataLayout l = contiguousLayout(p, n);
   execute(p, l, {.n = n}, &t);
   return t;

@@ -15,6 +15,8 @@ using namespace gcr;
 namespace {
 InstrTrace traceOf(const ProgramVersion& v, std::int64_t n) {
   InstrTrace t;
+  const std::uint64_t refs = estimateDynamicRefs(v.program, n);
+  t.reserve(refs, refs);
   DataLayout l = v.layoutAt(n);
   execute(v.program, l, {.n = n}, &t);
   return t;

@@ -17,6 +17,11 @@ InstrTrace fftTrace(int logN) {
   const auto tAddr = [&](std::int64_t b) { return (2 * size + b) * 8; };
 
   InstrTrace trace;
+  // Exact counts: logN stages x size/2 butterflies, 3 instructions (7 reads)
+  // per butterfly.
+  const std::uint64_t butterflies =
+      static_cast<std::uint64_t>(logN) * static_cast<std::uint64_t>(size / 2);
+  trace.reserve(butterflies * 3, butterflies * 7);
   for (int stage = 1; stage <= logN; ++stage) {
     const std::int64_t span = std::int64_t{1} << stage;  // butterfly group
     const std::int64_t half = span / 2;

@@ -54,6 +54,13 @@ void MemoryHierarchy::onInstr(int, std::span<const std::int64_t> reads,
   access(write, true);
 }
 
+void MemoryHierarchy::onBlock(const InstrBlock& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::int64_t r : b.reads(i)) access(r, false);
+    access(b.writes[i], true);
+  }
+}
+
 MissCounts MemoryHierarchy::counts() const {
   MissCounts m;
   m.refs = l1_.stats().accesses;

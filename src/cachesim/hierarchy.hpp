@@ -80,6 +80,7 @@ class MemoryHierarchy final : public InstrSink {
   void access(std::int64_t addr, bool isWrite);
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override;
+  void onBlock(const InstrBlock& b) override;
 
   MissCounts counts() const;
   const MachineConfig& config() const { return cfg_; }

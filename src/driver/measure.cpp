@@ -84,6 +84,8 @@ void collectPairwise(const ProgramVersion& version, std::int64_t n,
                      PairwiseReuseCollector& collector,
                      std::uint64_t timeSteps) {
   DataLayout layout = version.layoutAt(n);
+  collector.reserve(estimateDynamicRefs(version.program, n, timeSteps),
+                    static_cast<std::uint64_t>(layout.totalBytes()));
   execute(version.program, layout, {.n = n, .timeSteps = timeSteps},
           &collector);
 }

@@ -1,5 +1,8 @@
 #include "interp/interp.hpp"
 
+#include <cstdlib>
+
+#include "interp/plan.hpp"
 #include "support/prng.hpp"
 
 namespace gcr {
@@ -30,35 +33,7 @@ class Executor {
   }
 
  private:
-  // Initial contents are a function of (array, logical index) — never of the
-  // address — so executions under different layouts start from the same
-  // logical state and stay comparable.
-  void initMemory() {
-    std::vector<std::int64_t> idx;
-    for (std::size_t a = 0; a < p_.arrays.size(); ++a) {
-      const auto& ext = extents_[a];
-      idx.assign(ext.size(), 0);
-      std::int64_t linear = 0;
-      for (;;) {
-        const std::int64_t addr =
-            layout_.addressOf(static_cast<ArrayId>(a), idx);
-        const std::uint64_t value =
-            opts_.initValue
-                ? opts_.initValue(static_cast<ArrayId>(a), idx)
-                : mix64(mixCombine(0xabcd1234u + a,
-                                   static_cast<std::uint64_t>(linear)));
-        store(addr, value);
-        ++linear;
-        int d = static_cast<int>(ext.size()) - 1;
-        while (d >= 0 && ++idx[static_cast<std::size_t>(d)] ==
-                             ext[static_cast<std::size_t>(d)]) {
-          idx[static_cast<std::size_t>(d)] = 0;
-          --d;
-        }
-        if (d < 0) break;
-      }
-    }
-  }
+  void initMemory() { initializeMemory(p_, layout_, opts_, result_.memory); }
 
   void store(std::int64_t addr, std::uint64_t value) {
     GCR_CHECK(addr >= 0 && addr + 8 <= layout_.totalBytes(),
@@ -149,10 +124,73 @@ class Executor {
   ExecResult result_;
 };
 
+// GCR_ENGINE environment override, consulted only when opts.engine is Auto:
+// "walk"/"tree" forces the tree walker, "plan" requires the plan engine.
+ExecEngine envEngine() {
+  static const ExecEngine cached = [] {
+    const char* env = std::getenv("GCR_ENGINE");
+    if (env == nullptr) return ExecEngine::Auto;
+    const std::string v(env);
+    if (v == "walk" || v == "tree") return ExecEngine::TreeWalk;
+    if (v == "plan") return ExecEngine::Plan;
+    return ExecEngine::Auto;
+  }();
+  return cached;
+}
+
 }  // namespace
+
+// Initial contents are a function of (array, logical index) — never of the
+// address — so executions under different layouts start from the same
+// logical state and stay comparable.
+void initializeMemory(const Program& p, const DataLayout& layout,
+                      const ExecOptions& opts,
+                      std::vector<std::uint64_t>& memory) {
+  std::vector<std::int64_t> idx;
+  for (std::size_t a = 0; a < p.arrays.size(); ++a) {
+    const auto ext = concreteExtents(p.arrays[a], opts.n);
+    const ArrayLayout& al = layout.layoutOf(static_cast<ArrayId>(a));
+    idx.assign(ext.size(), 0);
+    // The address map is affine, so the odometer walk below maintains the
+    // address incrementally: +stride on a dimension step, -(ext-1)*stride
+    // when a dimension wraps.  One addressOf per array, not per element.
+    std::int64_t addr = layout.addressOf(static_cast<ArrayId>(a), idx);
+    std::int64_t linear = 0;
+    for (;;) {
+      GCR_CHECK(addr >= 0 && addr + 8 <= layout.totalBytes(),
+                "store outside data segment");
+      const std::uint64_t value =
+          opts.initValue
+              ? opts.initValue(static_cast<ArrayId>(a), idx)
+              : mix64(mixCombine(0xabcd1234u + a,
+                                 static_cast<std::uint64_t>(linear)));
+      memory[static_cast<std::size_t>(addr / 8)] = value;
+      ++linear;
+      int d = static_cast<int>(ext.size()) - 1;
+      while (d >= 0 && ++idx[static_cast<std::size_t>(d)] ==
+                           ext[static_cast<std::size_t>(d)]) {
+        idx[static_cast<std::size_t>(d)] = 0;
+        addr -= al.strides[static_cast<std::size_t>(d)] *
+                (ext[static_cast<std::size_t>(d)] - 1);
+        --d;
+      }
+      if (d < 0) break;
+      addr += al.strides[static_cast<std::size_t>(d)];
+    }
+  }
+}
 
 ExecResult execute(const Program& p, const DataLayout& layout,
                    const ExecOptions& opts, InstrSink* sink) {
+  ExecEngine engine = opts.engine;
+  if (engine == ExecEngine::Auto) engine = envEngine();
+  if (engine != ExecEngine::TreeWalk) {
+    PlanCompileResult compiled = compilePlan(p, layout, opts);
+    if (compiled.ok()) return executePlan(*compiled.plan, opts, sink);
+    GCR_CHECK(engine != ExecEngine::Plan,
+              "plan engine required but program does not qualify: " +
+                  compiled.reason);
+  }
   Executor exec(p, layout, opts, sink);
   return exec.run();
 }

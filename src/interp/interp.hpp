@@ -7,6 +7,12 @@
 //      This is the correctness oracle for every transformation pass.
 //   2. trace generation — each executed instance is reported to an InstrSink
 //      with its read/write byte addresses under a chosen DataLayout.
+//
+// Two engines share these semantics: the tree-walking interpreter (this
+// file's Executor — the oracle) and the compiled access-plan engine
+// (interp/plan.hpp), which strength-reduces address streams and batches sink
+// delivery.  execute() dispatches to the plan engine whenever the program
+// qualifies (all shipped IR does) and falls back to the walker otherwise.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,11 @@
 #include "ir/ir.hpp"
 
 namespace gcr {
+
+/// Which execution engine execute() uses.  Auto prefers the compiled plan
+/// and falls back to the tree walker when the program does not qualify; the
+/// GCR_ENGINE environment variable ("plan", "walk") overrides Auto.
+enum class ExecEngine { Auto, TreeWalk, Plan };
 
 struct ExecOptions {
   std::int64_t n = 16;           ///< problem size (value of the parameter N)
@@ -30,6 +41,9 @@ struct ExecOptions {
   /// elements start equal.
   std::function<std::uint64_t(ArrayId, std::span<const std::int64_t>)>
       initValue;
+  /// Engine selection; see ExecEngine.  TreeWalk forces the oracle; Plan
+  /// fails loudly when the program does not qualify (differential tests).
+  ExecEngine engine = ExecEngine::Auto;
 };
 
 struct ExecResult {
@@ -41,6 +55,13 @@ struct ExecResult {
 /// instance to `sink` (may be null).  All arrays must have elemSize 8.
 ExecResult execute(const Program& p, const DataLayout& layout,
                    const ExecOptions& opts, InstrSink* sink = nullptr);
+
+/// Fill a zeroed memory image with the deterministic initial contents — a
+/// function of (array, logical index), never of the address.  Shared by both
+/// engines so their starting states are bit-identical.
+void initializeMemory(const Program& p, const DataLayout& layout,
+                      const ExecOptions& opts,
+                      std::vector<std::uint64_t>& memory);
 
 /// Extract one array's logical contents (row-major index order) from a
 /// memory image, independent of layout — used to compare program versions

@@ -1,0 +1,511 @@
+#include "interp/plan.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/prng.hpp"
+
+namespace gcr {
+
+namespace {
+
+struct Range {
+  std::int64_t lo = 0, hi = -1;
+
+  bool empty() const { return lo > hi; }
+  std::uint64_t trips() const {
+    return static_cast<std::uint64_t>(hi - lo + 1);
+  }
+};
+
+Range intersect(Range a, Range b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: one pass over the tree, evaluating every AffineN at the
+// concrete problem size, resolving guards into per-statement iteration boxes,
+// and folding each reference's layout map into (constTerm, coeff per depth).
+// The executed iteration space of a statement is exactly the product of the
+// per-depth effective ranges (loop range ∩ all guards on the path), so
+// bounds and data-segment checks are decided here, not per instance.
+// ---------------------------------------------------------------------------
+
+class PlanCompiler {
+ public:
+  PlanCompiler(const Program& p, const DataLayout& layout,
+               const ExecOptions& opts)
+      : p_(p), layout_(layout), n_(opts.n), boundsCheck_(opts.boundsCheck) {
+    plan_ = std::make_unique<AccessPlan>();
+    plan_->program = &p;
+    plan_->layout = &layout;
+    plan_->n = opts.n;
+    plan_->timeSteps = opts.timeSteps;
+  }
+
+  PlanCompileResult compile() {
+    if (layout_.numArrays() != p_.arrays.size())
+      return decline("layout does not match program arrays");
+    if (layout_.totalBytes() % 8 != 0)
+      return decline("layout not 8-byte aligned");
+    for (const ArrayDecl& d : p_.arrays) {
+      if (d.elemSize != 8) return decline("plan engine requires 8-byte elements");
+      extents_.push_back(concreteExtents(d, n_));
+    }
+    for (const Child& c : p_.top) {
+      if (!c.guards.empty()) return decline("guards at program top level");
+      std::optional<Compiled> cc = compileChild(c, {});
+      if (!fail_.empty()) return decline(fail_);
+      if (cc) plan_->top.push_back(std::move(cc->child));
+    }
+    return {std::move(plan_), ""};
+  }
+
+ private:
+  struct Compiled {
+    PlanChild child;
+    Range membership;  ///< executed sub-range of the parent loop variable
+  };
+
+  PlanCompileResult decline(std::string reason) {
+    return {nullptr, std::move(reason)};
+  }
+
+  // Returns nullopt either because the child can never execute (dropped —
+  // fail_ stays empty) or because compilation failed (fail_ set).
+  std::optional<Compiled> compileChild(const Child& c, std::vector<Range> eff) {
+    const int depth = static_cast<int>(eff.size());
+    Compiled out;
+    for (const GuardSpec& g : c.guards) {
+      if (g.depth < 0 || g.depth >= depth) {
+        fail_ = "guard depth beyond nest";
+        return std::nullopt;
+      }
+      const Range guard{g.lo.eval(n_), g.hi.eval(n_)};
+      const Range cur = eff[static_cast<std::size_t>(g.depth)];
+      const Range narrowed = intersect(cur, guard);
+      if (narrowed.empty()) return std::nullopt;  // never executes
+      // Guards on the immediately enclosing loop variable are resolved into
+      // iteration segments by the parent; guards on outer variables that
+      // still bind anything become a once-per-loop-entry runtime test.
+      if (g.depth < depth - 1 &&
+          (narrowed.lo != cur.lo || narrowed.hi != cur.hi))
+        out.child.outerGuards.push_back({g.depth, guard.lo, guard.hi});
+      eff[static_cast<std::size_t>(g.depth)] = narrowed;
+    }
+    out.membership = depth > 0 ? eff[static_cast<std::size_t>(depth - 1)]
+                               : Range{0, 0};
+    if (c.node->isAssign()) {
+      if (!compileStmt(c.node->assign(), eff, out.child)) return std::nullopt;
+    } else {
+      if (!compileLoop(c.node->loop(), std::move(eff), out.child))
+        return std::nullopt;
+    }
+    return out;
+  }
+
+  bool compileLoop(const Loop& l, std::vector<Range> eff, PlanChild& pc) {
+    PlanLoop loop;
+    loop.lo = l.lo.eval(n_);
+    loop.hi = l.hi.eval(n_);
+    loop.reversed = l.reversed;
+    loop.depth = static_cast<int>(eff.size());
+    if (loop.lo > loop.hi) return false;  // zero-trip: never executes
+    eff.push_back({loop.lo, loop.hi});
+
+    std::vector<Range> memberships;
+    for (const Child& ch : l.body) {
+      std::optional<Compiled> cc = compileChild(ch, eff);
+      if (!fail_.empty()) return false;
+      if (!cc) continue;  // dropped child
+      loop.hasOuterGuards |= !cc->child.outerGuards.empty();
+      loop.children.push_back(std::move(cc->child));
+      memberships.push_back(cc->membership);
+    }
+    if (loop.children.empty()) return false;  // body never executes anything
+
+    loop.innermostAssignsOnly =
+        std::all_of(loop.children.begin(), loop.children.end(),
+                    [](const PlanChild& ch) { return !ch.isLoop; });
+    buildSegments(loop, memberships);
+
+    plan_->loops.push_back(std::move(loop));
+    pc.index = static_cast<int>(plan_->loops.size()) - 1;
+    pc.isLoop = true;
+    return true;
+  }
+
+  // Split [lo, hi] at every membership boundary; each resulting segment has a
+  // constant set of active children (in program order).  Segments with no
+  // active children are discarded — no iteration of them ever runs a guard.
+  static void buildSegments(PlanLoop& loop,
+                            const std::vector<Range>& memberships) {
+    std::vector<std::int64_t> cuts{loop.lo, loop.hi + 1};
+    for (const Range& m : memberships) {
+      if (m.lo > loop.lo) cuts.push_back(m.lo);
+      if (m.hi < loop.hi) cuts.push_back(m.hi + 1);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      PlanSegment seg;
+      seg.lo = cuts[i];
+      seg.hi = cuts[i + 1] - 1;
+      for (std::size_t m = 0; m < memberships.size(); ++m)
+        if (memberships[m].lo <= seg.lo && seg.hi <= memberships[m].hi)
+          seg.members.push_back(static_cast<int>(m));
+      if (!seg.members.empty()) loop.segments.push_back(std::move(seg));
+    }
+  }
+
+  bool compileStmt(const Assign& a, const std::vector<Range>& eff,
+                   PlanChild& pc) {
+    PlanStmt stmt;
+    stmt.stmtId = a.id;
+    stmt.seed = a.seed;
+    stmt.depth = static_cast<int>(eff.size());
+    for (const ArrayRef& r : a.rhs) {
+      std::optional<PlanRef> ref = compileRef(r, eff);
+      if (!ref) return false;
+      stmt.reads.push_back(std::move(*ref));
+    }
+    std::optional<PlanRef> w = compileRef(a.lhs, eff);
+    if (!w) return false;
+    stmt.write = std::move(*w);
+
+    std::uint64_t instances = 1;
+    for (const Range& r : eff) instances *= r.trips();
+    plan_->instrsPerStep += instances;
+    plan_->readsPerStep += instances * a.rhs.size();
+    plan_->maxReadsPerStmt = std::max(plan_->maxReadsPerStmt, a.rhs.size());
+    plan_->maxDepth = std::max(plan_->maxDepth, stmt.depth);
+
+    plan_->stmts.push_back(std::move(stmt));
+    pc.index = static_cast<int>(plan_->stmts.size()) - 1;
+    pc.isLoop = false;
+    return true;
+  }
+
+  std::optional<PlanRef> compileRef(const ArrayRef& r,
+                                    const std::vector<Range>& eff) {
+    if (r.array < 0 || r.array >= static_cast<int>(p_.arrays.size())) {
+      fail_ = "array id out of range";
+      return std::nullopt;
+    }
+    const ArrayLayout& al = layout_.layoutOf(r.array);
+    const auto& ext = extents_[static_cast<std::size_t>(r.array)];
+    const int depth = static_cast<int>(eff.size());
+    PlanRef ref;
+    ref.coeffs.assign(static_cast<std::size_t>(depth), 0);
+    ref.constTerm = al.base;
+    for (std::size_t pos = 0; pos < r.subs.size(); ++pos) {
+      if (pos >= al.strides.size() || pos >= ext.size()) {
+        fail_ = "subscript rank exceeds array rank";
+        return std::nullopt;
+      }
+      const std::int64_t stride = al.strides[pos];
+      const Subscript& s = r.subs[pos];
+      const std::int64_t off = s.offset.eval(n_);
+      if (s.isConstant()) {
+        if (boundsCheck_ && !(off >= 0 && off < ext[pos])) {
+          fail_ = "constant subscript out of bounds";
+          return std::nullopt;
+        }
+        ref.constTerm += stride * off;
+        continue;
+      }
+      if (s.depth < 0 || s.depth >= depth) {
+        fail_ = "subscript depth beyond nest";
+        return std::nullopt;
+      }
+      const Range rg = eff[static_cast<std::size_t>(s.depth)];
+      if (boundsCheck_ && !(rg.lo + off >= 0 && rg.hi + off < ext[pos])) {
+        fail_ = "subscript out of bounds";
+        return std::nullopt;
+      }
+      ref.constTerm += stride * off;
+      ref.coeffs[static_cast<std::size_t>(s.depth)] += stride;
+    }
+    // Data-segment check over the statement's whole iteration box — replaces
+    // the tree walker's per-access load/store checks (performed even with
+    // boundsCheck off).  Address is affine, so extrema sit at box corners.
+    std::int64_t minAddr = ref.constTerm;
+    std::int64_t maxAddr = ref.constTerm;
+    for (int d = 0; d < depth; ++d) {
+      const std::int64_t c = ref.coeffs[static_cast<std::size_t>(d)];
+      const Range rg = eff[static_cast<std::size_t>(d)];
+      minAddr += c * (c >= 0 ? rg.lo : rg.hi);
+      maxAddr += c * (c >= 0 ? rg.hi : rg.lo);
+    }
+    if (!(minAddr >= 0 && maxAddr + 8 <= layout_.totalBytes())) {
+      fail_ = "access outside data segment";
+      return std::nullopt;
+    }
+    return ref;
+  }
+
+  const Program& p_;
+  const DataLayout& layout_;
+  const std::int64_t n_;
+  const bool boundsCheck_;
+  std::vector<std::vector<std::int64_t>> extents_;
+  std::unique_ptr<AccessPlan> plan_;
+  std::string fail_;
+};
+
+// ---------------------------------------------------------------------------
+// Execution.  The steady-state inner loop is pure pointer arithmetic: per
+// read, one mix + one "addr += step"; per instance, one mix64 store.  All
+// guard and bounds logic ran at compile time; sink delivery is batched into
+// structure-of-arrays chunks of kBlockCapacity instances.
+// ---------------------------------------------------------------------------
+
+class PlanExecutor {
+ public:
+  static constexpr std::size_t kBlockCapacity = 4096;
+
+  PlanExecutor(const AccessPlan& plan, const ExecOptions& opts,
+               InstrSink* sink)
+      : plan_(plan), sink_(sink) {
+    result_.memory.assign(
+        static_cast<std::size_t>(plan_.layout->totalBytes() / 8), 0);
+    initializeMemory(*plan_.program, *plan_.layout, opts, result_.memory);
+    ivs_.assign(static_cast<std::size_t>(plan_.maxDepth), 0);
+    keep_.resize(plan_.loops.size());
+    for (std::size_t i = 0; i < plan_.loops.size(); ++i)
+      keep_[i].assign(plan_.loops[i].children.size(), 1);
+    if (sink_ != nullptr) {
+      // Chunk buffers sized from the plan's exact dynamic counts (capped at
+      // one block plus the worst-case overshoot of a whole iteration).
+      const std::uint64_t totalInstrs = plan_.instrsPerStep * plan_.timeSteps;
+      const std::size_t instrCap =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              totalInstrs, kBlockCapacity + plan_.stmts.size()));
+      bStmt_.reserve(instrCap);
+      bOff_.reserve(instrCap + 1);
+      bWrites_.reserve(instrCap);
+      const std::uint64_t totalReads = plan_.readsPerStep * plan_.timeSteps;
+      bPool_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+          totalReads, static_cast<std::uint64_t>(instrCap) *
+                          std::max<std::size_t>(plan_.maxReadsPerStmt, 1))));
+    }
+    bOff_.push_back(0);
+  }
+
+  ExecResult run() {
+    for (std::uint64_t t = 0; t < plan_.timeSteps; ++t)
+      for (const PlanChild& c : plan_.top) execChild(c);
+    if (sink_ != nullptr) flushBlock();
+    return std::move(result_);
+  }
+
+ private:
+  struct HotRef {
+    std::int64_t addr = 0;
+    std::int64_t step = 0;
+  };
+  struct HotStmt {
+    int stmtId = -1;
+    std::uint64_t seed = 1;
+    std::uint32_t rBegin = 0;  ///< read slots [rBegin, rEnd) per iteration
+    std::uint32_t rEnd = 0;
+  };
+
+  void execChild(const PlanChild& c) {
+    if (c.isLoop)
+      execLoop(c.index);
+    else
+      execStmtSlow(plan_.stmts[static_cast<std::size_t>(c.index)]);
+  }
+
+  void execLoop(int loopIdx) {
+    const PlanLoop& L = plan_.loops[static_cast<std::size_t>(loopIdx)];
+    std::vector<std::uint8_t>& keepRow =
+        keep_[static_cast<std::size_t>(loopIdx)];
+    if (L.hasOuterGuards) {
+      // Outer-variable guards are loop-invariant here: decide each child
+      // once per loop entry instead of once per iteration.
+      for (std::size_t ci = 0; ci < L.children.size(); ++ci) {
+        std::uint8_t ok = 1;
+        for (const PlanGuard& g : L.children[ci].outerGuards) {
+          const std::int64_t v = ivs_[static_cast<std::size_t>(g.depth)];
+          if (v < g.lo || v > g.hi) {
+            ok = 0;
+            break;
+          }
+        }
+        keepRow[ci] = ok;
+      }
+    }
+    if (L.innermostAssignsOnly) {
+      execInnermost(L, keepRow);
+      return;
+    }
+    const int nseg = static_cast<int>(L.segments.size());
+    for (int s = L.reversed ? nseg - 1 : 0; L.reversed ? s >= 0 : s < nseg;
+         L.reversed ? --s : ++s) {
+      const PlanSegment& seg = L.segments[static_cast<std::size_t>(s)];
+      const std::int64_t first = L.reversed ? seg.hi : seg.lo;
+      const std::int64_t last = L.reversed ? seg.lo : seg.hi;
+      const std::int64_t dir = L.reversed ? -1 : 1;
+      for (std::int64_t v = first;; v += dir) {
+        ivs_[static_cast<std::size_t>(L.depth)] = v;
+        for (int m : seg.members)
+          if (!L.hasOuterGuards || keepRow[static_cast<std::size_t>(m)])
+            execChild(L.children[static_cast<std::size_t>(m)]);
+        if (v == last) break;
+      }
+    }
+  }
+
+  HotRef rebase(const PlanRef& r, int ivIdx, std::int64_t vStart,
+                std::int64_t dir) const {
+    std::int64_t addr = r.constTerm;
+    for (int d = 0; d < ivIdx; ++d)
+      addr += r.coeffs[static_cast<std::size_t>(d)] *
+              ivs_[static_cast<std::size_t>(d)];
+    const std::int64_t innerCoeff = r.coeffs[static_cast<std::size_t>(ivIdx)];
+    return {addr + innerCoeff * vStart, dir * innerCoeff};
+  }
+
+  void execInnermost(const PlanLoop& L,
+                     const std::vector<std::uint8_t>& keepRow) {
+    const int nseg = static_cast<int>(L.segments.size());
+    for (int s = L.reversed ? nseg - 1 : 0; L.reversed ? s >= 0 : s < nseg;
+         L.reversed ? --s : ++s) {
+      const PlanSegment& seg = L.segments[static_cast<std::size_t>(s)];
+      const std::int64_t vStart = L.reversed ? seg.hi : seg.lo;
+      const std::int64_t dir = L.reversed ? -1 : 1;
+      hotStmts_.clear();
+      hotReads_.clear();
+      hotWrites_.clear();
+      for (int m : seg.members) {
+        if (L.hasOuterGuards && !keepRow[static_cast<std::size_t>(m)])
+          continue;
+        const PlanStmt& st =
+            plan_.stmts[static_cast<std::size_t>(
+                L.children[static_cast<std::size_t>(m)].index)];
+        HotStmt hs;
+        hs.stmtId = st.stmtId;
+        hs.seed = st.seed;
+        hs.rBegin = static_cast<std::uint32_t>(hotReads_.size());
+        for (const PlanRef& r : st.reads)
+          hotReads_.push_back(rebase(r, L.depth, vStart, dir));
+        hs.rEnd = static_cast<std::uint32_t>(hotReads_.size());
+        hotWrites_.push_back(rebase(st.write, L.depth, vStart, dir));
+        hotStmts_.push_back(hs);
+      }
+      if (hotStmts_.empty()) continue;
+      const std::int64_t trips = seg.hi - seg.lo + 1;
+      if (sink_ != nullptr)
+        runSegment<true>(trips);
+      else
+        runSegment<false>(trips);
+    }
+  }
+
+  // Per access the steady state is one load, one mix, and one in-place
+  // "addr += step"; per instance one mix64 store.  Measured against
+  // hand-written kernels of the same value semantics, this loop is within
+  // ~5% of the mix-chain floor — variants that recompute addresses as
+  // base + t*step or pre-expand address strips both measured slower here.
+  template <bool Emit>
+  void runSegment(std::int64_t trips) {
+    std::uint64_t* mem = result_.memory.data();
+    const HotStmt* stmts = hotStmts_.data();
+    HotRef* reads = hotReads_.data();
+    HotRef* writes = hotWrites_.data();
+    const std::size_t numStmts = hotStmts_.size();
+    for (std::int64_t t = 0; t < trips; ++t) {
+      for (std::size_t si = 0; si < numStmts; ++si) {
+        const HotStmt hs = stmts[si];
+        std::uint64_t acc = hs.seed;
+        for (std::uint32_t ri = hs.rBegin; ri < hs.rEnd; ++ri) {
+          HotRef& hr = reads[ri];
+          acc = mixCombine(acc,
+                           mem[static_cast<std::uint64_t>(hr.addr) >> 3]);
+          if constexpr (Emit) bPool_.push_back(hr.addr);
+          hr.addr += hr.step;
+        }
+        HotRef& wr = writes[si];
+        mem[static_cast<std::uint64_t>(wr.addr) >> 3] = mix64(acc);
+        if constexpr (Emit) {
+          bStmt_.push_back(hs.stmtId);
+          bOff_.push_back(bPool_.size());
+          bWrites_.push_back(wr.addr);
+        }
+        wr.addr += wr.step;
+      }
+      if constexpr (Emit)
+        if (bStmt_.size() >= kBlockCapacity) flushBlock();
+    }
+    result_.instrCount += static_cast<std::uint64_t>(trips) * numStmts;
+  }
+
+  void execStmtSlow(const PlanStmt& st) {
+    std::uint64_t* mem = result_.memory.data();
+    std::uint64_t acc = st.seed;
+    for (const PlanRef& r : st.reads) {
+      const std::int64_t a = evalAddr(r, st.depth);
+      acc = mixCombine(acc, mem[static_cast<std::uint64_t>(a) >> 3]);
+      if (sink_ != nullptr) bPool_.push_back(a);
+    }
+    const std::int64_t w = evalAddr(st.write, st.depth);
+    mem[static_cast<std::uint64_t>(w) >> 3] = mix64(acc);
+    ++result_.instrCount;
+    if (sink_ != nullptr) {
+      bStmt_.push_back(st.stmtId);
+      bOff_.push_back(bPool_.size());
+      bWrites_.push_back(w);
+      if (bStmt_.size() >= kBlockCapacity) flushBlock();
+    }
+  }
+
+  std::int64_t evalAddr(const PlanRef& r, int depth) const {
+    std::int64_t addr = r.constTerm;
+    for (int d = 0; d < depth; ++d)
+      addr += r.coeffs[static_cast<std::size_t>(d)] *
+              ivs_[static_cast<std::size_t>(d)];
+    return addr;
+  }
+
+  void flushBlock() {
+    if (bStmt_.empty()) return;
+    sink_->onBlock(InstrBlock{bStmt_, bOff_, bPool_, bWrites_});
+    bStmt_.clear();
+    bOff_.clear();
+    bOff_.push_back(0);
+    bPool_.clear();
+    bWrites_.clear();
+  }
+
+  const AccessPlan& plan_;
+  InstrSink* sink_;
+  ExecResult result_;
+  std::vector<std::int64_t> ivs_;
+  std::vector<std::vector<std::uint8_t>> keep_;  ///< per loop, per child
+  std::vector<HotRef> hotReads_;
+  std::vector<HotRef> hotWrites_;
+  std::vector<HotStmt> hotStmts_;
+  // Structure-of-arrays chunk buffer; bOff_ carries the size()+1 fencepost.
+  std::vector<int> bStmt_;
+  std::vector<std::uint64_t> bOff_;
+  std::vector<std::int64_t> bPool_;
+  std::vector<std::int64_t> bWrites_;
+};
+
+}  // namespace
+
+PlanCompileResult compilePlan(const Program& p, const DataLayout& layout,
+                              const ExecOptions& opts) {
+  PlanCompiler compiler(p, layout, opts);
+  return compiler.compile();
+}
+
+ExecResult executePlan(const AccessPlan& plan, const ExecOptions& opts,
+                       InstrSink* sink) {
+  PlanExecutor exec(plan, opts, sink);
+  return exec.run();
+}
+
+}  // namespace gcr

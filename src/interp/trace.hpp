@@ -5,6 +5,16 @@
 // cache analyses flatten this to an access stream (reads first, then the
 // write, matching actual execution); the reuse-driven-execution study keeps
 // instruction granularity.
+//
+// Two delivery granularities:
+//   * onInstr  — one virtual call per statement instance (the tree-walking
+//     interpreter's native granularity);
+//   * onBlock  — one virtual call per structure-of-arrays chunk of ~4K
+//     instances (the compiled plan engine's native granularity), amortizing
+//     dispatch and enabling bulk appends.
+// Every sink accepts both: InstrSink::onBlock has a default implementation
+// that replays the block instance-by-instance into onInstr (the compatibility
+// shim for legacy sinks), and the high-traffic sinks below override it.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +23,94 @@
 
 namespace gcr {
 
+/// A structure-of-arrays view over a chunk of consecutive statement
+/// instances.  `readOffsets` carries size()+1 fencepost entries into
+/// `readPool`, so instance i's reads are readPool[readOffsets[i] ..
+/// readOffsets[i+1]).  `readPool` covers exactly the block's reads.
+struct InstrBlock {
+  std::span<const int> stmtIds;
+  std::span<const std::uint64_t> readOffsets;
+  std::span<const std::int64_t> readPool;
+  std::span<const std::int64_t> writes;
+
+  std::size_t size() const { return stmtIds.size(); }
+  std::span<const std::int64_t> reads(std::size_t i) const {
+    return readPool.subspan(
+        static_cast<std::size_t>(readOffsets[i]),
+        static_cast<std::size_t>(readOffsets[i + 1] - readOffsets[i]));
+  }
+};
+
 class InstrSink {
  public:
   virtual ~InstrSink() = default;
   virtual void onInstr(int stmtId, std::span<const std::int64_t> readAddrs,
                        std::int64_t writeAddr) = 0;
+  /// Blocked delivery.  The default replays the chunk through onInstr in
+  /// instance order, so legacy sinks consume block producers unchanged.
+  virtual void onBlock(const InstrBlock& b) {
+    for (std::size_t i = 0; i < b.size(); ++i)
+      onInstr(b.stmtIds[i], b.reads(i), b.writes[i]);
+  }
+};
+
+/// Base for block-native sinks: implement onBlock only; single instances
+/// arrive as one-element blocks (no allocation).
+class InstrBlockSink : public InstrSink {
+ public:
+  void onInstr(int stmtId, std::span<const std::int64_t> reads,
+               std::int64_t write) final {
+    const std::uint64_t offs[2] = {0, reads.size()};
+    onBlock(InstrBlock{{&stmtId, 1}, {offs, 2}, reads, {&write, 1}});
+  }
+  void onBlock(const InstrBlock& b) override = 0;
+};
+
+/// Accumulates per-instance deliveries into ~capacity-instance blocks and
+/// forwards them to a downstream sink's onBlock — converts an instance-
+/// granularity producer (e.g. the tree walker) into a block producer.
+/// flush() on destruction; call flush() earlier to bound latency.
+class BlockBatcher final : public InstrSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit BlockBatcher(InstrSink* downstream,
+                        std::size_t capacity = kDefaultCapacity)
+      : downstream_(downstream), capacity_(capacity ? capacity : 1) {
+    readOffsets_.push_back(0);
+  }
+  ~BlockBatcher() override { flush(); }
+
+  void onInstr(int stmtId, std::span<const std::int64_t> reads,
+               std::int64_t write) override {
+    stmtIds_.push_back(stmtId);
+    readPool_.insert(readPool_.end(), reads.begin(), reads.end());
+    readOffsets_.push_back(readPool_.size());
+    writes_.push_back(write);
+    if (stmtIds_.size() >= capacity_) flush();
+  }
+  void onBlock(const InstrBlock& b) override {
+    flush();
+    downstream_->onBlock(b);
+  }
+
+  void flush() {
+    if (stmtIds_.empty()) return;
+    downstream_->onBlock(
+        InstrBlock{stmtIds_, readOffsets_, readPool_, writes_});
+    stmtIds_.clear();
+    readOffsets_.assign(1, 0);
+    readPool_.clear();
+    writes_.clear();
+  }
+
+ private:
+  InstrSink* downstream_;
+  std::size_t capacity_;
+  std::vector<int> stmtIds_;
+  std::vector<std::uint64_t> readOffsets_;
+  std::vector<std::int64_t> readPool_;
+  std::vector<std::int64_t> writes_;
 };
 
 /// Fan-out to several sinks.
@@ -27,6 +120,9 @@ class TeeSink final : public InstrSink {
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override {
     for (InstrSink* s : sinks_) s->onInstr(stmtId, reads, write);
+  }
+  void onBlock(const InstrBlock& b) override {
+    for (InstrSink* s : sinks_) s->onBlock(b);
   }
 
  private:
@@ -41,6 +137,10 @@ class CountingSink final : public InstrSink {
     ++instrs_;
     refs_ += reads.size() + 1;
   }
+  void onBlock(const InstrBlock& b) override {
+    instrs_ += b.size();
+    refs_ += b.readPool.size() + b.size();
+  }
   std::uint64_t instrs() const { return instrs_; }
   std::uint64_t refs() const { return refs_; }
 
@@ -53,28 +153,53 @@ class CountingSink final : public InstrSink {
 /// reuse-driven-execution simulator.
 class InstrTrace final : public InstrSink {
  public:
+  /// Read-pool offsets are 64-bit: a pooled-read count past 2^32 (a few
+  /// billion instances) must extend the trace, not silently wrap.
+  using ReadOffset = std::uint64_t;
+
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override {
     stmtIds_.push_back(stmtId);
-    readOffsets_.push_back(static_cast<std::uint32_t>(readPool_.size()));
+    readOffsets_.push_back(static_cast<ReadOffset>(readPool_.size()));
     readPool_.insert(readPool_.end(), reads.begin(), reads.end());
     writes_.push_back(write);
+  }
+
+  /// Bulk append of a whole chunk: one offset rebase + four vector inserts
+  /// instead of size() virtual calls.
+  void onBlock(const InstrBlock& b) override {
+    const ReadOffset base = static_cast<ReadOffset>(readPool_.size());
+    stmtIds_.insert(stmtIds_.end(), b.stmtIds.begin(), b.stmtIds.end());
+    readOffsets_.reserve(readOffsets_.size() + b.size());
+    for (std::size_t i = 0; i < b.size(); ++i)
+      readOffsets_.push_back(base + b.readOffsets[i]);
+    readPool_.insert(readPool_.end(), b.readPool.begin(), b.readPool.end());
+    writes_.insert(writes_.end(), b.writes.begin(), b.writes.end());
+  }
+
+  /// Pre-size for an expected instance and pooled-read count (upper bounds
+  /// are fine), eliminating mid-run reallocation on large traces.
+  void reserve(std::uint64_t expectedInstrs, std::uint64_t expectedReads) {
+    stmtIds_.reserve(static_cast<std::size_t>(expectedInstrs));
+    readOffsets_.reserve(static_cast<std::size_t>(expectedInstrs));
+    writes_.reserve(static_cast<std::size_t>(expectedInstrs));
+    readPool_.reserve(static_cast<std::size_t>(expectedReads));
   }
 
   std::size_t size() const { return stmtIds_.size(); }
   int stmtId(std::size_t i) const { return stmtIds_[i]; }
   std::int64_t writeAddr(std::size_t i) const { return writes_[i]; }
   std::span<const std::int64_t> reads(std::size_t i) const {
-    const std::uint32_t begin = readOffsets_[i];
-    const std::uint32_t end = i + 1 < readOffsets_.size()
-                                  ? readOffsets_[i + 1]
-                                  : static_cast<std::uint32_t>(readPool_.size());
+    const ReadOffset begin = readOffsets_[i];
+    const ReadOffset end = i + 1 < readOffsets_.size()
+                               ? readOffsets_[i + 1]
+                               : static_cast<ReadOffset>(readPool_.size());
     return {readPool_.data() + begin, readPool_.data() + end};
   }
 
  private:
   std::vector<int> stmtIds_;
-  std::vector<std::uint32_t> readOffsets_;
+  std::vector<ReadOffset> readOffsets_;
   std::vector<std::int64_t> readPool_;
   std::vector<std::int64_t> writes_;
 };

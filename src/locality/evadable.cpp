@@ -42,6 +42,13 @@ void PairwiseReuseCollector::onInstr(int stmtId,
   accessFrom(stmtId, write);
 }
 
+void PairwiseReuseCollector::onBlock(const InstrBlock& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::int64_t r : b.reads(i)) accessFrom(b.stmtIds[i], r);
+    accessFrom(b.stmtIds[i], b.writes[i]);
+  }
+}
+
 EvadableReport classifyEvadable(const PairwiseReuseCollector& small,
                                 const PairwiseReuseCollector& large,
                                 double growthFactor, double absoluteFloor) {

@@ -39,9 +39,21 @@ class PairwiseReuseCollector final : public InstrSink {
 
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override;
+  void onBlock(const InstrBlock& b) override;
 
   /// Feed one access outside instruction context (for reordered traces).
   void accessFrom(int stmtId, std::int64_t addr);
+
+  /// Pre-size the mark tree and last-access map for an expected access count
+  /// and data footprint (bytes), mirroring ReuseDistanceTracker::reserve.
+  void reserve(std::uint64_t expectedAccesses,
+               std::uint64_t expectedDistinctBytes = 0) {
+    marks_.reserve(expectedAccesses);
+    const std::uint64_t data = static_cast<std::uint64_t>(
+        expectedDistinctBytes / static_cast<std::uint64_t>(granularity_));
+    last_.reserve(static_cast<std::size_t>(data > 0 ? data
+                                                    : expectedAccesses));
+  }
 
   const FlatMap64<ReusePairStats>& pairs() const { return pairs_; }
   const Log2Histogram& histogram() const { return histogram_; }

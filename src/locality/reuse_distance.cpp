@@ -61,6 +61,14 @@ void ReuseDistanceSink::onInstr(int, std::span<const std::int64_t> reads,
   touch(write);
 }
 
+void ReuseDistanceSink::onBlock(const InstrBlock& b) {
+  // One dispatch per chunk; same flattening order as onInstr.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::int64_t r : b.reads(i)) touch(r);
+    touch(b.writes[i]);
+  }
+}
+
 ReuseProfile ReuseDistanceSink::takeProfile() {
   profile_.accesses = tracker_.accesses();
   profile_.distinctData = tracker_.distinctData();

@@ -79,6 +79,7 @@ class ReuseDistanceSink final : public InstrSink {
 
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override;
+  void onBlock(const InstrBlock& b) override;
 
   /// Forwarded to the tracker; `expectedDistinctBytes` is divided by the
   /// granularity to size the last-access map.

@@ -63,6 +63,13 @@ void SampledReuseSink::onInstr(int, std::span<const std::int64_t> reads,
   touch(write);
 }
 
+void SampledReuseSink::onBlock(const InstrBlock& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (std::int64_t r : b.reads(i)) touch(r);
+    touch(b.writes[i]);
+  }
+}
+
 void SampledReuseSink::reserve(std::uint64_t expectedAccesses,
                                std::uint64_t expectedDistinctBytes) {
   tracker_.reserve(expectedAccesses,

@@ -75,6 +75,7 @@ class SampledReuseSink final : public InstrSink {
 
   void onInstr(int stmtId, std::span<const std::int64_t> reads,
                std::int64_t write) override;
+  void onBlock(const InstrBlock& b) override;
 
   void reserve(std::uint64_t expectedAccesses,
                std::uint64_t expectedDistinctBytes = 0);
