@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("interp")
+subdirs("locality")
+subdirs("cachesim")
+subdirs("reuse_driven")
+subdirs("fusion")
+subdirs("regroup")
+subdirs("codegen")
+subdirs("xform")
+subdirs("driver")
+subdirs("apps")

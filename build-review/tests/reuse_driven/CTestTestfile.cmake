@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/reuse_driven
+# Build directory: /root/repo/build-review/tests/reuse_driven
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/reuse_driven/test_reuse_driven[1]_include.cmake")
