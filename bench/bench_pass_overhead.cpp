@@ -7,6 +7,9 @@
 // whole pipeline should run in milliseconds-to-seconds on SP.
 #include <benchmark/benchmark.h>
 
+#include "analysis/dependence.hpp"
+#include "analysis/legality.hpp"
+#include "analysis/static_reuse.hpp"
 #include "apps/registry.hpp"
 #include "driver/pipeline.hpp"
 #include "xform/distribute.hpp"
@@ -47,6 +50,35 @@ void BM_FullPipeline(benchmark::State& state, const char* app) {
   for (auto _ : state) benchmark::DoNotOptimize(optimize(p));
 }
 
+// Static analysis cost (gcr-verify's hot path).  The per-pair rate is the
+// figure of merit: the dependence census is quadratic in reference sites.
+void BM_DependenceCensus(benchmark::State& state, const char* app) {
+  Program p = apps::buildApp(app);
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    const DependenceSummary s = analyzeProgramDependences(p);
+    pairs = s.pairsAnalyzed;
+    benchmark::DoNotOptimize(s.deps.size());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["time_per_pair"] = benchmark::Counter(
+      static_cast<double>(pairs),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void BM_VerifyProgram(benchmark::State& state, const char* app) {
+  Program p = apps::buildApp(app);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(verifyProgram(p, app).diags.size());
+}
+
+void BM_StaticReuseProfile(benchmark::State& state, const char* app) {
+  Program p = apps::buildApp(app);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(estimateReuseProfile(p).accesses);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Distribute, sp, "SP");
@@ -58,5 +90,18 @@ BENCHMARK_CAPTURE(BM_FullPipeline, sp, "SP");
 BENCHMARK_CAPTURE(BM_FullPipeline, swim, "Swim");
 BENCHMARK_CAPTURE(BM_FullPipeline, tomcatv, "Tomcatv");
 BENCHMARK_CAPTURE(BM_FullPipeline, adi, "ADI");
+
+BENCHMARK_CAPTURE(BM_DependenceCensus, sp, "SP");
+BENCHMARK_CAPTURE(BM_DependenceCensus, swim, "Swim");
+BENCHMARK_CAPTURE(BM_DependenceCensus, tomcatv, "Tomcatv");
+BENCHMARK_CAPTURE(BM_DependenceCensus, adi, "ADI");
+BENCHMARK_CAPTURE(BM_VerifyProgram, sp, "SP");
+BENCHMARK_CAPTURE(BM_VerifyProgram, swim, "Swim");
+BENCHMARK_CAPTURE(BM_VerifyProgram, tomcatv, "Tomcatv");
+BENCHMARK_CAPTURE(BM_VerifyProgram, adi, "ADI");
+BENCHMARK_CAPTURE(BM_StaticReuseProfile, sp, "SP");
+BENCHMARK_CAPTURE(BM_StaticReuseProfile, swim, "Swim");
+BENCHMARK_CAPTURE(BM_StaticReuseProfile, tomcatv, "Tomcatv");
+BENCHMARK_CAPTURE(BM_StaticReuseProfile, adi, "ADI");
 
 BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+#include "analysis/adversarial.hpp"
+
+#include "fusion/legal.hpp"
+#include "ir/builder.hpp"
+#include "ir/validate.hpp"
+#include "support/assert.hpp"
+#include "xform/interchange.hpp"
+
+namespace gcr {
+
+namespace {
+
+// ---- checker wrappers (one per cited pass) --------------------------------
+
+std::vector<Diagnostic> runInterchange(const Program& p, std::int64_t minN) {
+  GCR_CHECK(!p.top.empty() && p.top.front().node->isLoop(),
+            "adversarial interchange case must start with a loop");
+  return checkInterchangeLegal(p, p.top.front().node->loop(), minN, p.name);
+}
+
+std::vector<Diagnostic> runFusion(const Program& p, std::int64_t minN) {
+  GCR_CHECK(p.top.size() >= 2, "adversarial fusion case needs two units");
+  return checkFusionLegal(p, p.top[0], p.top[1], 0, minN, 3, p.name);
+}
+
+std::vector<Diagnostic> runValidate(const Program& p, std::int64_t minN) {
+  return validateStrict(p, minN, p.name);
+}
+
+// ---- the illegal programs -------------------------------------------------
+
+/// A(i,j) = A(i-1,j+1): distance (1,-1), direction (<,>).  Interchanging
+/// would run the sink iteration before its source wrote the value.
+Program interchangeNegativeDistance() {
+  ProgramBuilder b("adv-interchange");
+  const ArrayId A = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 1, AffineN::N() - 2, "j", 1, AffineN::N() - 2,
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(A, {i, j}), {b.ref(A, {i - 1, j + 1})});
+          });
+  return b.take();
+}
+
+/// Second loop reads the *last* element the first loop writes: every fused
+/// iteration would need the whole first loop finished, an alignment factor
+/// of N-1 (grows with the problem size, not a constant boundary strip).
+Program fusionUnboundedAlignment() {
+  ProgramBuilder b("adv-fusion-unbounded");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {b.ref(B, {i})}); });
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(C, {i}), {b.ref(A, {cst(AffineN::N() - 1)})});
+  });
+  return b.take();
+}
+
+/// A forward reader and a reversed shifter of the same array.  Run in
+/// program order the reversed loop propagates A(N-1) down the whole array;
+/// fused into one forward loop it would shift each element by one instead.
+Program fusionMixedDirection() {
+  ProgramBuilder b("adv-fusion-mixed");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 2,
+         [&](IxVar i) { b.assign(b.ref(B, {i}), {b.ref(A, {i})}); });
+  b.loopDown("i", 0, AffineN::N() - 2,
+             [&](IxVar i) { b.assign(b.ref(A, {i}), {b.ref(A, {i + 1})}); });
+  return b.take();
+}
+
+/// D(i,i): two subscript dimensions driven by the same loop level.  The
+/// dependence analyzer treats the dimensions as independent and would
+/// silently return Unknown for pairs involving this reference.
+Program validateDiagonal() {
+  ProgramBuilder b("adv-diagonal");
+  const ArrayId D = b.array("D", {AffineN::N(), AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(D, {i, i}), {b.ref(B, {i})}); });
+  return b.take();
+}
+
+/// A(i+N) = B(i): the subscript offset scales with the problem size, outside
+/// the Figure-5 parametric form every alignment computation assumes.
+Program validateScaledOffset() {
+  ProgramBuilder b("adv-scaled-offset");
+  const ArrayId A = b.array("A", {2 * AffineN::N() + 1});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(A, {Subscript::var(i.depth, AffineN::N())}),
+             {b.ref(B, {i})});
+  });
+  return b.take();
+}
+
+}  // namespace
+
+std::vector<AdversarialCase> adversarialCases() {
+  std::vector<AdversarialCase> cases;
+  cases.push_back({"interchange-negative-distance", "interchange",
+                   "direction-vector", interchangeNegativeDistance(),
+                   &runInterchange});
+  cases.push_back({"fusion-unbounded-alignment", "fusion",
+                   "unbounded-alignment", fusionUnboundedAlignment(),
+                   &runFusion});
+  cases.push_back({"fusion-mixed-direction", "fusion", "mixed-direction",
+                   fusionMixedDirection(), &runFusion});
+  cases.push_back({"validate-diagonal-subscript", "validate",
+                   "diagonal-subscript", validateDiagonal(), &runValidate});
+  cases.push_back({"validate-scaled-offset", "validate", "scaled-offset",
+                   validateScaledOffset(), &runValidate});
+  return cases;
+}
+
+bool cites(const std::vector<Diagnostic>& diags, const std::string& pass,
+           const std::string& rule) {
+  for (const Diagnostic& d : diags)
+    if (d.pass == pass && d.rule == rule && d.severity >= Severity::Warning)
+      return true;
+  return false;
+}
+
+}  // namespace gcr

@@ -1,0 +1,38 @@
+// Known-illegal transform requests, as a shared corpus.
+//
+// Each case is a small program plus one transform request that the static
+// legality layer must refuse, with the (pass, rule) the refusal must cite.
+// `gcr-verify --adversarial` self-tests against this corpus in CI, and the
+// adversarial test suite additionally *forces* each transform through the
+// low-level APIs and shows the execution engines diverge — i.e. the static
+// refusal is not conservatism, the transform really is wrong.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/diagnostic.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+struct AdversarialCase {
+  std::string name;
+  std::string pass;  ///< checker that must refuse: "fusion", "interchange",
+                     ///< "validate"
+  std::string rule;  ///< rule the refusal must cite
+  Program program;
+  /// Run the cited checker on `program`; the refusal holds when a
+  /// diagnostic with (pass, rule) at severity >= warning comes back.
+  std::vector<Diagnostic> (*check)(const Program&, std::int64_t minN);
+};
+
+/// The corpus.  Programs are rebuilt on every call (they are mutable IR).
+std::vector<AdversarialCase> adversarialCases();
+
+/// True when `diags` contains an entry citing (pass, rule) at warning or
+/// error severity.
+bool cites(const std::vector<Diagnostic>& diags, const std::string& pass,
+           const std::string& rule);
+
+}  // namespace gcr

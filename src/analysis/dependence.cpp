@@ -1,0 +1,371 @@
+#include "analysis/dependence.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace gcr {
+
+namespace {
+
+std::string refText(const Program& p, const ArrayRef& r,
+                    const std::vector<const Loop*>& stack) {
+  std::ostringstream os;
+  os << p.arrayDecl(r.array).name;
+  for (const Subscript& s : r.subs) {
+    os << "[";
+    if (s.isConstant()) {
+      os << s.offset.str();
+    } else {
+      if (s.depth < static_cast<int>(stack.size()))
+        os << stack[static_cast<std::size_t>(s.depth)]->var;
+      else
+        os << "i@" << s.depth;
+      if (s.offset.s != 0 || s.offset.c > 0) os << "+" << s.offset.str();
+      if (s.offset.s == 0 && s.offset.c < 0) os << s.offset.str();
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::string locText(const std::vector<const Loop*>& stack) {
+  if (stack.empty()) return "top";
+  std::string out;
+  for (const Loop* l : stack) {
+    if (!out.empty()) out += "/";
+    out += l->var;
+  }
+  return out;
+}
+
+struct SiteCollector {
+  const Program& p;
+  std::int64_t minN;
+  std::vector<RefSite> out;
+  std::vector<const Loop*> stack;
+  std::vector<const Child*> childStack;
+  std::vector<AffineN> lo, hi;
+  int order = 0;
+
+  void addRef(const Assign& a, const ArrayRef& r, bool isWrite) {
+    RefSite s;
+    s.stmtId = a.id;
+    s.array = r.array;
+    s.isWrite = isWrite;
+    s.ref = &r;
+    s.stack = stack;
+    s.childPath = childStack;
+    s.actLo = lo;
+    s.actHi = hi;
+    s.order = order;
+    s.loc = locText(stack);
+    s.text = refText(p, r, stack);
+    out.push_back(std::move(s));
+  }
+
+  void visitChild(const Child& c) {
+    // Narrow active ranges by the child's guards (over-approximating when
+    // bounds are incomparable, exactly as fusion/atoms.cpp does).
+    std::vector<AffineN> savedLo = lo, savedHi = hi;
+    for (const GuardSpec& g : c.guards) {
+      const auto d = static_cast<std::size_t>(g.depth);
+      if (d >= lo.size()) continue;
+      if (definitelyLessEq(lo[d], g.lo, minN)) lo[d] = g.lo;
+      if (definitelyLessEq(g.hi, hi[d], minN)) hi[d] = g.hi;
+    }
+    childStack.push_back(&c);
+    visitNode(*c.node);
+    childStack.pop_back();
+    lo = std::move(savedLo);
+    hi = std::move(savedHi);
+  }
+
+  void visitNode(const Node& n) {
+    if (n.isAssign()) {
+      const Assign& a = n.assign();
+      ++order;
+      for (const ArrayRef& r : a.rhs) addRef(a, r, false);
+      addRef(a, a.lhs, true);
+      return;
+    }
+    const Loop& l = n.loop();
+    stack.push_back(&l);
+    lo.push_back(l.lo);
+    hi.push_back(l.hi);
+    for (const Child& c : l.body) visitChild(c);
+    stack.pop_back();
+    lo.pop_back();
+    hi.pop_back();
+  }
+};
+
+/// [lo, hi] value interval of an affine quantity.
+struct ValueRange {
+  AffineN lo, hi;
+};
+
+ValueRange subscriptRange(const RefSite& s, const Subscript& sub) {
+  const auto d = static_cast<std::size_t>(sub.depth);
+  return {s.actLo[d] + sub.offset, s.actHi[d] + sub.offset};
+}
+
+/// Provably empty intersection for every n >= m.
+bool rangesDisjoint(const ValueRange& a, const ValueRange& b,
+                    std::int64_t m) {
+  return definitelyLess(a.hi, b.lo, m) || definitelyLess(b.hi, a.lo, m);
+}
+
+/// Provably nonempty intersection for every n >= m (a1 <= b2 and a2 <= b1).
+bool rangesOverlap(const ValueRange& a, const ValueRange& b, std::int64_t m) {
+  return definitelyLessEq(a.lo, b.hi, m) && definitelyLessEq(b.lo, a.hi, m);
+}
+
+/// GCD test on one dimension's diophantine equation
+/// `ca*i - cb*j = rhs` (the Figure-5 fragment has coefficients 0 or 1): no
+/// integer solution exists when gcd(ca, cb) does not divide rhs for any N.
+/// With unit coefficients the gcd is 1, so in this IR the test only fires
+/// for the all-constant case — kept in its general form so the analyzer is
+/// honest about which classical test proved what.
+bool gcdExcludes(std::int64_t ca, std::int64_t cb, const AffineN& rhs) {
+  const std::int64_t g = std::gcd(ca, cb);
+  if (g <= 1) return g == 0 && !(rhs == AffineN{0});
+  return rhs.s % g != 0 || rhs.c % g != 0;
+}
+
+}  // namespace
+
+std::vector<RefSite> collectRefSites(const Program& p, std::int64_t minN) {
+  SiteCollector c{p, minN};
+  for (const Child& child : p.top) c.visitChild(child);
+  return std::move(c.out);
+}
+
+const char* depKindName(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+    case DepKind::Input: return "input";
+  }
+  return "?";
+}
+
+char dirChar(Dir d) {
+  switch (d) {
+    case Dir::Lt: return '<';
+    case Dir::Eq: return '=';
+    case Dir::Gt: return '>';
+    case Dir::Star: return '*';
+  }
+  return '?';
+}
+
+bool Dependence::hasDistanceVector() const {
+  for (const auto& d : distance)
+    if (!d.has_value()) return false;
+  return true;
+}
+
+std::string Dependence::str() const {
+  std::ostringstream os;
+  os << "(";
+  for (int k = 0; k < commonLevels; ++k) {
+    if (k) os << ", ";
+    if (distance[static_cast<std::size_t>(k)].has_value())
+      os << *distance[static_cast<std::size_t>(k)];
+    else
+      os << dirChar(direction[static_cast<std::size_t>(k)]);
+  }
+  os << ")";
+  return os.str();
+}
+
+Dependence analyzeDependence(const RefSite& a, const RefSite& b,
+                             std::int64_t minN) {
+  GCR_CHECK(a.array == b.array, "dependence pair on different arrays");
+  Dependence out;
+  out.kind = a.isWrite ? (b.isWrite ? DepKind::Output : DepKind::Flow)
+                       : (b.isWrite ? DepKind::Anti : DepKind::Input);
+
+  // Common nest: leading loops shared by both sites (same Loop object).
+  int cl = 0;
+  while (cl < a.depth() && cl < b.depth() &&
+         a.stack[static_cast<std::size_t>(cl)] ==
+             b.stack[static_cast<std::size_t>(cl)])
+    ++cl;
+  out.commonLevels = cl;
+  out.distance.assign(static_cast<std::size_t>(cl), std::nullopt);
+  out.direction.assign(static_cast<std::size_t>(cl), Dir::Star);
+
+  // Per common level: the merged constraint on (sink iteration - source
+  // iteration), when some dimension imposes one.
+  std::vector<std::optional<AffineN>> delta(static_cast<std::size_t>(cl));
+  // Pinned values: a constant subscript on one side fixes the other side's
+  // level variable to one affine value.
+  std::vector<std::optional<AffineN>> pinA(static_cast<std::size_t>(cl));
+  std::vector<std::optional<AffineN>> pinB(static_cast<std::size_t>(cl));
+  bool precise = true;  // every dimension admitted an exact treatment
+
+  auto independent = [&out]() {
+    out.answer = DepAnswer::Independent;
+    return out;
+  };
+
+  enum MergeResult { kContradiction, kMerged, kImprecise };
+  auto mergeDelta = [&](int level, const AffineN& d) -> MergeResult {
+    auto& slot = delta[static_cast<std::size_t>(level)];
+    if (!slot.has_value()) {
+      slot = d;
+      return kMerged;
+    }
+    if (*slot == d) return kMerged;
+    // Two dimensions constrain the same level differently.  They contradict
+    // (no iteration pair satisfies both -> independent) only when the two
+    // required deltas differ for EVERY n >= minN.
+    if (definitelyNotEqual(*slot, d, minN)) return kContradiction;
+    return kImprecise;
+  };
+
+  const std::size_t rank = a.ref->subs.size();
+  GCR_CHECK(rank == b.ref->subs.size(), "rank mismatch in dependence pair");
+  for (std::size_t d = 0; d < rank; ++d) {
+    const Subscript& s1 = a.ref->subs[d];
+    const Subscript& s2 = b.ref->subs[d];
+
+    if (s1.isConstant() && s2.isConstant()) {
+      if (gcdExcludes(0, 0, s2.offset - s1.offset) &&
+          definitelyNotEqual(s1.offset, s2.offset, minN))
+        return independent();
+      if (!(s1.offset == s2.offset)) {
+        if (definitelyNotEqual(s1.offset, s2.offset, minN))
+          return independent();
+        precise = false;  // equal for some n only — cannot decide for all n
+      }
+      continue;
+    }
+
+    if (!s1.isConstant() && !s2.isConstant()) {
+      // Banerjee bounds test: the two subscript value ranges must overlap.
+      const ValueRange r1 = subscriptRange(a, s1);
+      const ValueRange r2 = subscriptRange(b, s2);
+      if (rangesDisjoint(r1, r2, minN)) return independent();
+      if (gcdExcludes(1, 1, s1.offset - s2.offset)) return independent();
+
+      if (s1.depth == s2.depth && s1.depth < cl) {
+        // Same common loop variable: sink = source + (c1 - c2).
+        const AffineN dd = s1.offset - s2.offset;
+        // A satisfying pair needs the shifted active ranges to meet.
+        const auto lv = static_cast<std::size_t>(s1.depth);
+        const ValueRange shifted{a.actLo[lv] + dd, a.actHi[lv] + dd};
+        const ValueRange sinkAct{b.actLo[lv], b.actHi[lv]};
+        if (rangesDisjoint(shifted, sinkAct, minN)) return independent();
+        switch (mergeDelta(s1.depth, dd)) {
+          case kContradiction: return independent();
+          case kMerged:
+            if (!rangesOverlap(shifted, sinkAct, minN)) precise = false;
+            break;
+          case kImprecise: precise = false; break;
+        }
+      } else {
+        // Different variables (coupled subscripts, or loops outside the
+        // common nest): the overlap test above is all this fragment proves.
+        precise = false;
+      }
+      continue;
+    }
+
+    // Pinned dimension: variable on one side, constant on the other.
+    const bool varIsA = !s1.isConstant();
+    const RefSite& vs = varIsA ? a : b;
+    const Subscript& vsub = varIsA ? s1 : s2;
+    const AffineN cval = (varIsA ? s2 : s1).offset;
+    const AffineN pinned = cval - vsub.offset;  // required variable value
+    const auto vd = static_cast<std::size_t>(vsub.depth);
+    if (definitelyLess(pinned, vs.actLo[vd], minN) ||
+        definitelyLess(vs.actHi[vd], pinned, minN))
+      return independent();
+    if (!(definitelyLessEq(vs.actLo[vd], pinned, minN) &&
+          definitelyLessEq(pinned, vs.actHi[vd], minN)))
+      precise = false;  // in range for some n only
+    if (vsub.depth < cl) {
+      auto& pin = varIsA ? pinA[vd] : pinB[vd];
+      if (pin.has_value()) {
+        if (definitelyNotEqual(*pin, pinned, minN)) return independent();
+        if (!(*pin == pinned)) precise = false;
+      } else {
+        pin = pinned;
+      }
+    }
+  }
+
+  // Both sides pinned at a common level: their difference is one more delta
+  // constraint on that level.
+  for (int level = 0; level < cl; ++level) {
+    const auto l = static_cast<std::size_t>(level);
+    if (pinA[l].has_value() && pinB[l].has_value()) {
+      switch (mergeDelta(level, *pinB[l] - *pinA[l])) {
+        case kContradiction: return independent();
+        case kMerged: break;
+        case kImprecise: precise = false; break;
+      }
+    }
+    // One pin only: the free side pairs with the pinned iteration at any
+    // offset — the level stays unconstrained (Star).
+  }
+
+  // Fold the merged deltas into distance / direction entries.
+  for (int level = 0; level < cl; ++level) {
+    const auto l = static_cast<std::size_t>(level);
+    if (!delta[l].has_value()) continue;
+    const AffineN& dd = *delta[l];
+    if (dd.isConstant()) {
+      out.distance[l] = dd.c;
+      out.direction[l] =
+          dd.c > 0 ? Dir::Lt : (dd.c < 0 ? Dir::Gt : Dir::Eq);
+    } else {
+      precise = false;  // distance grows with N; keep the decidable sign
+      if (definitelyLess(AffineN{0}, dd, minN))
+        out.direction[l] = Dir::Lt;
+      else if (definitelyLess(dd, AffineN{0}, minN))
+        out.direction[l] = Dir::Gt;
+    }
+  }
+
+  out.deltaN = std::move(delta);
+  out.answer = precise ? DepAnswer::Dependent : DepAnswer::Unknown;
+  return out;
+}
+
+DependenceSummary analyzeProgramDependences(const Program& p,
+                                            std::int64_t minN,
+                                            bool includeInputDeps) {
+  DependenceSummary sum;
+  sum.sites = collectRefSites(p, minN);
+  const std::size_t n = sum.sites.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const RefSite& a = sum.sites[i];
+      const RefSite& b = sum.sites[j];
+      if (a.array != b.array) continue;
+      if (!includeInputDeps && !a.isWrite && !b.isWrite) continue;
+      ++sum.pairsAnalyzed;
+      Dependence dep = analyzeDependence(a, b, minN);
+      switch (dep.answer) {
+        case DepAnswer::Independent:
+          ++sum.independent;
+          break;
+        case DepAnswer::Dependent:
+          ++sum.dependent;
+          sum.deps.push_back({&a, &b, std::move(dep)});
+          break;
+        case DepAnswer::Unknown:
+          ++sum.unknown;
+          sum.deps.push_back({&a, &b, std::move(dep)});
+          break;
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace gcr

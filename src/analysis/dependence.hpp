@@ -1,0 +1,134 @@
+// Affine dependence analysis over IR programs.
+//
+// The paper's transforms are justified dynamically elsewhere in this repo (the
+// interpreter is the oracle); this analyzer proves the same facts statically.
+// For every pair of references to a common array it decides, per common loop
+// level, the dependence *distance* (sink iteration minus source iteration,
+// when it is a bounded constant) or *direction* ('<', '=', '>', or '*'),
+// using the classic pipeline on the Figure-5 subscript forms:
+//
+//   * GCD test — a linear diophantine subscript equation with no integer
+//     solution proves independence (with unit coefficients this only fires
+//     for constant-vs-constant subscripts, where it degenerates to exact
+//     inequality over all N >= minN);
+//   * Banerjee bounds test — the range of (sink subscript - source subscript)
+//     over the two iteration domains must contain zero, else independent;
+//   * distance extraction — same-variable dimensions give sink = source +
+//     (c1 - c2); conflicting distances across dimensions prove independence.
+//
+// The answer is a three-value lattice:
+//   Independent  — proven: no two instances touch the same element;
+//   Dependent    — proven: a conflicting pair exists, with the reported
+//                  distance/direction vector;
+//   Unknown      — beyond the precise fragment (coupled subscripts, pinned
+//                  border refs, cross-nest ranges); conservatively treated
+//                  as dependent with '*' directions by every client.
+//
+// All comparisons use the definitely-for-all-N>=minN procedures of
+// support/affine.hpp, so Independent/Dependent verdicts hold for every
+// problem size at or above minN.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// One array reference in its full loop context.
+struct RefSite {
+  int stmtId = -1;
+  ArrayId array = -1;
+  bool isWrite = false;
+  const ArrayRef* ref = nullptr;      ///< borrowed from the program
+  std::vector<const Loop*> stack;     ///< enclosing loops, outermost first
+  /// Child chosen at each nesting level on the way to the statement: entry k
+  /// is a child of the level-k context (program top for k = 0, stack[k-1]'s
+  /// body otherwise); the last entry holds the statement itself.
+  std::vector<const Child*> childPath;
+  /// Active iteration range per depth: loop bounds intersected with every
+  /// guard along the path (over-approximated when bounds are incomparable).
+  std::vector<AffineN> actLo, actHi;
+  int order = 0;                      ///< textual position of the statement
+  std::string loc;                    ///< loop path, e.g. "i/j"
+  std::string text;                   ///< printed reference, e.g. "A[i+1][j]"
+
+  int depth() const { return static_cast<int>(stack.size()); }
+};
+
+/// All reference sites of a program in textual (execution) order, reads
+/// before the write within each statement.
+std::vector<RefSite> collectRefSites(const Program& p, std::int64_t minN = 16);
+
+enum class DepAnswer { Independent, Dependent, Unknown };
+
+enum class DepKind { Flow, Anti, Output, Input };
+
+const char* depKindName(DepKind k);
+
+/// Direction of sink iteration relative to source iteration at one common
+/// loop level.
+enum class Dir : std::int8_t {
+  Lt = -1,   ///< sink iteration > source iteration ('<' in source order)
+  Eq = 0,
+  Gt = 1,    ///< sink iteration < source iteration
+  Star = 2,  ///< unknown / any
+};
+
+char dirChar(Dir d);
+
+struct Dependence {
+  DepAnswer answer = DepAnswer::Independent;
+  DepKind kind = DepKind::Input;
+  int commonLevels = 0;
+  /// Per common level (outermost first): sink iteration minus source
+  /// iteration when it is a bounded constant.
+  std::vector<std::optional<std::int64_t>> distance;
+  /// Per common level: direction classification (consistent with distance).
+  std::vector<Dir> direction;
+  /// Per common level: the merged affine constraint on (sink iteration -
+  /// source iteration) when some subscript dimension imposes one; a level
+  /// without an entry is *unconstrained* — any iteration difference admits a
+  /// conflicting pair (distinct from "constrained but imprecise").
+  std::vector<std::optional<AffineN>> deltaN;
+
+  /// True when every common level has a constant distance.
+  bool hasDistanceVector() const;
+  /// Render as e.g. "(1, 0)" or "(<, *)".
+  std::string str() const;
+};
+
+/// Analyze the ordered pair (a textually earlier or equal, b later).  Both
+/// must reference the same array.
+Dependence analyzeDependence(const RefSite& a, const RefSite& b,
+                             std::int64_t minN);
+
+/// A surviving (non-independent) dependence between two program references.
+struct ProgramDependence {
+  const RefSite* src = nullptr;
+  const RefSite* dst = nullptr;
+  Dependence dep;
+};
+
+/// Whole-program dependence census.  `sites` must stay alive while the
+/// summary's ProgramDependence pointers are used.
+struct DependenceSummary {
+  std::vector<RefSite> sites;
+  std::vector<ProgramDependence> deps;  ///< Dependent or Unknown pairs
+  std::uint64_t pairsAnalyzed = 0;      ///< same-array pairs tested
+  std::uint64_t independent = 0;
+  std::uint64_t dependent = 0;
+  std::uint64_t unknown = 0;
+};
+
+/// Analyze every same-array reference pair with at least one write.  With
+/// `includeInputDeps`, read-read pairs are analyzed too (reuse analysis);
+/// legality clients leave it off.
+DependenceSummary analyzeProgramDependences(const Program& p,
+                                            std::int64_t minN = 16,
+                                            bool includeInputDeps = false);
+
+}  // namespace gcr

@@ -1,0 +1,81 @@
+#include "analysis/legality.hpp"
+
+#include "fusion/legal.hpp"
+#include "ir/validate.hpp"
+#include "xform/distribute.hpp"
+#include "xform/interchange.hpp"
+#include "xform/unroll_split.hpp"
+
+namespace gcr {
+
+VerifyResult verifyProgram(const Program& p, const std::string& name,
+                           const VerifyOptions& opts) {
+  VerifyResult r;
+  appendDiagnostics(r.diags, validateStrict(p, opts.minN, name));
+  if (anyErrors(r.diags)) return r;  // analyses assume structural sanity
+
+  r.deps = analyzeProgramDependences(p, opts.minN);
+  {
+    Diagnostic d;
+    d.severity = Severity::Note;
+    d.pass = "dependence";
+    d.rule = "census";
+    d.program = name;
+    d.witness = {static_cast<std::int64_t>(r.deps.pairsAnalyzed),
+                 static_cast<std::int64_t>(r.deps.independent),
+                 static_cast<std::int64_t>(r.deps.dependent),
+                 static_cast<std::int64_t>(r.deps.unknown)};
+    d.message = std::to_string(r.deps.pairsAnalyzed) + " pairs: " +
+                std::to_string(r.deps.independent) + " independent, " +
+                std::to_string(r.deps.dependent) + " with distance/" +
+                "direction vectors, " + std::to_string(r.deps.unknown) +
+                " unknown (conservatively dependent)";
+    r.diags.push_back(std::move(d));
+  }
+  int notes = 0;
+  for (const ProgramDependence& pd : r.deps.deps) {
+    if (notes >= opts.maxDependenceNotes) break;
+    ++notes;
+    Diagnostic d;
+    d.severity = Severity::Note;
+    d.pass = "dependence";
+    d.rule = pd.dep.answer == DepAnswer::Unknown ? "unknown" : "vector";
+    d.program = name;
+    d.loc = pd.src->loc;
+    d.ref = pd.src->text + " vs " + pd.dst->text;
+    for (std::size_t l = 0; l < pd.dep.distance.size(); ++l)
+      d.witness.push_back(pd.dep.distance[l].has_value() ? *pd.dep.distance[l]
+                                                         : 99);
+    d.message = std::string(depKindName(pd.dep.kind)) + " dependence " +
+                pd.dep.str();
+    r.diags.push_back(std::move(d));
+  }
+
+  if (opts.consultPasses) {
+    // Consultation mode: a pair the fuser must not fuse (or a nest that must
+    // not be interchanged) is not a defect of the *program* — the passes
+    // consult these checks and refrain.  Demote above-note severities so
+    // only genuine program defects (validator errors) fail --werror; the
+    // raw checkers keep their error severity for callers about to apply a
+    // specific transform.
+    auto consult = [&](std::vector<Diagnostic> v) {
+      for (Diagnostic& d : v) {
+        if (d.severity != Severity::Note) {
+          d.severity = Severity::Note;
+          d.message = "would be refused: " + d.message;
+        }
+        r.diags.push_back(std::move(d));
+      }
+    };
+    consult(checkUnrollSplitLegal(p, 8, 8, name));
+    consult(checkDistributeLegal(p, opts.minN, name));
+    consult(checkProgramFusionLegal(p, opts.minN, opts.maxPeel, name));
+    for (const Child& c : p.top) {
+      if (!c.node->isLoop()) continue;
+      consult(checkInterchangeLegal(p, c.node->loop(), opts.minN, name));
+    }
+  }
+  return r;
+}
+
+}  // namespace gcr

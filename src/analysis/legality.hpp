@@ -1,0 +1,48 @@
+// Whole-program static verification: the aggregation layer behind
+// `gcr-verify`.
+//
+// verifyProgram runs, over one program:
+//   * the strict IR validator (ir/validate.hpp) — structural errors plus
+//     analysis-hostile constructs;
+//   * the affine dependence census (analysis/dependence.hpp) — every
+//     same-array pair with a write is classified Independent / Dependent /
+//     Unknown; Unknown pairs are surfaced (conservatively treated as
+//     dependent by every transform, so they are notes, not errors);
+//   * the per-pass legality checkers (fusion, interchange, distribution,
+//     unroll-and-split) in consultation mode: what each pass would be
+//     allowed to do on this program.
+//
+// All diagnostics come back in the greppable `program:loc:ref` format of
+// ir/diagnostic.hpp; `gcr-verify --werror` escalates warnings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ir/diagnostic.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+struct VerifyOptions {
+  std::int64_t minN = 16;
+  /// Emit one note per surviving (Dependent/Unknown) pair, up to this many
+  /// per program; 0 disables the per-pair notes (the census summary note is
+  /// always emitted).
+  int maxDependenceNotes = 0;
+  /// Also run the per-pass legality checkers in consultation mode.
+  bool consultPasses = true;
+  std::int64_t maxPeel = 3;
+};
+
+struct VerifyResult {
+  std::vector<Diagnostic> diags;
+  DependenceSummary deps;
+};
+
+VerifyResult verifyProgram(const Program& p, const std::string& name,
+                           const VerifyOptions& opts = {});
+
+}  // namespace gcr

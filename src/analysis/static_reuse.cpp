@@ -1,0 +1,264 @@
+#include "analysis/static_reuse.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gcr {
+
+namespace {
+
+/// Per-array distinct-element footprints, merged by max (references to one
+/// array overlap up to constant shifts, so max — not sum — models the union).
+using Foot = std::map<ArrayId, std::int64_t>;
+
+std::int64_t totalOf(const Foot& f) {
+  std::int64_t sum = 0;
+  for (const auto& [a, v] : f) sum += v;
+  return sum;
+}
+
+/// The volume model at one problem size: trip counts, per-iteration loop
+/// volumes, per-child subtree footprints.
+struct VolumeModel {
+  std::int64_t n = 0;
+  std::map<const Loop*, std::int64_t> iterVol;
+  std::map<const Child*, std::int64_t> childVol;
+  Foot arrayFoot;
+  std::vector<std::uint64_t> siteIters;  ///< dynamic accesses per site
+
+  static std::int64_t trip(const RefSite& s, std::size_t depth,
+                           std::int64_t n) {
+    const std::int64_t lo = s.actLo[depth].eval(n);
+    const std::int64_t hi = s.actHi[depth].eval(n);
+    return std::max<std::int64_t>(0, hi - lo + 1);
+  }
+
+  /// Distinct elements the site's reference touches while loops at depth >=
+  /// rootDepth vary (shallower loops pinned to one iteration).
+  static std::int64_t refVolume(const RefSite& s, int rootDepth,
+                                std::int64_t n) {
+    std::int64_t vol = 1;
+    for (const Subscript& sub : s.ref->subs) {
+      if (sub.isConstant() || sub.depth < rootDepth) continue;
+      vol *= std::max<std::int64_t>(
+          1, trip(s, static_cast<std::size_t>(sub.depth), n));
+    }
+    return vol;
+  }
+
+  static VolumeModel build(const std::vector<RefSite>& sites,
+                           std::int64_t n) {
+    VolumeModel m;
+    m.n = n;
+    m.siteIters.reserve(sites.size());
+    std::map<const Loop*, Foot> loopFoot;
+    std::map<const Child*, Foot> childFoot;
+    for (const RefSite& s : sites) {
+      std::uint64_t iters = 1;
+      for (std::size_t d = 0; d < s.stack.size(); ++d)
+        iters *= static_cast<std::uint64_t>(trip(s, d, n));
+      m.siteIters.push_back(iters);
+
+      auto bump = [&](Foot& f, std::int64_t v) {
+        auto& slot = f[s.array];
+        slot = std::max(slot, v);
+      };
+      bump(m.arrayFoot, refVolume(s, 0, n));
+      for (std::size_t k = 0; k < s.stack.size(); ++k)
+        bump(loopFoot[s.stack[k]], refVolume(s, static_cast<int>(k) + 1, n));
+      for (std::size_t k = 0; k < s.childPath.size(); ++k)
+        bump(childFoot[s.childPath[k]], refVolume(s, static_cast<int>(k), n));
+    }
+    for (const auto& [l, f] : loopFoot) m.iterVol[l] = totalOf(f);
+    for (const auto& [c, f] : childFoot) m.childVol[c] = totalOf(f);
+    return m;
+  }
+
+  std::int64_t volOfChild(const Child* c) const {
+    const auto it = childVol.find(c);
+    return it == childVol.end() ? 0 : it->second;
+  }
+};
+
+struct Candidate {
+  ReuseClass cls = ReuseClass::Cold;
+  int carryLevel = -1;
+  std::int64_t carryDelta = 0;
+  std::uint64_t distance = 0;
+  std::uint64_t distanceLarge = 0;
+};
+
+constexpr std::uint64_t kNoSource = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+const char* reuseClassName(ReuseClass c) {
+  switch (c) {
+    case ReuseClass::Cold: return "cold";
+    case ReuseClass::SameIteration: return "same-iteration";
+    case ReuseClass::LoopCarried: return "loop-carried";
+    case ReuseClass::CrossUnit: return "cross-unit";
+  }
+  return "?";
+}
+
+StaticReuseEstimate estimateReuseProfile(const Program& p,
+                                         const StaticReuseOptions& opts) {
+  StaticReuseEstimate est;
+  est.sites = collectRefSites(p, opts.minN);
+  const std::size_t S = est.sites.size();
+  est.perSite.assign(S, {});
+  for (auto& e : est.perSite) e.distance = kNoSource;
+
+  const VolumeModel small = VolumeModel::build(est.sites, opts.n);
+  const VolumeModel large = VolumeModel::build(est.sites, 2 * opts.n);
+
+  auto offer = [&](std::size_t sink, const Candidate& c) {
+    SiteReuseEstimate& b = est.perSite[sink];
+    if (c.distance >= b.distance) return;
+    b.cls = c.cls;
+    b.carryLevel = c.carryLevel;
+    b.carryDelta = c.carryDelta;
+    b.distance = c.distance;
+    b.distanceLarge = c.distanceLarge;
+  };
+
+  auto carryCandidate = [&](std::size_t sink, const RefSite& s, int level,
+                            std::int64_t deltaSmall,
+                            std::int64_t deltaLarge) {
+    const Loop* l = s.stack[static_cast<std::size_t>(level)];
+    Candidate c;
+    c.cls = ReuseClass::LoopCarried;
+    c.carryLevel = level;
+    c.carryDelta = deltaSmall;
+    const auto volS = small.iterVol.count(l) ? small.iterVol.at(l) : 1;
+    const auto volL = large.iterVol.count(l) ? large.iterVol.at(l) : 1;
+    c.distance = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, deltaSmall * volS));
+    c.distanceLarge = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, deltaLarge * volL));
+    offer(sink, c);
+  };
+
+  // Scan all same-array pairs (input reuse included; i == j covers a site
+  // reusing itself across iterations of an enclosing loop that none of its
+  // subscripts mention).
+  for (std::size_t i = 0; i < S; ++i) {
+    for (std::size_t j = i; j < S; ++j) {
+      const RefSite& a = est.sites[i];
+      const RefSite& b = est.sites[j];
+      if (a.array != b.array) continue;
+      const Dependence dep = analyzeDependence(a, b, opts.minN);
+      if (dep.answer == DepAnswer::Independent) continue;
+
+      bool decided = false;
+      for (int level = 0; level < dep.commonLevels && !decided; ++level) {
+        const auto& d = dep.deltaN[static_cast<std::size_t>(level)];
+        if (!d.has_value()) {
+          // Unconstrained enclosing loop: the previous iteration re-touches
+          // the element — both sites can treat it as their source.
+          carryCandidate(j, b, level, 1, 1);
+          if (i != j) carryCandidate(i, a, level, 1, 1);
+          continue;  // and the same-iteration continuation is explored below
+        }
+        const std::int64_t dn = d->eval(opts.n);
+        const std::int64_t dl = d->eval(2 * opts.n);
+        if (dn == 0) continue;
+        if (dn > 0)
+          carryCandidate(j, b, level, dn, dl);
+        else
+          carryCandidate(i, a, level, -dn, -dl);
+        decided = true;
+      }
+      if (decided || i == j) continue;
+
+      // All common levels admit the same iteration: the reuse happens within
+      // one pass over the common nest.
+      if (a.stack == b.stack) {
+        Candidate c;
+        c.cls = ReuseClass::SameIteration;
+        // Proxy for "distinct data touched between the two references in one
+        // body iteration": the statements in between, ~2 references each.
+        c.distance = static_cast<std::uint64_t>(2 * (b.order - a.order));
+        c.distanceLarge = c.distance;
+        offer(j, c);
+        continue;
+      }
+      // Cross-unit: sites diverge below the common nest.
+      const int cl = dep.commonLevels;
+      const std::vector<Child>& context =
+          cl == 0 ? p.top : a.stack[static_cast<std::size_t>(cl - 1)]->body;
+      const Child* ca = a.childPath[static_cast<std::size_t>(cl)];
+      const Child* cb = b.childPath[static_cast<std::size_t>(cl)];
+      std::size_t ia = context.size(), ib = context.size();
+      for (std::size_t k = 0; k < context.size(); ++k) {
+        if (&context[k] == ca) ia = k;
+        if (&context[k] == cb) ib = k;
+      }
+      if (ia >= context.size() || ib >= context.size() || ia == ib) continue;
+      const std::size_t lo = std::min(ia, ib), hi = std::max(ia, ib);
+      const std::size_t sink = ia < ib ? j : i;
+      auto between = [&](const VolumeModel& m) {
+        std::int64_t vol = 0;
+        for (std::size_t k = lo + 1; k < hi; ++k)
+          vol += m.volOfChild(&context[k]);
+        vol += (m.volOfChild(ca) + m.volOfChild(cb)) / 2;
+        return std::max<std::int64_t>(1, vol);
+      };
+      Candidate c;
+      c.cls = ReuseClass::CrossUnit;
+      c.distance = static_cast<std::uint64_t>(between(small));
+      c.distanceLarge = static_cast<std::uint64_t>(between(large));
+      offer(sink, c);
+    }
+  }
+
+  // Fold the per-site classes into the aggregate profile.
+  for (std::size_t i = 0; i < S; ++i) {
+    SiteReuseEstimate& e = est.perSite[i];
+    e.count = small.siteIters[i];
+    est.accesses += e.count;
+    if (e.distance == kNoSource) {
+      e.cls = ReuseClass::Cold;
+      e.distance = 0;
+      est.cold += e.count;
+      continue;
+    }
+    e.evadable =
+        e.distance > 0 &&
+        static_cast<double>(e.distanceLarge) >
+            opts.evadableGrowth * static_cast<double>(e.distance);
+    est.totalReuses += e.count;
+    if (e.evadable) est.evadableReuses += e.count;
+    est.histogram.add(e.distance, e.count);
+    est.perArray[est.sites[i].array].add(e.distance, e.count);
+  }
+  return est;
+}
+
+ProfileComparison compareHistograms(const Log2Histogram& predicted,
+                                    const Log2Histogram& measured) {
+  ProfileComparison cmp;
+  const double totP = static_cast<double>(predicted.totalFinite());
+  const double totM = static_cast<double>(measured.totalFinite());
+  if (totP == 0.0 || totM == 0.0) {
+    cmp.avgCdfError = (totP == 0.0 && totM == 0.0) ? 0.0 : 1.0;
+    cmp.maxCdfError = cmp.avgCdfError;
+    return cmp;
+  }
+  const int top =
+      std::max(predicted.highestNonEmptyBin(), measured.highestNonEmptyBin());
+  double cdfP = 0.0, cdfM = 0.0, sum = 0.0;
+  for (int b = 0; b <= top; ++b) {
+    cdfP += static_cast<double>(predicted.binCount(b)) / totP;
+    cdfM += static_cast<double>(measured.binCount(b)) / totM;
+    const double err = std::abs(cdfP - cdfM);
+    sum += err;
+    cmp.maxCdfError = std::max(cmp.maxCdfError, err);
+  }
+  cmp.bins = top + 1;
+  cmp.avgCdfError = sum / static_cast<double>(top + 1);
+  return cmp;
+}
+
+}  // namespace gcr

@@ -1,5 +1,7 @@
 #include "driver/pipeline.hpp"
 
+#include "fusion/legal.hpp"
+#include "regroup/regroup.hpp"
 #include "xform/distribute.hpp"
 #include "xform/interchange.hpp"
 #include "xform/unroll_split.hpp"
@@ -9,23 +11,58 @@ namespace gcr {
 PipelineResult optimize(const Program& in, const PipelineOptions& opts) {
   PipelineResult result;
   Program p = in.clone();
+  const std::int64_t minN = opts.fusionOptions.minN;
+
+  // Legality verdicts are gathered *before* the pass runs; a refused request
+  // is a note (the pass obeys the verdict), not a defect of the program.
+  auto consult = [&](std::vector<Diagnostic> v) {
+    if (!opts.checkLegality) return;
+    for (Diagnostic& d : v) {
+      if (d.severity != Severity::Note) {
+        d.severity = Severity::Note;
+        d.message = "refused: " + d.message;
+      }
+      result.diagnostics.push_back(std::move(d));
+    }
+  };
 
   if (opts.unrollSplit) {
+    consult(checkUnrollSplitLegal(p, 8, 8, in.name));
     p = unrollSmallLoops(p, 8, &result.unrolledLoops);
     SplitResult split = splitConstantDims(p);
     p = std::move(split.program);
     result.arraysAfterSplit = static_cast<int>(p.arrays.size());
   }
-  if (opts.orderLevels) orderLevelsForFusion(p, opts.fusionOptions.minN);
-  if (opts.distribute)
-    p = distributeLoops(p, opts.fusionOptions.minN, &result.distributedLoops);
-  if (opts.fuse)
+  if (opts.orderLevels)
+    orderLevelsForFusion(p, minN,
+                         opts.checkLegality ? &result.diagnostics : nullptr,
+                         in.name);
+  if (opts.distribute) {
+    consult(checkDistributeLegal(p, minN, in.name));
+    p = distributeLoops(p, minN, &result.distributedLoops);
+  }
+  if (opts.fuse) {
+    consult(checkProgramFusionLegal(p, minN, opts.fusionOptions.maxPeel,
+                                    in.name));
     p = fuseProgramLevels(p, opts.fusionLevels, opts.fusionOptions,
                           &result.fusionReport);
+  }
   if (opts.regroup) {
     result.regrouping =
         Regrouping::analyze(p, opts.regroupOptions, &result.regroupReport);
-    result.regrouped = true;
+    std::vector<Diagnostic> verdict =
+        opts.checkLegality
+            ? checkRegroupLegal(p, result.regrouping, minN, in.name)
+            : std::vector<Diagnostic>{};
+    if (anyErrors(verdict)) {
+      // Failed the bijectivity certificate: abandon the regrouping (the
+      // contiguous layout is always valid) and keep the errors on record.
+      appendDiagnostics(result.diagnostics, verdict);
+      result.regrouped = false;
+    } else {
+      consult(std::move(verdict));
+      result.regrouped = true;
+    }
   }
   result.program = std::move(p);
   return result;

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "fusion/fusion.hpp"
 #include "interp/layout.hpp"
+#include "ir/diagnostic.hpp"
 #include "regroup/regroup.hpp"
 
 namespace gcr {
@@ -34,6 +36,12 @@ struct PipelineOptions {
   FusionOptions fusionOptions;
   bool regroup = true;
   RegroupOptions regroupOptions;
+  /// Consult the static legality checkers before each transform and record
+  /// their verdicts in PipelineResult::diagnostics.  Pass-refused requests
+  /// come back as notes (the pass obeys and refrains); an error means a
+  /// transform had to be abandoned (e.g. a regrouping that failed the
+  /// bijectivity certificate and was not applied).
+  bool checkLegality = true;
 };
 
 struct PipelineResult {
@@ -45,6 +53,8 @@ struct PipelineResult {
   int unrolledLoops = 0;
   int arraysAfterSplit = 0;
   int distributedLoops = 0;
+  /// Legality verdicts gathered before each transform (checkLegality).
+  std::vector<Diagnostic> diagnostics;
 
   DataLayout layoutAt(std::int64_t n) const {
     return regrouped ? regrouping.layout(program, n)

@@ -1,0 +1,166 @@
+#include "fusion/legal.hpp"
+
+#include "fusion/atoms.hpp"
+
+namespace gcr {
+
+namespace {
+
+std::string unitName(const Child& u) {
+  if (u.node->isLoop()) return u.node->loop().var;
+  return "stmt#" + std::to_string(u.node->assign().id);
+}
+
+std::string refPairText(const Program& p, const RefAtom& a1,
+                        const RefAtom& a2) {
+  return p.arrayDecl(a1.array).name + (a1.isWrite ? "(W)" : "(R)") + " vs " +
+         p.arrayDecl(a2.array).name + (a2.isWrite ? "(W)" : "(R)");
+}
+
+Diagnostic makeDiag(Severity sev, const std::string& rule,
+                    const std::string& programName, const std::string& loc,
+                    const std::string& ref, std::vector<std::int64_t> witness,
+                    const std::string& message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.pass = "fusion";
+  d.rule = rule;
+  d.program = programName;
+  d.loc = loc;
+  d.ref = ref;
+  d.witness = std::move(witness);
+  d.message = message;
+  return d;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> checkFusionLegal(const Program& p,
+                                         const Child& earlier,
+                                         const Child& later, int level,
+                                         std::int64_t minN,
+                                         std::int64_t maxPeel,
+                                         const std::string& programName) {
+  std::vector<Diagnostic> out;
+  const std::string loc = "L" + std::to_string(level) + ":" +
+                          unitName(earlier) + "+" + unitName(later);
+
+  if (!earlier.node->isLoop() || !later.node->isLoop()) {
+    out.push_back(makeDiag(Severity::Note, "statement-embedding", programName,
+                           loc, "", {},
+                           "non-loop unit embeds at a dependence-respecting "
+                           "iteration — always legal"));
+    return out;
+  }
+
+  const Loop& l1 = earlier.node->loop();
+  const Loop& l2 = later.node->loop();
+  if (l1.reversed != l2.reversed) {
+    out.push_back(makeDiag(Severity::Error, "mixed-direction", programName,
+                           loc, "", {},
+                           "loops iterate in opposite directions; fusion "
+                           "requires loop reversal first"));
+    return out;
+  }
+  const bool rev = l1.reversed;
+
+  const auto atomsE = collectAtoms(p, earlier, level, minN);
+  const auto atomsL = collectAtoms(p, later, level, minN);
+  const AlignmentSummary summary =
+      summarizeAlignment(atomsE, atomsL, minN, rev);
+
+  if (!summary.hasUnbounded) {
+    out.push_back(makeDiag(
+        Severity::Note, "bounded-alignment", programName, loc, "",
+        {summary.chooseAlignment(), summary.hasConstraint ? summary.sMin : 0},
+        "fusion legal with alignment factor " +
+            std::to_string(summary.chooseAlignment())));
+    return out;
+  }
+
+  // Attribute each unbounded constraint to its reference pair; decide per
+  // pair whether a constant boundary strip rescues it (iteration
+  // reordering), matching the fusion pass's own peel analysis.
+  for (const RefAtom& a1 : atomsE) {
+    for (const RefAtom& a2 : atomsL) {
+      if (a1.array != a2.array || !(a1.isWrite || a2.isWrite)) continue;
+      const PairConstraint pc = analyzePair(a1, a2, minN);
+      if (pc.kind != PairConstraint::Kind::Interval) continue;
+      const AffineN bound = rev ? pc.srcLo - pc.sinkHi : pc.bound;
+      const bool unbounded = rev ? bound.s < 0 : bound.s > 0;
+      if (!unbounded) continue;
+
+      bool peelable = false;
+      std::int64_t stripWidth = 0;
+      if (pc.sinkHasIterations) {
+        const AffineN frontWidth = pc.sinkHi - l2.lo;
+        const AffineN backWidth = l2.hi - pc.sinkLo;
+        if (frontWidth.isConstant() && frontWidth.c < maxPeel) {
+          peelable = true;
+          stripWidth = frontWidth.c + 1;
+        } else if (backWidth.isConstant() && backWidth.c < maxPeel) {
+          peelable = true;
+          stripWidth = backWidth.c + 1;
+        }
+      }
+      const std::string ref = refPairText(p, a1, a2);
+      if (peelable) {
+        out.push_back(makeDiag(
+            Severity::Warning, "needs-splitting", programName, loc, ref,
+            {bound.c, bound.s, stripWidth},
+            "alignment bound " + bound.str() +
+                " grows with N, but the offending iterations form a " +
+                std::to_string(stripWidth) +
+                "-wide boundary strip — fusible after iteration reordering"));
+      } else {
+        out.push_back(makeDiag(
+            Severity::Error, "unbounded-alignment", programName, loc, ref,
+            {bound.c, bound.s},
+            "fusion requires alignment factor " + bound.str() +
+                " which grows with the problem size — infusible"));
+      }
+    }
+  }
+  GCR_CHECK(!out.empty(),
+            "summarizeAlignment reported unbounded but no pair attributed");
+  return out;
+}
+
+bool fusionLegal(const Program& p, const Child& earlier, const Child& later,
+                 int level, std::int64_t minN, std::int64_t maxPeel) {
+  return !anyErrors(
+      checkFusionLegal(p, earlier, later, level, minN, maxPeel));
+}
+
+namespace {
+
+void checkContext(const Program& p, const std::vector<Child>& units,
+                  int level, std::int64_t minN, std::int64_t maxPeel,
+                  const std::string& programName,
+                  std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    for (std::size_t j = i + 1; j < units.size(); ++j) {
+      if (!shareData(p, units[i], units[j])) continue;
+      appendDiagnostics(out, checkFusionLegal(p, units[i], units[j], level,
+                                              minN, maxPeel, programName));
+    }
+  }
+  for (const Child& c : units) {
+    if (!c.node->isLoop()) continue;
+    checkContext(p, c.node->loop().body, level + 1, minN, maxPeel,
+                 programName, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> checkProgramFusionLegal(const Program& p,
+                                                std::int64_t minN,
+                                                std::int64_t maxPeel,
+                                                const std::string& programName) {
+  std::vector<Diagnostic> out;
+  checkContext(p, p.top, 0, minN, maxPeel, programName, out);
+  return out;
+}
+
+}  // namespace gcr

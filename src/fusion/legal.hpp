@@ -1,0 +1,56 @@
+// Fusion legality as a consultable precondition (Section 2.3).
+//
+// The fusion pass makes its own micro-decisions while greedily merging units;
+// this header exposes the same legality rules as a standalone check so the
+// pipeline (and `gcr-verify`) can ask "may these two units fuse, and why
+// not?" before — or without — running the pass.  Both are built on the same
+// collectAtoms/summarizeAlignment core, so they agree by construction.
+//
+// Rules (Diagnostic::rule values):
+//   mixed-direction      two loops iterate in opposite directions — fusion
+//                        would need loop reversal first (error);
+//   unbounded-alignment  a dependence requires an alignment factor that grows
+//                        with N and the offending strip is not a constant
+//                        boundary band — the paper's infusible case (error;
+//                        witness = {c, s} of the growing bound c + s*N);
+//   needs-splitting      the alignment bound grows with N but the offending
+//                        iterations form a constant-width boundary strip —
+//                        fusible after iteration reordering (warning;
+//                        witness = {c, s, stripWidth});
+//   bounded-alignment    fusion is legal (note; witness = {chosen s, bound}).
+//   statement-embedding  a non-loop unit embeds into a loop (note).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fusion/align.hpp"
+#include "ir/diagnostic.hpp"
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+/// Check whether unit `later` may fuse upward into unit `earlier` at loop
+/// level `level`.  `maxPeel` bounds the boundary strip width iteration
+/// reordering may peel (FusionOptions::maxPeel).
+std::vector<Diagnostic> checkFusionLegal(const Program& p,
+                                         const Child& earlier,
+                                         const Child& later, int level,
+                                         std::int64_t minN,
+                                         std::int64_t maxPeel = 3,
+                                         const std::string& programName = "");
+
+/// True when checkFusionLegal reports no errors (warnings — splitting
+/// required — still count as legal: the pass can handle them).
+bool fusionLegal(const Program& p, const Child& earlier, const Child& later,
+                 int level, std::int64_t minN, std::int64_t maxPeel = 3);
+
+/// Run checkFusionLegal over every data-sharing unit pair of every fusion
+/// context (program top level and each loop body) at every level — the full
+/// legality picture the greedy fuser will act on.
+std::vector<Diagnostic> checkProgramFusionLegal(
+    const Program& p, std::int64_t minN, std::int64_t maxPeel = 3,
+    const std::string& programName = "");
+
+}  // namespace gcr

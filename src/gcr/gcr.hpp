@@ -7,12 +7,18 @@
 //   cachesim/  set-associative caches, TLB, machine configs, cost model
 //   reuse_driven/  the Section 2.2 limit study (Figure 2 algorithm)
 //   xform/     pre-passes: distribution, unrolling, array splitting
+//   analysis/  static dependence analysis, legality checking, reuse
+//              profile estimation (gcr-verify)
 //   fusion/    reuse-based loop fusion (Figure 6)
 //   regroup/   multi-level data regrouping (Figures 7-8)
 //   driver/    the full pipeline, program versions, measurement harness
 //   apps/      the paper's benchmark programs (Figure 9)
 #pragma once
 
+#include "analysis/adversarial.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/legality.hpp"
+#include "analysis/static_reuse.hpp"
 #include "apps/registry.hpp"
 #include "cachesim/cache.hpp"
 #include "cachesim/hierarchy.hpp"
@@ -21,10 +27,12 @@
 #include "fusion/align.hpp"
 #include "fusion/atoms.hpp"
 #include "fusion/fusion.hpp"
+#include "fusion/legal.hpp"
 #include "interp/interp.hpp"
 #include "interp/layout.hpp"
 #include "interp/trace.hpp"
 #include "ir/builder.hpp"
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 #include "ir/print.hpp"
 #include "ir/stats.hpp"
@@ -37,4 +45,5 @@
 #include "support/histogram.hpp"
 #include "support/table.hpp"
 #include "xform/distribute.hpp"
+#include "xform/interchange.hpp"
 #include "xform/unroll_split.hpp"

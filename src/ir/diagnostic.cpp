@@ -1,0 +1,84 @@
+#include "ir/diagnostic.hpp"
+
+#include <sstream>
+
+namespace gcr {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << (program.empty() ? "<program>" : program) << ":"
+     << (loc.empty() ? "-" : loc) << ":" << (ref.empty() ? "-" : ref) << ": "
+     << severityName(severity) << ": [" << pass << "/" << rule << "] "
+     << message;
+  if (!witness.empty()) {
+    os << " (witness=";
+    for (std::size_t i = 0; i < witness.size(); ++i)
+      os << (i ? "," : "") << witness[i];
+    os << ")";
+  }
+  return os.str();
+}
+
+namespace {
+void jsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string Diagnostic::json() const {
+  std::ostringstream os;
+  os << "{\"severity\": \"" << severityName(severity) << "\", \"pass\": ";
+  jsonString(os, pass);
+  os << ", \"rule\": ";
+  jsonString(os, rule);
+  os << ", \"program\": ";
+  jsonString(os, program);
+  os << ", \"loc\": ";
+  jsonString(os, loc);
+  os << ", \"ref\": ";
+  jsonString(os, ref);
+  os << ", \"witness\": [";
+  for (std::size_t i = 0; i < witness.size(); ++i)
+    os << (i ? ", " : "") << witness[i];
+  os << "], \"message\": ";
+  jsonString(os, message);
+  os << "}";
+  return os.str();
+}
+
+bool anyErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::Error) return true;
+  return false;
+}
+
+bool anyWarningsOrErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity != Severity::Note) return true;
+  return false;
+}
+
+void appendDiagnostics(std::vector<Diagnostic>& into,
+                       std::vector<Diagnostic> from) {
+  for (Diagnostic& d : from) into.push_back(std::move(d));
+}
+
+}  // namespace gcr

@@ -1,0 +1,50 @@
+// Structured diagnostics for the static analyses and transform legality
+// checks.  A Diagnostic replaces "assert or silently skip" in the transform
+// passes: each records which pass and rule fired, where (program, loop path,
+// reference), and a machine-readable witness (a dependence distance /
+// direction vector, or an alignment bound as {c, s} of c + s*N).
+//
+// The rendered form is greppable as `program:loop:ref: severity: ...`, one
+// line per diagnostic, which is what `gcr-verify` prints and CI matches on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace gcr {
+
+enum class Severity { Note, Warning, Error };
+
+const char* severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string pass;  ///< "fusion", "interchange", "distribute", ...
+  std::string rule;  ///< e.g. "bounded-alignment", "direction-vector"
+  std::string program;
+  std::string loc;   ///< loop path, e.g. "i/j" or "top#3"
+  std::string ref;   ///< offending reference(s), e.g. "A[i+1] vs A[i]"
+  /// Machine-readable witness.  Meaning depends on the rule: a dependence
+  /// distance vector (outermost first), a direction vector, or an alignment
+  /// bound encoded as {c, s} for c + s*N.
+  std::vector<std::int64_t> witness;
+  std::string message;
+
+  /// One greppable line: `program:loc:ref: severity: [pass/rule] message`.
+  std::string format() const;
+  /// One JSON object (no trailing newline).
+  std::string json() const;
+};
+
+/// Severity ordering helpers over a batch of diagnostics.
+bool anyErrors(const std::vector<Diagnostic>& diags);
+bool anyWarningsOrErrors(const std::vector<Diagnostic>& diags);
+
+/// Append `from` onto `into`.
+void appendDiagnostics(std::vector<Diagnostic>& into,
+                       std::vector<Diagnostic> from);
+
+}  // namespace gcr

@@ -64,4 +64,110 @@ std::string validationError(const Program& p) {
   }
 }
 
+namespace {
+
+struct StrictChecker {
+  const Program& p;
+  std::int64_t minN;
+  std::string programName;
+  std::vector<Diagnostic> out;
+  std::vector<std::string> path;  // loop vars, outermost first
+
+  std::string loc() const {
+    if (path.empty()) return "top";
+    std::string s;
+    for (const std::string& v : path) {
+      if (!s.empty()) s += "/";
+      s += v;
+    }
+    return s;
+  }
+
+  void emit(Severity sev, const std::string& rule, const std::string& ref,
+            std::vector<std::int64_t> witness, const std::string& msg) {
+    Diagnostic d;
+    d.severity = sev;
+    d.pass = "validate";
+    d.rule = rule;
+    d.program = programName;
+    d.loc = loc();
+    d.ref = ref;
+    d.witness = std::move(witness);
+    d.message = msg;
+    out.push_back(std::move(d));
+  }
+
+  void checkRefStrict(const ArrayRef& r) {
+    const ArrayDecl& d = p.arrayDecl(r.array);
+    for (std::size_t i = 0; i < r.subs.size(); ++i) {
+      const Subscript& s = r.subs[i];
+      if (s.isConstant()) continue;
+      if (s.offset.s != 0)
+        emit(Severity::Warning, "scaled-offset", d.name,
+             {s.offset.c, s.offset.s},
+             "loop-variant subscript with N-scaled offset " + s.offset.str() +
+                 " — its dependence distances grow with the problem size");
+      for (std::size_t j = i + 1; j < r.subs.size(); ++j) {
+        const Subscript& t = r.subs[j];
+        if (!t.isConstant() && t.depth == s.depth)
+          emit(Severity::Warning, "diagonal-subscript", d.name,
+               {static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)},
+               "dimensions " + std::to_string(i) + " and " +
+                   std::to_string(j) +
+                   " use the same loop variable — coupled subscripts are "
+                   "beyond the precise dependence fragment");
+      }
+    }
+  }
+
+  void checkChildStrict(const Child& c) {
+    for (std::size_t g = 0; g < c.guards.size(); ++g) {
+      const GuardSpec& spec = c.guards[g];
+      if (definitelyLess(spec.hi, spec.lo, minN))
+        emit(Severity::Warning, "empty-guard", "", {spec.lo.c, spec.hi.c},
+             "guard range [" + spec.lo.str() + ", " + spec.hi.str() +
+                 "] is empty for every n >= " + std::to_string(minN) +
+                 " — the child never executes");
+      for (std::size_t h = g + 1; h < c.guards.size(); ++h)
+        if (c.guards[h].depth == spec.depth)
+          emit(Severity::Note, "duplicate-guard", "", {spec.depth},
+               "two guards at depth " + std::to_string(spec.depth) +
+                   " on one child — they intersect, which is usually a "
+                   "builder bug");
+    }
+    visit(*c.node);
+  }
+
+  void visit(const Node& n) {
+    if (n.isAssign()) {
+      const Assign& a = n.assign();
+      checkRefStrict(a.lhs);
+      for (const ArrayRef& r : a.rhs) checkRefStrict(r);
+      return;
+    }
+    const Loop& l = n.loop();
+    if (definitelyLess(l.hi, l.lo, minN))
+      emit(Severity::Warning, "empty-loop", "", {l.lo.c, l.hi.c},
+           "loop " + l.var + " bounds [" + l.lo.str() + ", " + l.hi.str() +
+               "] are empty for every n >= " + std::to_string(minN));
+    path.push_back(l.var);
+    for (const Child& c : l.body) checkChildStrict(c);
+    path.pop_back();
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> validateStrict(const Program& p, std::int64_t minN,
+                                       const std::string& programName) {
+  StrictChecker c{p, minN, programName, {}, {}};
+  const std::string structural = validationError(p);
+  if (!structural.empty()) {
+    c.emit(Severity::Error, "structure", "", {}, structural);
+    return std::move(c.out);  // the walk below assumes structural sanity
+  }
+  for (const Child& child : p.top) c.checkChildStrict(child);
+  return std::move(c.out);
+}
+
 }  // namespace gcr

@@ -2,8 +2,11 @@
 // depths, guard placement.  Transform passes validate their outputs in tests.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace gcr {
@@ -14,5 +17,26 @@ void validate(const Program& p);
 
 /// Non-throwing variant; returns an error description or empty string.
 std::string validationError(const Program& p);
+
+/// Strict validation for the static analyses: everything validate() rejects
+/// (reported with rule "structure", severity error, instead of thrown) plus
+/// constructs the dependence analyzer cannot decide and would otherwise
+/// silently treat as "unknown".  Rules:
+///   structure          a validate() violation (error);
+///   diagonal-subscript  one reference subscripts two dimensions with the
+///                       same loop variable, e.g. A[i][i] — per-level
+///                       distances become coupled (warning);
+///   scaled-offset      a loop-variant subscript with an N-scaled offset,
+///                       e.g. A[i+N] — the dependence distance grows with
+///                       the problem size (warning; witness = {c, s});
+///   empty-loop         loop bounds provably empty for every n >= minN
+///                       (warning);
+///   empty-guard        a guard range provably empty for every n >= minN —
+///                       the child never executes (warning);
+///   duplicate-guard    two guards on one child at the same depth — legal
+///                       (they intersect) but usually a builder bug (note).
+std::vector<Diagnostic> validateStrict(const Program& p,
+                                       std::int64_t minN = 16,
+                                       const std::string& programName = "");
 
 }  // namespace gcr

@@ -329,4 +329,105 @@ DataLayout Regrouping::layout(const Program& p, std::int64_t n) const {
   return DataLayout(std::move(maps), cursor);
 }
 
+std::vector<Diagnostic> checkRegroupLegal(const Program& p,
+                                          const Regrouping& rg,
+                                          std::int64_t minN,
+                                          const std::string& programName) {
+  std::vector<Diagnostic> out;
+  auto err = [&](const std::string& rule, const std::string& ref,
+                 std::vector<std::int64_t> witness, const std::string& msg) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.pass = "regroup";
+    d.rule = rule;
+    d.program = programName;
+    d.ref = ref;
+    d.witness = std::move(witness);
+    d.message = msg;
+    out.push_back(std::move(d));
+  };
+
+  // Compatibility inside every multi-member partition.
+  for (int dim = 0; dim < rg.maxRank(); ++dim) {
+    for (const auto& part : rg.partitionAt(dim)) {
+      if (part.size() < 2) continue;
+      const ArrayDecl& lead = p.arrayDecl(part.front());
+      for (std::size_t k = 1; k < part.size(); ++k) {
+        const ArrayDecl& d = p.arrayDecl(part[k]);
+        if (d.rank() != lead.rank()) {
+          err("incompatible-group", lead.name + " vs " + d.name, {dim},
+              "grouped arrays differ in rank");
+          continue;
+        }
+        for (int e = 0; e < d.rank(); ++e) {
+          const AffineN diff = d.extents[static_cast<std::size_t>(e)] -
+                               lead.extents[static_cast<std::size_t>(e)];
+          if (!diff.isConstant())
+            err("incompatible-group", lead.name + " vs " + d.name, {dim},
+                "grouped arrays' extents differ non-constantly at dimension " +
+                    std::to_string(e));
+        }
+      }
+    }
+  }
+
+  // partitionAt(d) must refine partitionAt(d-1): the interleaving nests.
+  for (int dim = 1; dim < rg.maxRank(); ++dim) {
+    std::vector<int> groupOf(p.arrays.size(), -1);
+    const auto& coarse = rg.partitionAt(dim - 1);
+    for (std::size_t g = 0; g < coarse.size(); ++g)
+      for (ArrayId a : coarse[g])
+        groupOf[static_cast<std::size_t>(a)] = static_cast<int>(g);
+    for (const auto& part : rg.partitionAt(dim)) {
+      for (std::size_t k = 1; k < part.size(); ++k) {
+        if (groupOf[static_cast<std::size_t>(part[k])] !=
+            groupOf[static_cast<std::size_t>(part.front())])
+          err("refinement",
+              p.arrayDecl(part.front()).name + " vs " +
+                  p.arrayDecl(part[k]).name,
+              {dim},
+              "partition at dimension " + std::to_string(dim) +
+                  " does not refine dimension " + std::to_string(dim - 1));
+      }
+    }
+  }
+  if (!out.empty()) return out;  // layout() may assert on broken partitions
+
+  // Bijectivity of the materialized layout at the smallest supported size:
+  // every element maps into [0, totalBytes) and no two elements collide.
+  const DataLayout layout = rg.layout(p, minN);
+  std::vector<std::int64_t> addrs;
+  for (std::size_t a = 0; a < p.arrays.size(); ++a) {
+    const ArrayDecl& d = p.arrays[a];
+    const auto ext = concreteExtents(d, minN);
+    std::vector<std::int64_t> idx(ext.size(), 0);
+    for (;;) {
+      const std::int64_t addr =
+          layout.addressOf(static_cast<ArrayId>(a), idx);
+      if (addr < 0 || addr + d.elemSize > layout.totalBytes()) {
+        err("layout-overlap", d.name, {addr},
+            "element maps outside the allocation");
+        return out;
+      }
+      addrs.push_back(addr);
+      // Odometer step over the index space.
+      std::size_t e = ext.size();
+      while (e > 0 && ++idx[e - 1] >= ext[e - 1]) {
+        idx[e - 1] = 0;
+        --e;
+      }
+      if (e == 0) break;  // wrapped around: index space exhausted
+    }
+  }
+  std::sort(addrs.begin(), addrs.end());
+  for (std::size_t k = 1; k < addrs.size(); ++k) {
+    if (addrs[k] == addrs[k - 1]) {
+      err("layout-overlap", "", {addrs[k]},
+          "two elements map to one address — the layout is not a bijection");
+      return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace gcr

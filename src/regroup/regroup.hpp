@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "interp/layout.hpp"
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace gcr {
@@ -71,5 +72,22 @@ class Regrouping {
   // <= d appear as singletons).  partitions_[d] refines partitions_[d-1].
   std::vector<std::vector<std::vector<ArrayId>>> partitions_;
 };
+
+/// Regrouping legality as structured diagnostics.  Regrouping only relocates
+/// data — the program is untouched — so legality is structural:
+///   incompatible-group  a multi-member partition mixes arrays of different
+///                       rank or with extents that differ non-constantly
+///                       (error; witness = {dim});
+///   refinement          partitions at dimension d do not refine dimension
+///                       d-1 — the interleaved layout would not nest (error;
+///                       witness = {dim});
+///   layout-overlap      the materialized layout at n = minN maps two
+///                       elements to one address, or an element outside the
+///                       allocation (error; witness = {address}).
+/// An empty result certifies the layout is a bijection for the checked size.
+std::vector<Diagnostic> checkRegroupLegal(const Program& p,
+                                          const Regrouping& rg,
+                                          std::int64_t minN = 16,
+                                          const std::string& programName = "");
 
 }  // namespace gcr

@@ -22,7 +22,8 @@ Child asUnit(const Loop& l, const Child& member) {
 /// True when a dependence runs from an instance later(i1) to earlier(i2)
 /// with i1 < i2 — the "backward" case that distribution would break.
 bool backwardDependence(const Program& p, const Loop& l, const Child& earlier,
-                        const Child& later, int level, std::int64_t minN) {
+                        const Child& later, int level, std::int64_t minN,
+                        ArrayId* offending = nullptr) {
   const Child uEarlier = asUnit(l, earlier);
   const Child uLater = asUnit(l, later);
   const auto atomsE = collectAtoms(p, uEarlier, level, minN);
@@ -39,16 +40,25 @@ bool backwardDependence(const Program& p, const Loop& l, const Child& earlier,
           // i1 + cL = i2 + cE, i.e. i2 = i1 - delta (delta = cE - cL);
           // a pair where i1 executes before i2 exists iff delta < 0
           // (forward) or delta > 0 (reversed iteration order).
-          if (l.reversed ? pc.delta > 0 : pc.delta < 0) return true;
+          if (l.reversed ? pc.delta > 0 : pc.delta < 0) {
+            if (offending != nullptr) *offending = aL.array;
+            return true;
+          }
           break;
         case PairConstraint::Kind::Interval:
           // Conservative: an "i1 executes before i2" pair is impossible
           // only when every "source" (later) iteration runs at or after
           // every "sink" (earlier) one in loop order.
           if (l.reversed) {
-            if (!definitelyLessEq(pc.srcHi, pc.sinkLo, minN)) return true;
+            if (!definitelyLessEq(pc.srcHi, pc.sinkLo, minN)) {
+            if (offending != nullptr) *offending = aL.array;
+            return true;
+          }
           } else {
-            if (!definitelyLessEq(pc.sinkHi, pc.srcLo, minN)) return true;
+            if (!definitelyLessEq(pc.sinkHi, pc.srcLo, minN)) {
+            if (offending != nullptr) *offending = aL.array;
+            return true;
+          }
           }
           break;
       }
@@ -128,6 +138,52 @@ Program distributeLoops(const Program& in, std::int64_t minN, int* count) {
   p.top = distributeBody(p, std::move(p.top), 0, minN, count);
   p.renumber();
   return p;
+}
+
+namespace {
+
+void checkDistributeNode(const Program& p, const Child& c, int level,
+                         const std::string& path, std::int64_t minN,
+                         const std::string& programName,
+                         std::vector<Diagnostic>& out) {
+  if (!c.node->isLoop()) return;
+  const Loop& l = c.node->loop();
+  const std::string here = path.empty() ? l.var : path + "/" + l.var;
+  const std::size_t n = l.body.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = k + 1; m < n; ++m) {
+      ArrayId offending = -1;
+      if (!backwardDependence(p, l, l.body[k], l.body[m], level, minN,
+                              &offending))
+        continue;
+      Diagnostic d;
+      d.severity = Severity::Note;
+      d.pass = "distribute";
+      d.rule = "backward-dependence";
+      d.program = programName;
+      d.loc = here;
+      d.ref = offending >= 0 ? p.arrayDecl(offending).name : "";
+      d.witness = {static_cast<std::int64_t>(k), static_cast<std::int64_t>(m)};
+      d.message = "members " + std::to_string(k) + " and " +
+                  std::to_string(m) +
+                  " are bound by a backward loop-carried dependence and must "
+                  "stay in one loop";
+      out.push_back(std::move(d));
+    }
+  }
+  for (const Child& cc : l.body)
+    checkDistributeNode(p, cc, level + 1, here, minN, programName, out);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> checkDistributeLegal(const Program& in,
+                                             std::int64_t minN,
+                                             const std::string& programName) {
+  std::vector<Diagnostic> out;
+  for (const Child& c : in.top)
+    checkDistributeNode(in, c, 0, "", minN, programName, out);
+  return out;
 }
 
 }  // namespace gcr

@@ -11,7 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace gcr {
@@ -20,5 +23,15 @@ namespace gcr {
 /// `count`, when given, receives the number of loops created by splitting.
 Program distributeLoops(const Program& in, std::int64_t minN = 16,
                         int* count = nullptr);
+
+/// Distribution legality as structured diagnostics: one note per statement
+/// pair a backward loop-carried dependence binds together (rule
+/// "backward-dependence", witness = {earlier member index, later member
+/// index}).  distributeLoops never cuts between such a pair; a hand-written
+/// distribution that does diverges under the execution engines.  An empty
+/// result means every loop is fully distributable.
+std::vector<Diagnostic> checkDistributeLegal(
+    const Program& in, std::int64_t minN = 16,
+    const std::string& programName = "");
 
 }  // namespace gcr

@@ -101,30 +101,79 @@ std::optional<std::pair<AffineN, AffineN>> distance(const RefInfo& a,
 
 }  // namespace
 
-bool interchangeLegal(const Program&, const Loop& loop, std::int64_t minN) {
+std::vector<Diagnostic> checkInterchangeLegal(const Program& p,
+                                              const Loop& loop,
+                                              std::int64_t minN,
+                                              const std::string& programName) {
+  std::vector<Diagnostic> out;
   const Loop* inner = innerOf(loop);
-  if (inner == nullptr) return false;
+  const std::string loc =
+      loop.var + "/" + (inner != nullptr ? inner->var : std::string("?"));
+  auto err = [&](const std::string& rule, const std::string& ref,
+                 std::vector<std::int64_t> witness, const std::string& msg) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.pass = "interchange";
+    d.rule = rule;
+    d.program = programName;
+    d.loc = loc;
+    d.ref = ref;
+    d.witness = std::move(witness);
+    d.message = msg;
+    out.push_back(std::move(d));
+  };
+
+  if (inner == nullptr) {
+    err("perfect-nest", "", {},
+        "not a perfect 2-level nest: the outer body must be exactly one "
+        "unguarded inner loop");
+    return out;
+  }
   // The direction-vector test below assumes forward iteration at both
   // levels; reversed nests are left alone (conservative).
-  if (loop.reversed || inner->reversed) return false;
+  if (loop.reversed || inner->reversed) {
+    err("forward-only", "", {},
+        "a reversed level: the direction-vector test assumes forward "
+        "iteration at both levels");
+    return out;
+  }
 
   bool analyzable = true;
   std::vector<RefInfo> refs;
   for (const Child& c : inner->body) {
-    if (!c.guards.empty()) return false;
+    if (!c.guards.empty()) {
+      err("guarded-body", "", {},
+          "a guarded body child: guards pin iterations the swap would "
+          "reorder");
+      return out;
+    }
     collectRefs(*c.node, /*outerDepth=*/0, refs, analyzable);
   }
   // Depth bookkeeping: collectRefs was written for subscripts at depths 0/1
   // relative to the nest; subscripts of deeper loops inside the inner body
   // flagged it un-analyzable.
-  if (!analyzable) return false;
+  if (!analyzable) {
+    err("non-parametric", "", {},
+        "a subscript beyond the parametric form (guarded, foreign-level, or "
+        "mixed) — conservatively interchange-blocking");
+    return out;
+  }
 
   for (const RefInfo& a : refs) {
     for (const RefInfo& b : refs) {
       if (a.array != b.array || !(a.isWrite || b.isWrite)) continue;
+      const std::string ref = p.arrayDecl(a.array).name +
+                              (a.isWrite ? "(W)" : "(R)") + " vs " +
+                              p.arrayDecl(b.array).name +
+                              (b.isWrite ? "(W)" : "(R)");
       bool ok = true;
       const auto dist = distance(a, b, minN, ok);
-      if (!ok) return false;
+      if (!ok) {
+        err("non-parametric", ref, {},
+            "dependence distance not a bounded constant — conservatively "
+            "interchange-blocking");
+        return out;
+      }
       if (!dist) continue;
       // Orient source->sink: the lexicographically positive direction.
       auto [dO, dI] = *dist;
@@ -135,10 +184,17 @@ bool interchangeLegal(const Program&, const Loop& loop, std::int64_t minN) {
       }
       // Illegal iff a (<, >) direction exists: swap would run the sink
       // before its source.
-      if (o > 0 && i < 0) return false;
+      if (o > 0 && i < 0)
+        err("direction-vector", ref, {o, i},
+            "dependence with direction (<, >): interchange would execute the "
+            "sink before its source");
     }
   }
-  return true;
+  return out;
+}
+
+bool interchangeLegal(const Program& p, const Loop& loop, std::int64_t minN) {
+  return !anyErrors(checkInterchangeLegal(p, loop, minN));
 }
 
 namespace {
@@ -189,7 +245,9 @@ void interchangeNest(Loop& loop) {
   }
 }
 
-int orderLevelsForFusion(Program& p, std::int64_t minN) {
+int orderLevelsForFusion(Program& p, std::int64_t minN,
+                         std::vector<Diagnostic>* diags,
+                         const std::string& programName) {
   // Which array dimension does a top-level nest iterate outermost?
   // (-1: inconsistent.)  Every nest votes; only perfect 2-level nests are
   // interchange candidates.
@@ -237,12 +295,38 @@ int orderLevelsForFusion(Program& p, std::int64_t minN) {
     if (dim < 0 || dim == target) continue;
     // Only a 2-D transposition is handled: after interchange the outer var
     // must iterate the target dimension.
-    if (!interchangeLegal(p, outer, minN)) continue;
+    std::vector<Diagnostic> verdict =
+        checkInterchangeLegal(p, outer, minN, programName);
+    if (anyErrors(verdict)) {
+      // The pass obeys the check and skips the nest: surface the reasons as
+      // notes (nothing illegal was applied).
+      if (diags != nullptr) {
+        for (Diagnostic& d : verdict) {
+          if (d.severity == Severity::Error) d.severity = Severity::Note;
+          d.message = "skipped: " + d.message;
+          diags->push_back(std::move(d));
+        }
+      }
+      continue;
+    }
     interchangeNest(outer);
-    if (outerDimOf(outer) == target) {
+    const bool wanted = outerDimOf(outer) == target;
+    if (wanted) {
       ++changed;
     } else {
       interchangeNest(outer);  // undo: it did not produce the wanted order
+    }
+    if (diags != nullptr) {
+      Diagnostic d;
+      d.severity = Severity::Note;
+      d.pass = "interchange";
+      d.rule = wanted ? "applied" : "undone";
+      d.program = programName;
+      d.loc = outer.var;
+      d.message = wanted ? "interchanged to align the outer level for fusion"
+                         : "legal but did not produce the target order — "
+                           "reverted";
+      diags->push_back(std::move(d));
     }
   }
   return changed;

@@ -15,13 +15,32 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace gcr {
 
+/// Interchange legality as structured diagnostics.  Rules:
+///   perfect-nest      not a perfect 2-level nest (error);
+///   forward-only      a reversed level — the direction-vector test below
+///                     assumes forward iteration (error);
+///   guarded-body      a guarded body child (error);
+///   non-parametric    a subscript beyond the parametric Figure-5 form, or
+///                     referencing a foreign loop level (error);
+///   direction-vector  a dependence with direction (<, >): the swap would run
+///                     the sink before its source (error; witness = the
+///                     source->sink distance vector {outer, inner}).
+/// An empty result (or notes only) means the interchange is legal.
+std::vector<Diagnostic> checkInterchangeLegal(
+    const Program& p, const Loop& loop, std::int64_t minN,
+    const std::string& programName = "");
+
 /// Can the two levels of this perfect 2-level nest be swapped without
-/// breaking a dependence?  `loop` must be the outer loop.
+/// breaking a dependence?  `loop` must be the outer loop.  Equivalent to
+/// checkInterchangeLegal reporting no errors.
 bool interchangeLegal(const Program& p, const Loop& loop, std::int64_t minN);
 
 /// Swap the two levels of a perfect 2-level nest in place (subscript depths
@@ -29,7 +48,12 @@ bool interchangeLegal(const Program& p, const Loop& loop, std::int64_t minN);
 void interchangeNest(Loop& loop);
 
 /// Auto level ordering over all top-level 2-level nests; returns the number
-/// of nests interchanged.
-int orderLevelsForFusion(Program& p, std::int64_t minN = 16);
+/// of nests interchanged.  With `diags`, every candidate nest's legality
+/// verdict is appended: rejected candidates keep their error diagnostics
+/// downgraded to notes (the pass obeys them — nothing illegal is applied),
+/// and applied interchanges record a note with rule "applied".
+int orderLevelsForFusion(Program& p, std::int64_t minN = 16,
+                         std::vector<Diagnostic>* diags = nullptr,
+                         const std::string& programName = "");
 
 }  // namespace gcr

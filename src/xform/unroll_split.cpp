@@ -233,4 +233,77 @@ SplitResult unrollAndSplit(const Program& in, std::int64_t maxWidth,
   return splitConstantDims(unrollSmallLoops(in, maxWidth), maxExtent);
 }
 
+namespace {
+
+void checkUnrollNode(const Child& c, int depth, const std::string& path,
+                     std::int64_t maxWidth, const std::string& programName,
+                     std::vector<Diagnostic>& out) {
+  if (!c.node->isLoop()) return;
+  const Loop& l = c.node->loop();
+  const std::string here = path.empty() ? l.var : path + "/" + l.var;
+  const bool constantBounds = l.lo.isConstant() && l.hi.isConstant();
+  const std::int64_t width = constantBounds ? l.hi.c - l.lo.c + 1 : -1;
+  if (constantBounds && width >= 1 && width <= maxWidth &&
+      !guardsConstantAt(*c.node, depth)) {
+    Diagnostic d;
+    d.severity = Severity::Note;
+    d.pass = "unroll-split";
+    d.rule = "symbolic-guard";
+    d.program = programName;
+    d.loc = here;
+    d.witness = {width};
+    d.message = "constant trip " + std::to_string(width) +
+                " loop carries a guard with symbolic bounds — not unrollable";
+    out.push_back(std::move(d));
+  }
+  for (const Child& cc : l.body)
+    checkUnrollNode(cc, depth + 1, here, maxWidth, programName, out);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> checkUnrollSplitLegal(const Program& in,
+                                              std::int64_t maxWidth,
+                                              std::int64_t maxExtent,
+                                              const std::string& programName) {
+  std::vector<Diagnostic> out;
+  for (const Child& c : in.top)
+    checkUnrollNode(c, 0, "", maxWidth, programName, out);
+
+  // Split candidates blocked by a non-constant (or out-of-range) subscript.
+  for (std::size_t a = 0; a < in.arrays.size(); ++a) {
+    const ArrayDecl& d = in.arrays[a];
+    if (d.rank() < 2) continue;
+    for (int dim = 0; dim < d.rank(); ++dim) {
+      const AffineN e = d.extents[static_cast<std::size_t>(dim)];
+      if (!e.isConstant() || e.c > maxExtent || e.c < 1) continue;
+      bool allConstant = true;
+      forEachAssign(in, [&](const Assign& s, const std::vector<const Loop*>&) {
+        auto scan = [&](const ArrayRef& r) {
+          if (r.array != static_cast<ArrayId>(a)) return;
+          const Subscript& sub = r.subs[static_cast<std::size_t>(dim)];
+          if (!sub.isConstant() || !sub.offset.isConstant() ||
+              sub.offset.c < 0 || sub.offset.c >= e.c)
+            allConstant = false;
+        };
+        scan(s.lhs);
+        for (const ArrayRef& r : s.rhs) scan(r);
+      });
+      if (allConstant) continue;
+      Diagnostic diag;
+      diag.severity = Severity::Note;
+      diag.pass = "unroll-split";
+      diag.rule = "mixed-subscript";
+      diag.program = programName;
+      diag.ref = d.name;
+      diag.witness = {dim, e.c};
+      diag.message = "dimension " + std::to_string(dim) +
+                     " (extent " + std::to_string(e.c) +
+                     ") is subscripted non-constantly — not splittable";
+      out.push_back(std::move(diag));
+    }
+  }
+  return out;
+}
+
 }  // namespace gcr

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ir/diagnostic.hpp"
 #include "ir/ir.hpp"
 
 namespace gcr {
@@ -48,5 +50,19 @@ SplitResult splitConstantDims(const Program& in, std::int64_t maxExtent = 8,
 /// Convenience: unroll then split to fixed point.
 SplitResult unrollAndSplit(const Program& in, std::int64_t maxWidth = 8,
                            std::int64_t maxExtent = 8);
+
+/// Unroll-and-split legality as structured diagnostics.  Both rewrites
+/// preserve semantics whenever the pass performs them; the diagnostics
+/// record which candidates the preconditions exclude (forcing one of these
+/// would trip the pass's internal assertions):
+///   symbolic-guard   a small-constant-trip loop carries a guard with
+///                    symbolic bounds at its own depth — not unrollable
+///                    (note; witness = {trip count});
+///   mixed-subscript  an array dimension of small constant extent is
+///                    subscripted non-constantly (or out of range) somewhere
+///                    — not splittable (note; witness = {dim, extent}).
+std::vector<Diagnostic> checkUnrollSplitLegal(
+    const Program& in, std::int64_t maxWidth = 8, std::int64_t maxExtent = 8,
+    const std::string& programName = "");
 
 }  // namespace gcr

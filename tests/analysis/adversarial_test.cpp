@@ -1,0 +1,99 @@
+// The adversarial corpus, both directions:
+//  * statically: every known-illegal case must be refused with the
+//    documented (pass, rule) citation;
+//  * dynamically: when the refused transform is forced through the low-level
+//    APIs anyway, the execution result diverges from the original — the
+//    refusal is a real bug caught, not conservatism.
+#include "analysis/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.hpp"
+#include "interp/layout.hpp"
+#include "ir/builder.hpp"
+#include "ir/validate.hpp"
+#include "xform/interchange.hpp"
+
+namespace gcr {
+namespace {
+
+std::vector<std::uint64_t> arrayContents(const Program& p, std::int64_t n) {
+  const DataLayout l = contiguousLayout(p, n);
+  const ExecResult r = execute(p, l, {.n = n});
+  std::vector<std::uint64_t> all;
+  for (std::size_t a = 0; a < p.arrays.size(); ++a)
+    for (std::uint64_t v :
+         extractArray(r, l, p, static_cast<ArrayId>(a), n))
+      all.push_back(v);
+  return all;
+}
+
+const AdversarialCase& findCase(const std::vector<AdversarialCase>& cs,
+                                const std::string& name) {
+  for (const AdversarialCase& c : cs)
+    if (c.name == name) return c;
+  ADD_FAILURE() << "missing corpus case " << name;
+  static AdversarialCase dummy;
+  return dummy;
+}
+
+TEST(Adversarial, EveryCaseIsStaticallyRefused) {
+  const std::vector<AdversarialCase> cs = adversarialCases();
+  ASSERT_GE(cs.size(), 5u);
+  for (const AdversarialCase& c : cs) {
+    const std::vector<Diagnostic> ds = c.check(c.program, 16);
+    EXPECT_TRUE(cites(ds, c.pass, c.rule))
+        << c.name << ": expected a refusal citing [" << c.pass << "/"
+        << c.rule << "]";
+  }
+}
+
+TEST(Adversarial, RefusalsSurviveLargerMinN) {
+  // Legality is exact for all N >= minN; growing the domain cannot turn an
+  // illegal transform legal.
+  for (const AdversarialCase& c : adversarialCases())
+    EXPECT_TRUE(cites(c.check(c.program, 64), c.pass, c.rule)) << c.name;
+}
+
+TEST(Adversarial, ForcedInterchangeDiverges) {
+  const std::vector<AdversarialCase> cs = adversarialCases();
+  const AdversarialCase& c = findCase(cs, "interchange-negative-distance");
+  Program forced = c.program.clone();
+  interchangeNest(forced.top[0].node->loop());
+  validate(forced);  // structurally fine — the bug is semantic
+  EXPECT_NE(arrayContents(c.program, 24), arrayContents(forced, 24));
+}
+
+/// Fuse two single-statement loops into one forward loop at alignment 0 —
+/// exactly what the refused fusion would have produced.
+Program naiveFuse(const Program& p) {
+  GCR_CHECK(p.top.size() == 2 && p.top[0].node->isLoop() &&
+                p.top[1].node->isLoop(),
+            "naiveFuse expects two top-level loops");
+  Program q = p.clone();
+  Loop& l1 = q.top[0].node->loop();
+  Loop& l2 = q.top[1].node->loop();
+  l1.reversed = false;
+  for (Child& ch : l2.body) l1.body.push_back(std::move(ch));
+  q.top.pop_back();
+  q.renumber();
+  validate(q);
+  return q;
+}
+
+TEST(Adversarial, ForcedUnboundedAlignmentFusionDiverges) {
+  const std::vector<AdversarialCase> cs = adversarialCases();
+  const AdversarialCase& c = findCase(cs, "fusion-unbounded-alignment");
+  EXPECT_NE(arrayContents(c.program, 24),
+            arrayContents(naiveFuse(c.program), 24));
+}
+
+TEST(Adversarial, ForcedMixedDirectionFusionDiverges) {
+  const std::vector<AdversarialCase> cs = adversarialCases();
+  const AdversarialCase& c = findCase(cs, "fusion-mixed-direction");
+  EXPECT_NE(arrayContents(c.program, 24),
+            arrayContents(naiveFuse(c.program), 24));
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,180 @@
+#include "analysis/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "ir/builder.hpp"
+
+namespace gcr {
+namespace {
+
+Program scan1d() {
+  ProgramBuilder b("scan");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  b.loop("i", 1, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {b.ref(A, {i - 1})}); });
+  return b.take();
+}
+
+TEST(Dependence, CollectsSitesInExecutionOrder) {
+  Program p = scan1d();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  ASSERT_EQ(sites.size(), 2u);
+  // Reads come before the write of the same statement.
+  EXPECT_FALSE(sites[0].isWrite);
+  EXPECT_TRUE(sites[1].isWrite);
+  EXPECT_EQ(sites[0].depth(), 1);
+  EXPECT_EQ(sites[0].text, "A[i-1]");
+  EXPECT_EQ(sites[1].text, "A[i]");
+}
+
+TEST(Dependence, FlowDistanceOne) {
+  Program p = scan1d();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  // write A[i] (earlier iteration) -> read A[i-1] (later iteration).
+  const Dependence d = analyzeDependence(sites[1], sites[0], 16);
+  EXPECT_EQ(d.answer, DepAnswer::Dependent);
+  ASSERT_EQ(d.commonLevels, 1);
+  ASSERT_TRUE(d.hasDistanceVector());
+  EXPECT_EQ(d.distance[0], 1);
+  EXPECT_EQ(d.direction[0], Dir::Lt);
+}
+
+TEST(Dependence, IndependentConstantSubscripts) {
+  ProgramBuilder b("consts");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar) {
+    b.assign(b.ref(A, {cst(0)}), {b.ref(A, {cst(1)})});
+  });
+  Program p = b.take();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  const Dependence d = analyzeDependence(sites[1], sites[0], 16);
+  EXPECT_EQ(d.answer, DepAnswer::Independent);
+}
+
+TEST(Dependence, IndependentPinnedOutsideRange) {
+  // Loop writes A[2..N-3]; a later loop reads only A[0].
+  ProgramBuilder b("pinned");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 2, AffineN::N() - 3,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {}); });
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(C, {i}), {b.ref(A, {cst(0)})}); });
+  Program p = b.take();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  ASSERT_EQ(sites.size(), 3u);
+  const Dependence d = analyzeDependence(sites[0], sites[1], 16);
+  EXPECT_EQ(d.answer, DepAnswer::Independent);
+}
+
+TEST(Dependence, UnknownForTransposedSubscripts) {
+  // A(i,j) = A(j,i): each dimension pairs different loop variables — beyond
+  // the per-dimension test, so the lattice answer must be Unknown, never a
+  // false Independent.
+  ProgramBuilder b("transpose");
+  const ArrayId A = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 0, AffineN::N() - 1, "j", 0, AffineN::N() - 1,
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(A, {i, j}), {b.ref(A, {j, i})});
+          });
+  Program p = b.take();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  const Dependence d = analyzeDependence(sites[1], sites[0], 16);
+  EXPECT_EQ(d.answer, DepAnswer::Unknown);
+}
+
+TEST(Dependence, AntiDiagonalDistanceVector) {
+  // A(i,j) = A(i-1,j+1): distance (1,-1), direction (<,>).
+  ProgramBuilder b("antidiag");
+  const ArrayId A = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 1, AffineN::N() - 2, "j", 1, AffineN::N() - 2,
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(A, {i, j}), {b.ref(A, {i - 1, j + 1})});
+          });
+  Program p = b.take();
+  const std::vector<RefSite> sites = collectRefSites(p);
+  const Dependence d = analyzeDependence(sites[1], sites[0], 16);
+  EXPECT_EQ(d.answer, DepAnswer::Dependent);
+  ASSERT_TRUE(d.hasDistanceVector());
+  EXPECT_EQ(d.distance[0], 1);
+  EXPECT_EQ(d.distance[1], -1);
+  EXPECT_EQ(d.direction[0], Dir::Lt);
+  EXPECT_EQ(d.direction[1], Dir::Gt);
+  EXPECT_EQ(d.str(), "(1, -1)");
+}
+
+TEST(Dependence, OutputDependenceSameIteration) {
+  ProgramBuilder b("wars");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(A, {i}), {b.ref(B, {i})});
+    b.assign(b.ref(A, {i}), {b.ref(B, {i})});
+  });
+  Program p = b.take();
+  const DependenceSummary s = analyzeProgramDependences(p);
+  ASSERT_EQ(s.deps.size(), 1u);  // the write/write pair (read-read skipped)
+  EXPECT_EQ(s.deps[0].dep.kind, DepKind::Output);
+  ASSERT_TRUE(s.deps[0].dep.hasDistanceVector());
+  EXPECT_EQ(s.deps[0].dep.distance[0], 0);
+}
+
+TEST(Dependence, KindsFollowAccessOrder) {
+  // B[i] read then B[i] written by a later statement: anti dependence.
+  ProgramBuilder b("anti");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(A, {i}), {b.ref(B, {i})});
+    b.assign(b.ref(B, {i}), {});
+  });
+  Program p = b.take();
+  const DependenceSummary s = analyzeProgramDependences(p);
+  ASSERT_EQ(s.deps.size(), 1u);
+  EXPECT_EQ(s.deps[0].dep.kind, DepKind::Anti);
+}
+
+TEST(Dependence, CensusIsConsistentOnApps) {
+  for (const char* name : {"ADI", "Swim", "Tomcatv", "SP"}) {
+    const Program p = apps::buildApp(name);
+    const DependenceSummary s = analyzeProgramDependences(p);
+    EXPECT_GT(s.pairsAnalyzed, 0u) << name;
+    EXPECT_EQ(s.pairsAnalyzed, s.independent + s.dependent + s.unknown)
+        << name;
+    // Every reported dependence carries the lattice answer it was filed
+    // under, and Dependent entries have usable vectors.
+    std::size_t dependent = 0, unknown = 0;
+    for (const ProgramDependence& pd : s.deps) {
+      if (pd.dep.answer == DepAnswer::Dependent) {
+        ++dependent;
+        EXPECT_EQ(static_cast<int>(pd.dep.distance.size()),
+                  pd.dep.commonLevels);
+      } else {
+        EXPECT_EQ(pd.dep.answer, DepAnswer::Unknown);
+        ++unknown;
+      }
+    }
+    EXPECT_EQ(dependent, s.dependent) << name;
+    EXPECT_EQ(unknown, s.unknown) << name;
+  }
+}
+
+TEST(Dependence, InputReuseOnlyOnRequest) {
+  ProgramBuilder b("reads");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(B, {i}), {b.ref(A, {i})});
+    b.assign(b.ref(C, {i}), {b.ref(A, {i})});
+  });
+  Program p = b.take();
+  EXPECT_TRUE(analyzeProgramDependences(p).deps.empty());
+  const DependenceSummary s = analyzeProgramDependences(p, 16, true);
+  ASSERT_EQ(s.deps.size(), 1u);
+  EXPECT_EQ(s.deps[0].dep.kind, DepKind::Input);
+}
+
+}  // namespace
+}  // namespace gcr

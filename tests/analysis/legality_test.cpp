@@ -1,0 +1,245 @@
+#include "analysis/legality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "driver/pipeline.hpp"
+#include "fusion/legal.hpp"
+#include "ir/builder.hpp"
+#include "regroup/regroup.hpp"
+#include "xform/distribute.hpp"
+#include "xform/interchange.hpp"
+#include "xform/unroll_split.hpp"
+
+namespace gcr {
+namespace {
+
+bool hasRule(const std::vector<Diagnostic>& ds, const std::string& pass,
+             const std::string& rule) {
+  for (const Diagnostic& d : ds)
+    if (d.pass == pass && d.rule == rule) return true;
+  return false;
+}
+
+// ---- fusion ---------------------------------------------------------------
+
+TEST(FusionLegal, BoundedAlignmentIsANote) {
+  ProgramBuilder b("ok");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId B = b.array("B", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 1, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {b.ref(B, {i})}); });
+  b.loop("i", 1, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(C, {i}), {b.ref(A, {i - 1})}); });
+  Program p = b.take();
+  const auto ds = checkFusionLegal(p, p.top[0], p.top[1], 0, 16);
+  EXPECT_FALSE(anyWarningsOrErrors(ds));
+  EXPECT_TRUE(hasRule(ds, "fusion", "bounded-alignment"));
+  EXPECT_TRUE(fusionLegal(p, p.top[0], p.top[1], 0, 16));
+}
+
+TEST(FusionLegal, UnboundedAlignmentIsAnError) {
+  // Every iteration of the second loop reads the last element the first
+  // loop writes: the alignment factor is N-1.
+  ProgramBuilder b("bad");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {}); });
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(C, {i}), {b.ref(A, {cst(AffineN::N() - 1)})});
+  });
+  Program p = b.take();
+  const auto ds = checkFusionLegal(p, p.top[0], p.top[1], 0, 16);
+  ASSERT_TRUE(anyErrors(ds));
+  EXPECT_TRUE(hasRule(ds, "fusion", "unbounded-alignment"));
+  EXPECT_FALSE(fusionLegal(p, p.top[0], p.top[1], 0, 16));
+  // The witness records the growing bound c + s*N with s > 0.
+  for (const Diagnostic& d : ds)
+    if (d.rule == "unbounded-alignment") {
+      ASSERT_EQ(d.witness.size(), 2u);
+      EXPECT_GT(d.witness[1], 0);  // s grows with N
+    }
+}
+
+TEST(FusionLegal, ConstantStripOnlyNeedsSplitting) {
+  // The read of A[N-2] happens in a single-iteration loop: a constant-width
+  // boundary strip, fusible after peeling (warning, not error).
+  ProgramBuilder b("strip");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {}); });
+  b.loop("i", 0, 0, [&](IxVar i) {
+    b.assign(b.ref(C, {i}), {b.ref(A, {cst(AffineN::N() - 2)})});
+  });
+  Program p = b.take();
+  const auto ds = checkFusionLegal(p, p.top[0], p.top[1], 0, 16);
+  EXPECT_FALSE(anyErrors(ds));
+  EXPECT_TRUE(hasRule(ds, "fusion", "needs-splitting"));
+}
+
+TEST(FusionLegal, StatementEmbeddingIsANote) {
+  ProgramBuilder b("embed");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {}); });
+  b.assign(b.ref(A, {cst(0)}), {});
+  Program p = b.take();
+  const auto ds = checkFusionLegal(p, p.top[0], p.top[1], 0, 16);
+  EXPECT_FALSE(anyWarningsOrErrors(ds));
+  EXPECT_TRUE(hasRule(ds, "fusion", "statement-embedding"));
+}
+
+TEST(FusionLegal, ProgramWideCheckCoversInnerContexts) {
+  for (const char* name : {"ADI", "Swim", "Tomcatv", "SP"}) {
+    const Program p = apps::buildApp(name);
+    const auto ds = checkProgramFusionLegal(p, 16, 3, name);
+    EXPECT_FALSE(ds.empty()) << name;
+  }
+}
+
+// ---- interchange ----------------------------------------------------------
+
+TEST(InterchangeLegal, DirectionVectorViolationCarriesWitness) {
+  ProgramBuilder b("antidiag");
+  const ArrayId A = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 1, AffineN::N() - 2, "j", 1, AffineN::N() - 2,
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(A, {i, j}), {b.ref(A, {i - 1, j + 1})});
+          });
+  Program p = b.take();
+  const auto ds = checkInterchangeLegal(p, p.top[0].node->loop(), 16);
+  ASSERT_TRUE(anyErrors(ds));
+  ASSERT_TRUE(hasRule(ds, "interchange", "direction-vector"));
+  for (const Diagnostic& d : ds)
+    if (d.rule == "direction-vector") {
+      ASSERT_EQ(d.witness.size(), 2u);
+      EXPECT_GT(d.witness[0], 0);  // outer distance positive...
+      EXPECT_LT(d.witness[1], 0);  // ...inner negative: (<,>)
+    }
+}
+
+TEST(InterchangeLegal, ImperfectNestIsAStructuralError) {
+  ProgramBuilder b("imperfect");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(A, {i}), {}); });
+  Program p = b.take();
+  const auto ds = checkInterchangeLegal(p, p.top[0].node->loop(), 16);
+  EXPECT_TRUE(hasRule(ds, "interchange", "perfect-nest"));
+  EXPECT_FALSE(interchangeLegal(p, p.top[0].node->loop(), 16));
+}
+
+// ---- distribution ---------------------------------------------------------
+
+TEST(DistributeLegal, BackwardDependenceIsReported) {
+  // Second statement reads A[i+1], written by a *later* iteration of the
+  // first: distributing would feed it new values instead of old.
+  ProgramBuilder b("backward");
+  const ArrayId A = b.array("A", {AffineN::N() + 1});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(A, {i}), {});
+    b.assign(b.ref(C, {i}), {b.ref(A, {i + 1})});
+  });
+  Program p = b.take();
+  const auto ds = checkDistributeLegal(p, 16);
+  ASSERT_TRUE(hasRule(ds, "distribute", "backward-dependence"));
+  for (const Diagnostic& d : ds) EXPECT_EQ(d.ref, "A");
+}
+
+TEST(DistributeLegal, ForwardOnlyLoopIsClean) {
+  ProgramBuilder b("forward");
+  const ArrayId A = b.array("A", {AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 1, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(A, {i}), {});
+    b.assign(b.ref(C, {i}), {b.ref(A, {i - 1})});
+  });
+  Program p = b.take();
+  EXPECT_TRUE(checkDistributeLegal(p, 16).empty());
+}
+
+// ---- unroll/split ---------------------------------------------------------
+
+TEST(UnrollSplitLegal, MixedSubscriptBlocksSplitting) {
+  // Dimension 0 of A is a split candidate (constant extent 3) but is
+  // subscripted both by a constant and by a loop variable:
+  // splitConstantDims must leave it alone, and says why.
+  ProgramBuilder b("mixed");
+  const ArrayId A = b.array("A", {3, AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(C, {i}), {b.ref(A, {cst(0), i})}); });
+  b.loop("k", 0, 2,
+         [&](IxVar k) { b.assign(b.ref(A, {k, cst(1)}), {}); });
+  Program p = b.take();
+  const auto ds = checkUnrollSplitLegal(p, 8, 8);
+  EXPECT_TRUE(hasRule(ds, "unroll-split", "mixed-subscript"));
+}
+
+// ---- regrouping -----------------------------------------------------------
+
+TEST(RegroupLegal, AppRegroupingsPassTheBijectionCertificate) {
+  for (const char* name : {"ADI", "Swim", "Tomcatv", "SP"}) {
+    const Program p = apps::buildApp(name);
+    const Regrouping rg = Regrouping::analyze(p);
+    EXPECT_TRUE(checkRegroupLegal(p, rg, 16, name).empty()) << name;
+  }
+}
+
+// ---- whole-program verification and the pipeline hook ---------------------
+
+TEST(Verify, AllAppsCleanUnderWerror) {
+  for (const char* name : {"ADI", "Swim", "Tomcatv", "SP", "Sweep3D"}) {
+    const Program p = apps::buildApp(name);
+    const VerifyResult r = verifyProgram(p, name);
+    EXPECT_FALSE(anyWarningsOrErrors(r.diags)) << name;
+    EXPECT_GT(r.deps.pairsAnalyzed, 0u) << name;
+  }
+}
+
+TEST(Verify, StrictDefectsSurfaceAsWarnings) {
+  ProgramBuilder b("diag");
+  const ArrayId D = b.array("D", {AffineN::N(), AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(D, {i, i}), {}); });
+  Program p = b.take();
+  const VerifyResult r = verifyProgram(p, "diag");
+  EXPECT_TRUE(anyWarningsOrErrors(r.diags));
+  EXPECT_TRUE(hasRule(r.diags, "validate", "diagonal-subscript"));
+}
+
+TEST(Pipeline, ConsultsLegalityBeforeEachTransform) {
+  const Program p = apps::buildApp("Swim");
+  PipelineResult r = optimize(p);
+  EXPECT_FALSE(r.diagnostics.empty());
+  // The pass verdicts are consultations, not program defects.
+  EXPECT_FALSE(anyErrors(r.diagnostics));
+  EXPECT_TRUE(hasRule(r.diagnostics, "fusion", "bounded-alignment"));
+  EXPECT_TRUE(r.regrouped);  // the bijectivity certificate passed
+
+  PipelineOptions off;
+  off.checkLegality = false;
+  EXPECT_TRUE(optimize(p, off).diagnostics.empty());
+}
+
+TEST(Pipeline, DiagnosticsFormatIsGreppable) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.pass = "fusion";
+  d.rule = "unbounded-alignment";
+  d.program = "Swim";
+  d.loc = "L0:i+i";
+  d.ref = "A(W) vs A(R)";
+  d.witness = {-1, 1};
+  d.message = "alignment grows with N";
+  EXPECT_EQ(d.format(),
+            "Swim:L0:i+i:A(W) vs A(R): error: [fusion/unbounded-alignment] "
+            "alignment grows with N (witness=-1,1)");
+}
+
+}  // namespace
+}  // namespace gcr

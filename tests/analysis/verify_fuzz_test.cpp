@@ -1,0 +1,58 @@
+// Fuzz contract: statically legal => the optimized program is byte-identical
+// between the tree-walking oracle and the compiled-plan engine, and
+// semantically identical to the original.  20 random programs through the
+// full pipeline with legality consultation on.
+#include <gtest/gtest.h>
+
+#include "analysis/legality.hpp"
+#include "common/random_program.hpp"
+#include "driver/pipeline.hpp"
+#include "interp/interp.hpp"
+#include "interp/layout.hpp"
+
+namespace gcr {
+namespace {
+
+std::vector<std::uint64_t> contents(const Program& p, std::int64_t n,
+                                    ExecEngine engine) {
+  const DataLayout l = contiguousLayout(p, n);
+  ExecOptions opts{.n = n};
+  opts.engine = engine;
+  const ExecResult r = execute(p, l, opts);
+  std::vector<std::uint64_t> all;
+  for (std::size_t a = 0; a < p.arrays.size(); ++a)
+    for (std::uint64_t v :
+         extractArray(r, l, p, static_cast<ArrayId>(a), n))
+      all.push_back(v);
+  return all;
+}
+
+class VerifyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifyFuzz, LegalMeansEnginesAgreeAfterTransform) {
+  testing::RandomProgramOptions rpo;
+  rpo.allowTwoDim = true;
+  rpo.allowReversed = true;
+  const Program p = testing::randomProgram(GetParam(), rpo);
+
+  // The generator emits only valid programs: verification must not error.
+  const VerifyResult v = verifyProgram(p, p.name);
+  EXPECT_FALSE(anyErrors(v.diags));
+
+  PipelineResult r = optimize(p);
+  EXPECT_FALSE(anyErrors(r.diagnostics));
+
+  const std::int64_t n = 20;
+  // The applied transforms preserve semantics...
+  EXPECT_EQ(contents(p, n, ExecEngine::TreeWalk),
+            contents(r.program, n, ExecEngine::TreeWalk));
+  // ...and the two execution engines agree bit-for-bit on the result.
+  EXPECT_EQ(contents(r.program, n, ExecEngine::TreeWalk),
+            contents(r.program, n, ExecEngine::Auto));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1020));
+
+}  // namespace
+}  // namespace gcr

@@ -59,5 +59,95 @@ TEST(Validate, RejectsUndeclaredArray) {
   EXPECT_NE(validationError(p), "");
 }
 
+// ---- validateStrict: one test per rejection path --------------------------
+
+bool strictHas(const std::vector<Diagnostic>& ds, const std::string& rule,
+               Severity sev) {
+  for (const Diagnostic& d : ds)
+    if (d.pass == "validate" && d.rule == rule && d.severity == sev)
+      return true;
+  return false;
+}
+
+TEST(ValidateStrict, CleanProgramHasNoDiagnostics) {
+  ProgramBuilder b("ok");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 1, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})}); });
+  Program p = b.take();
+  EXPECT_TRUE(validateStrict(p).empty());
+}
+
+TEST(ValidateStrict, StructureViolationIsASingleError) {
+  ProgramBuilder b("bad-depth");
+  ArrayId a = b.array("A", {AffineN::N()});
+  Program p = b.take();
+  p.top.push_back(Child{
+      makeNode(Assign{-1, ArrayRef{a, {Subscript::var(2)}}, {}, 1, ""}),
+      {}});
+  const auto ds = validateStrict(p);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_TRUE(strictHas(ds, "structure", Severity::Error));
+}
+
+TEST(ValidateStrict, RejectsDiagonalSubscript) {
+  ProgramBuilder b("diag");
+  ArrayId a = b.array("A", {AffineN::N(), AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(a, {i, i}), {}); });
+  Program p = b.take();
+  EXPECT_TRUE(
+      strictHas(validateStrict(p), "diagonal-subscript", Severity::Warning));
+}
+
+TEST(ValidateStrict, RejectsScaledOffset) {
+  ProgramBuilder b("scaled");
+  ArrayId a = b.array("A", {2 * AffineN::N() + 1});
+  b.loop("i", 0, AffineN::N() - 1, [&](IxVar i) {
+    b.assign(b.ref(a, {Subscript::var(i.depth, AffineN::N())}), {});
+  });
+  Program p = b.take();
+  const auto ds = validateStrict(p);
+  ASSERT_TRUE(strictHas(ds, "scaled-offset", Severity::Warning));
+  for (const Diagnostic& d : ds)
+    if (d.rule == "scaled-offset") {
+      ASSERT_EQ(d.witness.size(), 2u);
+      EXPECT_EQ(d.witness[1], 1);  // the N coefficient
+    }
+}
+
+TEST(ValidateStrict, RejectsEmptyLoop) {
+  ProgramBuilder b("empty");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 5, 2, [&](IxVar) { b.assign(b.ref(a, {cst(0)}), {}); });
+  Program p = b.take();
+  EXPECT_TRUE(strictHas(validateStrict(p), "empty-loop", Severity::Warning));
+}
+
+TEST(ValidateStrict, RejectsEmptyGuard) {
+  ProgramBuilder b("guard");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  // Guard [3, 1] on the loop's only child: provably empty for every n.
+  p.top[0].node->loop().body[0].guards.push_back(
+      GuardSpec{0, AffineN(3), AffineN(1)});
+  EXPECT_TRUE(strictHas(validateStrict(p), "empty-guard", Severity::Warning));
+}
+
+TEST(ValidateStrict, FlagsDuplicateGuards) {
+  ProgramBuilder b("dup");
+  ArrayId a = b.array("A", {AffineN::N()});
+  b.loop("i", 0, AffineN::N() - 1,
+         [&](IxVar i) { b.assign(b.ref(a, {i}), {}); });
+  Program p = b.take();
+  auto& guards = p.top[0].node->loop().body[0].guards;
+  guards.push_back(GuardSpec{0, AffineN(1), AffineN::N() - 1});
+  guards.push_back(GuardSpec{0, AffineN(2), AffineN::N() - 2});
+  EXPECT_TRUE(
+      strictHas(validateStrict(p), "duplicate-guard", Severity::Note));
+}
+
 }  // namespace
 }  // namespace gcr

@@ -1,0 +1,178 @@
+// gcr-verify — static legality lint over the bundled applications.
+//
+// Runs the affine dependence analyzer, the strict IR validator, and every
+// transform pass's legality checker (consultation mode) over a program, and
+// prints the diagnostics in the greppable `program:loc:ref` format.  With
+// --pipeline it additionally runs the full optimization pipeline (which
+// consults the same checkers before each transform) and re-verifies the
+// transformed program, so a pass that applied an illegal transform is caught
+// on its own output.
+//
+//   gcr-verify --all [--pipeline] [--werror] [--json] [--minn K] [--notes K]
+//   gcr-verify --app Swim ...
+//   gcr-verify --adversarial      # self-test: every known-illegal case in
+//                                 # the corpus must be refused with the
+//                                 # documented (pass, rule) citation
+//
+// Exit status: 0 clean; 1 legality violation (errors, or warnings under
+// --werror, or a missed adversarial refusal); 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gcr/gcr.hpp"
+
+using namespace gcr;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gcr-verify [--all | --app <name> | --adversarial] [options]\n"
+      "  --all             verify every bundled application (default)\n"
+      "  --app <name>      verify one app (ADI|Swim|Tomcatv|SP|Sweep3D)\n"
+      "  --adversarial     self-test against the known-illegal corpus\n"
+      "  --pipeline        also optimize and re-verify the result\n"
+      "  --werror          treat warnings as errors\n"
+      "  --json            machine-readable output (one JSON array)\n"
+      "  --minn <k>        legality domain: exact for all N >= k (default "
+      "16)\n"
+      "  --notes <k>       print up to k per-pair dependence notes\n");
+}
+
+struct Options {
+  bool pipeline = false;
+  bool werror = false;
+  bool json = false;
+  std::int64_t minN = 16;
+  int notes = 0;
+};
+
+/// Verify one program; returns all diagnostics (prints nothing).
+std::vector<Diagnostic> verifyOne(const Program& p, const std::string& name,
+                                  const Options& o) {
+  VerifyOptions vo;
+  vo.minN = o.minN;
+  vo.maxDependenceNotes = o.notes;
+  std::vector<Diagnostic> diags = verifyProgram(p, name, vo).diags;
+  if (o.pipeline) {
+    PipelineOptions po;
+    po.fusionOptions.minN = o.minN;
+    PipelineResult r = optimize(p, po);
+    appendDiagnostics(diags, r.diagnostics);
+    appendDiagnostics(diags,
+                      verifyProgram(r.program, name + "+opt", vo).diags);
+  }
+  return diags;
+}
+
+void printText(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    std::printf("%s\n", d.format().c_str());
+}
+
+void printJson(const std::vector<Diagnostic>& diags) {
+  std::printf("[");
+  for (std::size_t i = 0; i < diags.size(); ++i)
+    std::printf("%s%s", i ? ",\n " : "\n ", diags[i].json().c_str());
+  std::printf("%s]\n", diags.empty() ? "" : "\n");
+}
+
+int runVerify(const std::vector<std::string>& names, const Options& o) {
+  std::vector<Diagnostic> all;
+  for (const std::string& name : names) {
+    const Program p = apps::buildApp(name);
+    appendDiagnostics(all, verifyOne(p, name, o));
+  }
+  if (o.json)
+    printJson(all);
+  else
+    printText(all);
+  const bool bad = o.werror ? anyWarningsOrErrors(all) : anyErrors(all);
+  if (!o.json) {
+    int notes = 0, warnings = 0, errors = 0;
+    for (const Diagnostic& d : all) {
+      if (d.severity == Severity::Error) ++errors;
+      else if (d.severity == Severity::Warning) ++warnings;
+      else ++notes;
+    }
+    std::printf("gcr-verify: %zu program(s), %d note(s), %d warning(s), "
+                "%d error(s)%s\n",
+                names.size(), notes, warnings, errors,
+                bad ? " -- FAILED" : "");
+  }
+  return bad ? 1 : 0;
+}
+
+int runAdversarial(const Options& o) {
+  int missed = 0;
+  for (const AdversarialCase& c : adversarialCases()) {
+    const std::vector<Diagnostic> diags = c.check(c.program, o.minN);
+    const bool refused = cites(diags, c.pass, c.rule);
+    if (!o.json)
+      std::printf("%-32s expect [%s/%s]  %s\n", c.name.c_str(),
+                  c.pass.c_str(), c.rule.c_str(),
+                  refused ? "refused (ok)" : "ACCEPTED (bug)");
+    if (!refused) {
+      ++missed;
+      printText(diags);  // show what came back instead
+    }
+  }
+  if (!o.json)
+    std::printf("gcr-verify: adversarial corpus %s\n",
+                missed ? "FAILED" : "clean");
+  return missed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  bool adversarial = false;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--all") {
+      // default
+    } else if (arg == "--app") {
+      names.push_back(value());
+    } else if (arg == "--adversarial") {
+      adversarial = true;
+    } else if (arg == "--pipeline") {
+      o.pipeline = true;
+    } else if (arg == "--werror") {
+      o.werror = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg == "--minn") {
+      o.minN = std::atoll(value());
+    } else if (arg == "--notes") {
+      o.notes = std::atoi(value());
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (adversarial) return runAdversarial(o);
+    if (names.empty())
+      for (const apps::AppInfo& a : apps::evaluationApps())
+        names.push_back(a.name);
+    return runVerify(names, o);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gcr-verify: %s\n", e.what());
+    return 2;
+  }
+}
