@@ -21,17 +21,21 @@ int main() {
   const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
   const MachineConfig machine = MachineConfig::origin2000();
 
+  Engine& engine = bench::sessionEngine();
   for (const AppRun& run : runs) {
     Program p = apps::buildApp(run.name);
+    auto row = [&](const char* label, Strategy s) {
+      return bench::VersionRow{
+          label,
+          engine.measure(engine.version(p, s), run.n, machine, run.steps)};
+    };
     std::vector<bench::VersionRow> rows;
-    rows.push_back({"original", measure(makeNoOpt(p), run.n, machine, run.steps)});
-    rows.push_back(
-        {"fusion only", measure(makeFused(p), run.n, machine, run.steps)});
-    rows.push_back({"grouping only",
-                    measure(makeRegroupedOnly(p), run.n, machine, run.steps)});
-    rows.push_back({"fusion + grouping",
-                    measure(makeFusedRegrouped(p), run.n, machine, run.steps)});
+    rows.push_back(row("original", Strategy::NoOpt));
+    rows.push_back(row("fusion only", Strategy::Fused));
+    rows.push_back(row("grouping only", Strategy::RegroupedOnly));
+    rows.push_back(row("fusion + grouping", Strategy::FusedRegrouped));
     bench::printFig10Panel(run.name, run.n, machine, rows);
   }
+  bench::printEngineStats();
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
   };
   const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
   const MachineConfig machine = MachineConfig::origin2000();
+  Engine& engine = bench::sessionEngine();
 
   const std::pair<const char*, FusionStrategy> strategies[] = {
       {"conservative (McKinley et al.)", FusionStrategy::Conservative},
@@ -49,7 +50,8 @@ int main() {
                 run.name, nestsBefore);
     TextTable t({"strategy", "fusions", "nests left", "L2(norm)",
                  "time(norm)"});
-    Measurement base = measure(makeNoOpt(p), run.n, machine, run.steps);
+    Measurement base = engine.measure(engine.version(p, Strategy::NoOpt),
+                                      run.n, machine, run.steps);
     for (const auto& [label, strategy] : strategies) {
       FusionOptions fopts;
       fopts.strategy = strategy;
@@ -59,7 +61,7 @@ int main() {
                        [](const Program& prog, std::int64_t size) {
                          return contiguousLayout(prog, size);
                        }};
-      Measurement m = measure(v, run.n, machine, run.steps);
+      Measurement m = engine.measure(v, run.n, machine, run.steps);
       t.addRow({label, std::to_string(report.fusions),
                 std::to_string(computeStats(v.program).numLoopNests),
                 TextTable::fmt(static_cast<double>(m.counts.l2Misses) /
@@ -73,5 +75,6 @@ int main() {
       "paper's 6%% anecdote);\nweighted greedy matches reuse-based on these "
       "programs only where no enabling\ntransformations are needed; "
       "reuse-based fuses the most and wins on misses.\n");
+  bench::printEngineStats();
   return 0;
 }

@@ -19,6 +19,7 @@ int main() {
   const AppRun runs[] = {{"Swim", 321, 2}, {"SP", 26, 1}};
   const MachineConfig machine = MachineConfig::origin2000();
 
+  Engine& engine = bench::sessionEngine();
   for (const AppRun& run : runs) {
     Program p = apps::buildApp(run.name);
     RegroupOptions elementOnly;
@@ -26,18 +27,22 @@ int main() {
     RegroupOptions outerOnly;
     outerOnly.skipInnermostDim = true;
 
+    auto row = [&](const char* label, Strategy s, const VersionSpec& spec) {
+      return bench::VersionRow{
+          label, engine.measure(engine.version(p, s, spec), run.n, machine,
+                                run.steps)};
+    };
     std::vector<bench::VersionRow> rows;
-    rows.push_back({"fusion, no grouping", measure(makeFused(p), run.n,
-                                                   machine, run.steps)});
-    rows.push_back({"element-level only",
-                    measure(makeFusedRegrouped(p, 8, {}, elementOnly), run.n,
-                            machine, run.steps)});
-    rows.push_back({"outer dims only (SGI workaround)",
-                    measure(makeFusedRegrouped(p, 8, {}, outerOnly), run.n,
-                            machine, run.steps)});
-    rows.push_back({"multi-level (this paper)",
-                    measure(makeFusedRegrouped(p), run.n, machine, run.steps)});
+    rows.push_back(row("fusion, no grouping", Strategy::Fused, {}));
+    rows.push_back(row("element-level only", Strategy::FusedRegrouped,
+                       {.regroupOptions = elementOnly}));
+    rows.push_back(row("outer dims only (SGI workaround)",
+                       Strategy::FusedRegrouped,
+                       {.regroupOptions = outerOnly}));
+    rows.push_back(row("multi-level (this paper)", Strategy::FusedRegrouped,
+                       {}));
     bench::printFig10Panel(run.name, run.n, machine, rows);
   }
+  bench::printEngineStats();
   return 0;
 }

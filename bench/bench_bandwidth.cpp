@@ -27,6 +27,7 @@ int main() {
   };
   const AppRun runs[] = {{"Swim", 321, 2}, {"ADI", 1000, 1}, {"SP", 26, 1}};
 
+  Engine& engine = bench::sessionEngine();
   for (const AppRun& run : runs) {
     Program p = apps::buildApp(run.name);
     MachineConfig plain = MachineConfig::origin2000();
@@ -38,13 +39,14 @@ int main() {
       const ProgramVersion version;
       const MachineConfig* machine;
     };
-    ProgramVersion noOpt = makeNoOpt(p);
-    ProgramVersion noOptPf = makeNoOpt(p);
-    ProgramVersion full = makeFusedRegrouped(p);
+    // The two "original" rows reuse one cached pipeline run; only the
+    // machine differs.
     const Row rows[] = {
-        {"original", std::move(noOpt), &plain},
-        {"original + prefetch", std::move(noOptPf), &prefetch},
-        {"fusion + regrouping", std::move(full), &plain},
+        {"original", engine.version(p, Strategy::NoOpt), &plain},
+        {"original + prefetch", engine.version(p, Strategy::NoOpt),
+         &prefetch},
+        {"fusion + regrouping", engine.version(p, Strategy::FusedRegrouped),
+         &plain},
     };
 
     std::printf("\n-- %s, n=%lld --\n", run.name,
@@ -53,7 +55,7 @@ int main() {
                  "eff. bandwidth", "time(norm)"});
     double baseTraffic = 0, baseTime = 0;
     for (const Row& r : rows) {
-      Measurement m = measure(r.version, run.n, *r.machine, run.steps);
+      Measurement m = engine.measure(r.version, run.n, *r.machine, run.steps);
       if (baseTraffic == 0) {
         baseTraffic = static_cast<double>(m.memoryTrafficBytes);
         baseTime = m.cycles;
@@ -73,5 +75,6 @@ int main() {
       "\nexpected: prefetching cuts time but leaves traffic unchanged (or "
       "higher);\nthe global strategy cuts the traffic itself — higher "
       "effective bandwidth.\n");
+  bench::printEngineStats();
   return 0;
 }

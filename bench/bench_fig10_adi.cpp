@@ -12,6 +12,7 @@ int main() {
                      "orig / +fusion / +regrouping; paper: -39% L1, -44% L2, "
                      "-56% TLB, 2.33x speedup at 2Kx2K");
 
+  Engine& engine = bench::sessionEngine();
   Program p = apps::buildApp("ADI");
   const std::int64_t n = bench::fullSize() ? 2048 : 1024;
   const MachineConfig machine = MachineConfig::origin2000();
@@ -20,13 +21,20 @@ int main() {
       {"original", "+ computation fusion", "+ data regrouping"},
       [&] {
         std::vector<MeasureTask> t;
-        t.push_back({.version = makeNoOpt(p), .n = n, .machine = machine});
-        t.push_back({.version = makeFused(p), .n = n, .machine = machine});
-        t.push_back(
-            {.version = makeFusedRegrouped(p), .n = n, .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::NoOpt),
+                     .n = n,
+                     .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::Fused),
+                     .n = n,
+                     .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::FusedRegrouped),
+                     .n = n,
+                     .machine = machine});
         return t;
       }());
   bench::printFig10Panel("ADI", n, machine, rows);
+  bench::writeVersionRowsJson("fig10_adi", "ADI", n, machine, rows);
   bench::printThroughput(rows);
+  bench::printEngineStats();
   return 0;
 }

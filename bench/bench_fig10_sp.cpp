@@ -36,25 +36,38 @@ int main() {
   machine.pageSize = 4096;
   machine.tlbEntries = 32;
 
+  Engine& engine = bench::sessionEngine();
   std::vector<bench::VersionRow> rows = bench::measureVersions(
       {"original", "1-level fusion", "3-level fusion",
        "3-level fusion + grouping"},
       [&] {
         std::vector<MeasureTask> t;
-        t.push_back({.version = makeNoOpt(p), .n = n, .machine = machine});
-        t.push_back({.version = makeFused(p, 1), .n = n, .machine = machine});
-        t.push_back({.version = makeFused(p, 4), .n = n, .machine = machine});
-        t.push_back(
-            {.version = makeFusedRegrouped(p, 4), .n = n, .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::NoOpt),
+                     .n = n,
+                     .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::Fused,
+                                               {.fusionLevels = 1}),
+                     .n = n,
+                     .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::Fused,
+                                               {.fusionLevels = 4}),
+                     .n = n,
+                     .machine = machine});
+        t.push_back({.version = engine.version(p, Strategy::FusedRegrouped,
+                                               {.fusionLevels = 4}),
+                     .n = n,
+                     .machine = machine});
         return t;
       }());
   bench::printFig10Panel("NAS/SP", n, machine, rows);
+  bench::writeVersionRowsJson("fig10_sp", "NAS/SP", n, machine, rows);
   bench::printThroughput(rows);
+  bench::printEngineStats();
 
   // ---- Section 4.4 structural numbers.
   std::printf("\n-- Section 4.4 program changes --\n");
   PipelineOptions opts;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = engine.pipeline(p, opts);
   std::printf("arrays: %d before pre-passes, %d after splitting; "
               "%d multi-array partitions after regrouping\n",
               computeStats(p).numArrays, r.arraysAfterSplit,

@@ -15,6 +15,7 @@ int main() {
       "orig / +fusion / +regrouping; paper: fusion -1%, combined -16% time, "
       "-5% L1, -20% L2 at 513x513");
 
+  Engine& engine = bench::sessionEngine();
   Program p = apps::buildApp("Tomcatv");
   const std::int64_t n = bench::fullSize() ? 513 : 320;
   const MachineConfig machine = MachineConfig::origin2000();
@@ -23,21 +24,23 @@ int main() {
       {"original", "+ computation fusion", "+ data regrouping"},
       [&] {
         std::vector<MeasureTask> t;
-        t.push_back({.version = makeNoOpt(p),
+        t.push_back({.version = engine.version(p, Strategy::NoOpt),
                      .n = n,
                      .machine = machine,
                      .timeSteps = 2});
-        t.push_back({.version = makeFused(p),
+        t.push_back({.version = engine.version(p, Strategy::Fused),
                      .n = n,
                      .machine = machine,
                      .timeSteps = 2});
-        t.push_back({.version = makeFusedRegrouped(p),
+        t.push_back({.version = engine.version(p, Strategy::FusedRegrouped),
                      .n = n,
                      .machine = machine,
                      .timeSteps = 2});
         return t;
       }());
   bench::printFig10Panel("Tomcatv", n, machine, rows);
+  bench::writeVersionRowsJson("fig10_tomcatv", "Tomcatv", n, machine, rows);
   bench::printThroughput(rows);
+  bench::printEngineStats();
   return 0;
 }

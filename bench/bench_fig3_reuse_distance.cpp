@@ -53,8 +53,10 @@ void printHistograms(const std::string& title,
 }
 
 void panel(const std::string& app, std::int64_t n, bool withFusionCurve) {
+  Engine& engine = bench::sessionEngine();
   Program p = apps::buildApp(app);
-  ProgramVersion noOpt = makeNoOpt(p);
+  // The pipeline is cached per app, so the two ADI / SP panels reuse it.
+  ProgramVersion noOpt = engine.version(p, Strategy::NoOpt);
   InstrTrace trace = traceOf(noOpt, n);
 
   std::vector<std::pair<std::string, Log2Histogram>> curves;
@@ -62,7 +64,7 @@ void panel(const std::string& app, std::int64_t n, bool withFusionCurve) {
   curves.emplace_back("reuse-driven",
                       profileOrder(trace, reuseDrivenOrder(trace)));
   if (withFusionCurve) {
-    ProgramVersion fused = makeFused(p);
+    ProgramVersion fused = engine.version(p, Strategy::Fused);
     InstrTrace fusedTrace = traceOf(fused, n);
     curves.emplace_back("reuse-based fusion",
                         profileOrder(fusedTrace, programOrder(fusedTrace)));
@@ -93,5 +95,6 @@ int main() {
       "with input size;\nreuse-driven execution collapses most of it toward "
       "low bins; the fusion curve\nsits between the two (the paper: fusion "
       "realizes a large part of the ideal).\n");
+  bench::printEngineStats();
   return 0;
 }

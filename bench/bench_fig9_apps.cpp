@@ -38,28 +38,33 @@ int main() {
   }
 
   // Two simulations per app (original and fully optimized), one task list.
+  Engine& engine = bench::sessionEngine();
   const MachineConfig machine = MachineConfig::origin2000();
   std::vector<MeasureTask> tasks;
   for (const AppRow& a : appRows) {
     Program p = a.info->build();
-    tasks.push_back({.version = makeNoOpt(p),
+    tasks.push_back({.version = engine.version(p, Strategy::NoOpt),
                      .n = a.n,
                      .machine = machine,
                      .timeSteps = a.steps});
-    tasks.push_back({.version = makeFusedRegrouped(p),
+    tasks.push_back({.version = engine.version(p, Strategy::FusedRegrouped),
                      .n = a.n,
                      .machine = machine,
                      .timeSteps = a.steps});
   }
-  const std::vector<Measurement> ms = measureAll(tasks);
+  const std::vector<Measurement> ms = engine.measureAll(tasks);
 
   // Element-level reuse profiles of the originals, merged into one
-  // suite-wide histogram below.
+  // suite-wide histogram below.  The NoOpt versions come straight from the
+  // Engine's pipeline cache this time.
   std::vector<ReuseTask> profTasks;
   for (const AppRow& a : appRows)
-    profTasks.push_back(
-        {.version = makeNoOpt(a.info->build()), .n = a.n, .timeSteps = a.steps});
-  const std::vector<ReuseProfile> profiles = reuseProfilesOf(profTasks);
+    profTasks.push_back({.version = engine.version(a.info->build(),
+                                                   Strategy::NoOpt),
+                         .n = a.n,
+                         .timeSteps = a.steps});
+  const std::vector<ReuseProfile> profiles =
+      engine.reuseProfilesOf(profTasks);
 
   TextTable t({"name", "source", "paper input", "loops", "nests", "levels",
                "arrays", "L1 rate", "L2 rate", "speedup"});
@@ -92,8 +97,26 @@ int main() {
               suite.missFractionAtCapacity(32 * 1024),
               suite.missFractionAtCapacity(512 * 1024));
 
+  bench::ResultWriter w("fig9_apps");
+  w.json().key("apps").beginArray();
+  for (std::size_t i = 0; i < appRows.size(); ++i) {
+    const Measurement& orig = ms[2 * i];
+    const Measurement& opt = ms[2 * i + 1];
+    w.json().beginObject();
+    w.json().field("app", std::string_view(appRows[i].info->name));
+    w.json().field("n", appRows[i].n);
+    w.json().field("l1_miss_rate", orig.counts.l1MissRate(), 5);
+    w.json().field("l2_miss_rate", orig.counts.l2MissRate(), 5);
+    w.json().field("speedup_fused_regrouped", opt.speedupOver(orig), 3);
+    w.json().endObject();
+  }
+  w.json().endArray();
+  w.addEngineStats(engine.stats());
+  w.finish();
+
   std::vector<bench::VersionRow> rows;
   for (std::size_t i = 0; i < tasks.size(); ++i) rows.push_back({"", ms[i]});
   bench::printThroughput(rows);
+  bench::printEngineStats();
   return 0;
 }

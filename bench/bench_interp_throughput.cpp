@@ -134,7 +134,9 @@ AppResult runApp(const std::string& app, int reps) {
   r.app = app;
   r.n = benchSize(app);
   Program p = apps::buildApp(app);
-  ProgramVersion v = makeNoOpt(p);
+  // Deliberately engine-less (uncached makeVersion): this bench times the
+  // raw executors that the Engine's caches sit in front of.
+  ProgramVersion v = makeVersion(p, Strategy::NoOpt);
   DataLayout layout = v.layoutAt(r.n);
 
   // Correctness gate at a size small enough to hold two full traces.
@@ -161,33 +163,29 @@ AppResult runApp(const std::string& app, int reps) {
 
 void writeJson(const std::vector<AppResult>& rows, double geoNoSink,
                double geoSink, bool allOk) {
-  std::FILE* f = std::fopen("BENCH_interp.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_interp.json for writing\n");
-    return;
+  bench::ResultWriter out("interp");
+  JsonWriter& j = out.json();
+  j.field("self_check_ok", allOk);
+  j.field("geomean_speedup_no_sink", geoNoSink, 3);
+  j.field("geomean_speedup_with_sink", geoSink, 3);
+  j.key("apps");
+  j.beginArray();
+  for (const AppResult& r : rows) {
+    j.beginObject();
+    j.field("app", r.app);
+    j.field("n", r.n);
+    j.field("accesses", r.accesses);
+    j.field("walk_no_sink_s", r.walkNoSink, 6);
+    j.field("plan_no_sink_s", r.planNoSink, 6);
+    j.field("walk_with_sink_s", r.walkSink, 6);
+    j.field("plan_with_sink_s", r.planSink, 6);
+    j.field("speedup_no_sink", r.speedupNoSink(), 3);
+    j.field("speedup_with_sink", r.speedupSink(), 3);
+    j.field("self_check_ok", r.checkOk);
+    j.endObject();
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"interp_throughput\",\n");
-  std::fprintf(f, "  \"self_check_ok\": %s,\n", allOk ? "true" : "false");
-  std::fprintf(f, "  \"geomean_speedup_no_sink\": %.3f,\n", geoNoSink);
-  std::fprintf(f, "  \"geomean_speedup_with_sink\": %.3f,\n", geoSink);
-  std::fprintf(f, "  \"apps\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const AppResult& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"app\": \"%s\", \"n\": %lld, \"accesses\": %llu,\n"
-        "     \"walk_no_sink_s\": %.6f, \"plan_no_sink_s\": %.6f,\n"
-        "     \"walk_with_sink_s\": %.6f, \"plan_with_sink_s\": %.6f,\n"
-        "     \"speedup_no_sink\": %.3f, \"speedup_with_sink\": %.3f,\n"
-        "     \"self_check_ok\": %s}%s\n",
-        r.app.c_str(), static_cast<long long>(r.n),
-        static_cast<unsigned long long>(r.accesses), r.walkNoSink,
-        r.planNoSink, r.walkSink, r.planSink, r.speedupNoSink(),
-        r.speedupSink(), r.checkOk ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  j.endArray();
+  out.finish();
 }
 
 }  // namespace
@@ -230,6 +228,5 @@ int main() {
   std::printf("differential self-check: %s\n",
               allOk ? "ok (engines byte-identical)" : "FAILED");
   writeJson(rows, geoNoSink, geoSink, allOk);
-  std::printf("wrote BENCH_interp.json\n");
   return allOk ? 0 : 1;
 }

@@ -47,7 +47,7 @@ void BM_Regroup(benchmark::State& state, const char* app) {
 
 void BM_FullPipeline(benchmark::State& state, const char* app) {
   Program p = apps::buildApp(app);
-  for (auto _ : state) benchmark::DoNotOptimize(optimize(p));
+  for (auto _ : state) benchmark::DoNotOptimize(runPipeline(p));
 }
 
 // Static analysis cost (gcr-verify's hot path).  The per-pair rate is the

@@ -47,23 +47,24 @@ int main() {
   // 4x3 task list up front and sweep it through the measurement engine's
   // thread pool.  Task order matches the sequential loop below, so the
   // printed table is byte-identical for any GCR_THREADS.
+  Engine& engine = bench::sessionEngine();
   std::vector<MeasureTask> tasks;
   for (const AppRun& run : runs) {
     Program p = apps::buildApp(run.name);
-    tasks.push_back({.version = makeNoOpt(p),
+    tasks.push_back({.version = engine.version(p, Strategy::NoOpt),
                      .n = run.n,
                      .machine = machine,
                      .timeSteps = run.steps});
-    tasks.push_back({.version = makeSgiLike(p),
+    tasks.push_back({.version = engine.version(p, Strategy::SgiLike),
                      .n = run.n,
                      .machine = machinePf,
                      .timeSteps = run.steps});
-    tasks.push_back({.version = makeFusedRegrouped(p),
+    tasks.push_back({.version = engine.version(p, Strategy::FusedRegrouped),
                      .n = run.n,
                      .machine = machinePf,
                      .timeSteps = run.steps});
   }
-  const std::vector<Measurement> results = measureAll(tasks);
+  const std::vector<Measurement> results = engine.measureAll(tasks);
 
   for (std::size_t r = 0; r < std::size(runs); ++r) {
     const AppRun& run = runs[r];
@@ -135,5 +136,18 @@ int main() {
               "baseline's prefetching\nhides latency but moves the same "
               "bytes (L2xfer ~1.0) — only the global strategy\nreduces the "
               "volume of data transferred, the paper's headline.\n");
+
+  bench::ResultWriter w("table6_misses");
+  w.json().key("normalized_averages").beginObject();
+  for (int k = 0; k < 3; ++k) {
+    w.json().key(levels[k]).beginObject();
+    w.json().field("sgi_like", sumSgi[k] / count, 4);
+    w.json().field("new", sumNew[k] / count, 4);
+    w.json().endObject();
+  }
+  w.json().endObject();
+  w.addEngineStats(engine.stats());
+  w.finish();
+  bench::printEngineStats();
   return 0;
 }

@@ -15,6 +15,8 @@
 
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
+#include "engine/engine.hpp"
+#include "result_writer.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -23,6 +25,14 @@ namespace gcr::bench {
 inline bool fullSize() {
   const char* env = std::getenv("GCR_FULL_SIZE");
   return env != nullptr && env[0] == '1';
+}
+
+/// The process-wide session Engine every bench binary runs through: one
+/// set of content-addressed caches amortizes pipeline runs, compiled plans
+/// and repeated simulations across a binary's whole sweep.
+inline Engine& sessionEngine() {
+  static Engine engine;
+  return engine;
 }
 
 inline void printHeader(const std::string& title, const std::string& paper) {
@@ -38,12 +48,13 @@ struct VersionRow {
   Measurement m;
 };
 
-/// Run the named simulations of one panel through the measurement engine's
-/// thread pool (GCR_THREADS workers; row i <- task i, so the printed tables
-/// are byte-identical for every thread count).
+/// Run the named simulations of one panel through the session Engine's
+/// scheduler (GCR_THREADS workers; row i <- task i, so the printed tables
+/// are byte-identical for every thread count; repeated tasks are served
+/// from the measurement cache).
 inline std::vector<VersionRow> measureVersions(
     std::vector<std::string> names, std::vector<MeasureTask> tasks) {
-  std::vector<Measurement> ms = measureAll(tasks);
+  std::vector<Measurement> ms = sessionEngine().measureAll(tasks);
   std::vector<VersionRow> rows;
   rows.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
@@ -66,6 +77,21 @@ inline void printThroughput(const std::vector<VersionRow>& rows) {
               seconds > 0 ? static_cast<double>(refs) / seconds / 1e6 : 0.0,
               static_cast<unsigned long long>(refs), seconds,
               ThreadPool::defaultThreadCount());
+}
+
+/// Session-Engine cache counters of a finished sweep.  Like the throughput
+/// line, the counts may depend on scheduling (in-flight coalescing vs cache
+/// hit), so this is printed outside the byte-compared result tables.
+inline void printEngineStats() {
+  const Engine::Stats s = sessionEngine().stats();
+  auto hm = [](const CacheCounters& c) {
+    return std::to_string(c.hits) + "/" + std::to_string(c.misses);
+  };
+  std::printf("engine cache (hits/misses): pipeline %s, plan %s, "
+              "measurement %s, profile %s; %llu in-flight coalesced\n",
+              hm(s.pipeline).c_str(), hm(s.plan).c_str(),
+              hm(s.measurement).c_str(), hm(s.profile).c_str(),
+              static_cast<unsigned long long>(s.inflightCoalesced));
 }
 
 /// Print the Figure 10 panel: execution time and miss counts normalized to
@@ -98,6 +124,34 @@ inline void printFig10Panel(const std::string& app, std::int64_t n,
   std::printf("%s", t.render().c_str());
   const double speedup = rows.front().m.cycles / rows.back().m.cycles;
   std::printf("combined speedup over original: %.2fx\n", speedup);
+}
+
+/// Standard gcr-bench/2 result file for a measured version sweep: one
+/// object per VersionRow plus the session-Engine cache counters.
+inline void writeVersionRowsJson(const std::string& benchmark,
+                                 const std::string& app, std::int64_t n,
+                                 const MachineConfig& machine,
+                                 const std::vector<VersionRow>& rows) {
+  ResultWriter w(benchmark);
+  w.json().field("app", std::string_view(app));
+  w.json().field("n", n);
+  w.json().field("machine", std::string_view(machine.name));
+  w.json().key("versions").beginArray();
+  for (const VersionRow& r : rows) {
+    w.json().beginObject();
+    w.json().field("name", std::string_view(r.name));
+    w.json().field("cycles", r.m.cycles, 1);
+    w.json().field("refs", r.m.counts.refs);
+    w.json().field("l1_misses", r.m.counts.l1Misses);
+    w.json().field("l2_misses", r.m.counts.l2Misses);
+    w.json().field("tlb_misses", r.m.counts.tlbMisses);
+    w.json().field("memory_traffic_bytes", r.m.memoryTrafficBytes);
+    w.json().field("effective_bandwidth", r.m.effectiveBandwidth, 4);
+    w.json().endObject();
+  }
+  w.json().endArray();
+  w.addEngineStats(sessionEngine().stats());
+  w.finish();
 }
 
 }  // namespace gcr::bench

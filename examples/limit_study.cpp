@@ -29,14 +29,15 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kCapacity = 1024;  // "cache" size in elements
 
   Program p = apps::buildApp(app);
+  Engine engine;
 
-  InstrTrace orig = traceOf(makeNoOpt(p), n);
+  InstrTrace orig = traceOf(engine.version(p, Strategy::NoOpt), n);
   const std::uint64_t programOrderLong =
       profileOrder(orig, programOrder(orig)).countAtLeast(kCapacity);
   const std::uint64_t idealLong =
       profileOrder(orig, reuseDrivenOrder(orig)).countAtLeast(kCapacity);
 
-  InstrTrace fused = traceOf(makeFused(p), n);
+  InstrTrace fused = traceOf(engine.version(p, Strategy::Fused), n);
   const std::uint64_t fusedLong =
       profileOrder(fused, programOrder(fused)).countAtLeast(kCapacity);
 

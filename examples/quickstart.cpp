@@ -32,8 +32,9 @@ int main() {
   // array-scan later, so those reuses sit at distance ~2N ("evadable" —
   // they grow with N and eventually miss in any cache).
   const std::int64_t size = 4096;
-  ProgramVersion noOpt = makeNoOpt(p);
-  ReuseProfile before = reuseProfileOf(noOpt, size);
+  Engine engine;  // session runtime: caches pipelines, plans and results
+  ProgramVersion noOpt = engine.version(p, Strategy::NoOpt);
+  ReuseProfile before = engine.reuseProfile(noOpt, size);
   std::printf("before fusion: %llu reuses at distance >= 1024\n",
               static_cast<unsigned long long>(
                   before.histogram.countAtLeast(1024)));
@@ -43,8 +44,8 @@ int main() {
   Program fused = fuseProgram(p, {}, &freport);
   std::printf("\nfused program (%d fusion(s)):\n%s\n", freport.fusions,
               toString(fused).c_str());
-  ProgramVersion fusedV = makeFused(p);
-  ReuseProfile after = reuseProfileOf(fusedV, size);
+  ProgramVersion fusedV = engine.version(p, Strategy::Fused);
+  ReuseProfile after = engine.reuseProfile(fusedV, size);
   std::printf("after fusion: %llu reuses at distance >= 1024\n",
               static_cast<unsigned long long>(
                   after.histogram.countAtLeast(1024)));
@@ -62,9 +63,9 @@ int main() {
 
   // --- 5. Cache simulation on the paper's machines.
   const std::int64_t big = 1 << 21;  // 2 * 16MB arrays >> 4MB L2
-  Measurement m0 = measure(noOpt, big, MachineConfig::origin2000());
-  Measurement m1 = measure(makeFusedRegrouped(p), big,
-                           MachineConfig::origin2000());
+  Measurement m0 = engine.measure(noOpt, big, MachineConfig::origin2000());
+  Measurement m1 = engine.measure(engine.version(p, Strategy::FusedRegrouped),
+                                  big, MachineConfig::origin2000());
   std::printf("\nOrigin2000, %lld elements per array:\n",
               static_cast<long long>(big));
   std::printf("  original:          L2 misses %llu, cost %.0f cycles\n",

@@ -38,8 +38,8 @@ Measurement measure(const ProgramVersion& version, std::int64_t n,
   return m;
 }
 
-std::vector<Measurement> measureAll(const std::vector<MeasureTask>& tasks,
-                                    const MeasureOptions& opts) {
+std::vector<Measurement> detail::measureAllUncached(
+    const std::vector<MeasureTask>& tasks, const MeasureOptions& opts) {
   ThreadPool pool(opts.threads);
   std::vector<Measurement> out(tasks.size());
   pool.parallelFor(tasks.size(), [&](std::size_t i) {
@@ -69,8 +69,8 @@ ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
   return sink.takeProfile();
 }
 
-std::vector<ReuseProfile> reuseProfilesOf(const std::vector<ReuseTask>& tasks,
-                                          const MeasureOptions& opts) {
+std::vector<ReuseProfile> detail::reuseProfilesOfUncached(
+    const std::vector<ReuseTask>& tasks, const MeasureOptions& opts) {
   ThreadPool pool(opts.threads);
   std::vector<ReuseProfile> out(tasks.size());
   pool.parallelFor(tasks.size(), [&](std::size_t i) {

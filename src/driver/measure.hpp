@@ -3,14 +3,22 @@
 //
 // Two execution regimes:
 //   * single measurement — measure()/reuseProfileOf(), unchanged semantics;
-//   * parallel sweep — measureAll()/reuseProfilesOf() run a batch of
-//     independent (version x size x machine) tasks on a fixed-size thread
-//     pool (GCR_THREADS).  Task i always fills result slot i and every task
-//     owns its simulator state, so results are bit-identical for any thread
-//     count; only the wall-clock fields differ between runs.
+//   * parallel sweep — a batch of independent (version x size x machine)
+//     tasks on a fixed-size thread pool (GCR_THREADS).  Task i always fills
+//     result slot i and every task owns its simulator state, so results are
+//     bit-identical for any thread count; only the wall-clock fields differ
+//     between runs.
+//
+// The batch entry point is Engine::measureAll / Engine::submit
+// (engine/engine.hpp), which adds content-addressed memoization and
+// in-flight deduplication on top.  The raw, cache-free batch runners live in
+// gcr::detail and back both the Engine (as its compute functions) and the
+// deprecated free-function shims.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cachesim/hierarchy.hpp"
@@ -43,8 +51,13 @@ struct Measurement {
   double wallSeconds = 0;            ///< wall-clock time of the simulation
   double accessesPerSecond = 0;      ///< counts.refs / wallSeconds
 
+  /// base.cycles / cycles.  NaN when this measurement recorded no cycles —
+  /// a ratio against an empty run has no meaning, and NaN (unlike the 0.0
+  /// this used to return) poisons downstream aggregates instead of silently
+  /// reading as "infinitely slow".
   double speedupOver(const Measurement& base) const {
-    return cycles > 0 ? base.cycles / cycles : 0.0;
+    return cycles > 0 ? base.cycles / cycles
+                      : std::numeric_limits<double>::quiet_NaN();
   }
 };
 
@@ -63,11 +76,6 @@ struct MeasureTask {
   CostModel cost = {};
 };
 
-/// Run every task (in parallel when opts.threads != 1); result i belongs to
-/// tasks[i] regardless of thread count.
-std::vector<Measurement> measureAll(const std::vector<MeasureTask>& tasks,
-                                    const MeasureOptions& opts = {});
-
 /// Element-granularity reuse-distance profile of a version.  With
 /// opts.sampleRate < 1 the profile is the sampled estimate (see
 /// locality/sampled_reuse.hpp); at rate 1 it is exact and bit-identical to
@@ -83,14 +91,39 @@ struct ReuseTask {
   std::uint64_t timeSteps = 1;
 };
 
-/// Batch reuseProfileOf with the same slot-per-task determinism as
-/// measureAll.  Aggregate across tasks with mergeProfiles().
-std::vector<ReuseProfile> reuseProfilesOf(const std::vector<ReuseTask>& tasks,
-                                          const MeasureOptions& opts = {});
-
 /// Per-statement-pair reuse statistics (for evadable-reuse classification).
 void collectPairwise(const ProgramVersion& version, std::int64_t n,
                      PairwiseReuseCollector& collector,
                      std::uint64_t timeSteps = 1);
+
+namespace detail {
+
+/// Raw batch runner: every task simulated fresh, no memoization.  Result i
+/// belongs to tasks[i] regardless of thread count.  The Engine uses this
+/// slot-per-task discipline with per-task cache lookups layered on top.
+std::vector<Measurement> measureAllUncached(
+    const std::vector<MeasureTask>& tasks, const MeasureOptions& opts = {});
+
+/// Raw batch reuse profiling, same slot-per-task determinism.
+std::vector<ReuseProfile> reuseProfilesOfUncached(
+    const std::vector<ReuseTask>& tasks, const MeasureOptions& opts = {});
+
+}  // namespace detail
+
+// --- Deprecated pre-Engine batch API ---------------------------------------
+// Migration: Engine::measureAll / Engine::submit (cached, deduplicated), or
+// detail::measureAllUncached for the raw parallel runner.
+
+[[deprecated("use Engine::measureAll() or detail::measureAllUncached()")]] inline std::vector<Measurement>
+measureAll(const std::vector<MeasureTask>& tasks,
+           const MeasureOptions& opts = {}) {
+  return detail::measureAllUncached(tasks, opts);
+}
+
+[[deprecated("use Engine::reuseProfilesOf() or detail::reuseProfilesOfUncached()")]] inline std::vector<ReuseProfile>
+reuseProfilesOf(const std::vector<ReuseTask>& tasks,
+                const MeasureOptions& opts = {}) {
+  return detail::reuseProfilesOfUncached(tasks, opts);
+}
 
 }  // namespace gcr

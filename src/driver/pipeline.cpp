@@ -8,7 +8,21 @@
 
 namespace gcr {
 
-PipelineResult optimize(const Program& in, const PipelineOptions& opts) {
+PipelineResult PipelineResult::clone() const {
+  PipelineResult c;
+  c.program = program.clone();
+  c.regrouped = regrouped;
+  c.regrouping = regrouping;
+  c.fusionReport = fusionReport;
+  c.regroupReport = regroupReport;
+  c.unrolledLoops = unrolledLoops;
+  c.arraysAfterSplit = arraysAfterSplit;
+  c.distributedLoops = distributedLoops;
+  c.diagnostics = diagnostics;
+  return c;
+}
+
+PipelineResult runPipeline(const Program& in, const PipelineOptions& opts) {
   PipelineResult result;
   Program p = in.clone();
   const std::int64_t minN = opts.fusionOptions.minN;
@@ -68,66 +82,101 @@ PipelineResult optimize(const Program& in, const PipelineOptions& opts) {
   return result;
 }
 
-ProgramVersion makeNoOpt(const Program& in) {
-  return ProgramVersion{"NoOpt", in.clone(),
+PipelineOptions pipelineOptionsFor(Strategy strategy,
+                                   const VersionSpec& spec) {
+  PipelineOptions opts;
+  switch (strategy) {
+    case Strategy::NoOpt:
+      // Identity pipeline: no pass runs, no legality consultation.
+      opts.unrollSplit = false;
+      opts.distribute = false;
+      opts.fuse = false;
+      opts.regroup = false;
+      opts.checkLegality = false;
+      break;
+    case Strategy::SgiLike:
+      // Local optimization: unroll/split small dimensions (any production
+      // compiler does), then fuse only within nests (minLevel = 1).
+      opts.distribute = false;
+      opts.fusionOptions = spec.fusionOptions;
+      opts.fusionOptions.minLevel = 1;
+      opts.regroup = false;
+      break;
+    case Strategy::Fused:
+      opts.fusionLevels = spec.fusionLevels;
+      opts.fusionOptions = spec.fusionOptions;
+      opts.regroup = false;
+      break;
+    case Strategy::FusedRegrouped:
+      opts.fusionLevels = spec.fusionLevels;
+      opts.fusionOptions = spec.fusionOptions;
+      opts.regroupOptions = spec.regroupOptions;
+      break;
+    case Strategy::RegroupedOnly:
+      opts.fuse = false;
+      opts.distribute = false;
+      opts.regroupOptions = spec.regroupOptions;
+      break;
+  }
+  return opts;
+}
+
+std::string versionNameFor(Strategy strategy, const VersionSpec& spec) {
+  switch (strategy) {
+    case Strategy::NoOpt:
+      return "NoOpt";
+    case Strategy::SgiLike:
+      return "SGI-like";
+    case Strategy::Fused:
+      return "fused(" + std::to_string(spec.fusionLevels) + ")";
+    case Strategy::FusedRegrouped:
+      return "fused+regrouped";
+    case Strategy::RegroupedOnly:
+      return "regrouped-only";
+  }
+  return "unknown";
+}
+
+ProgramVersion assembleVersion(PipelineResult result, Strategy strategy,
+                               const VersionSpec& spec) {
+  std::string name = versionNameFor(strategy, spec);
+  switch (strategy) {
+    case Strategy::NoOpt:
+    case Strategy::Fused:
+      return ProgramVersion{std::move(name), std::move(result.program),
+                            [](const Program& p, std::int64_t n) {
+                              return contiguousLayout(p, n);
+                            }};
+    case Strategy::SgiLike: {
+      const std::int64_t padBytes = spec.padBytes;
+      return ProgramVersion{std::move(name), std::move(result.program),
+                            [padBytes](const Program& p, std::int64_t n) {
+                              return paddedLayout(p, n, padBytes);
+                            }};
+    }
+    case Strategy::FusedRegrouped:
+    case Strategy::RegroupedOnly: {
+      // The layout factory owns the analysis result by value.  Matching the
+      // historical factories, the regrouped layout is used even when the
+      // pipeline abandoned the regrouping (an un-analyzed Regrouping yields
+      // the contiguous layout anyway).
+      Regrouping rg = std::move(result.regrouping);
+      return ProgramVersion{std::move(name), std::move(result.program),
+                            [rg](const Program& p, std::int64_t n) {
+                              return rg.layout(p, n);
+                            }};
+    }
+  }
+  return ProgramVersion{std::move(name), std::move(result.program),
                         [](const Program& p, std::int64_t n) {
                           return contiguousLayout(p, n);
                         }};
 }
 
-ProgramVersion makeSgiLike(const Program& in, std::int64_t padBytes) {
-  // Local optimization: unroll/split small dimensions (any production
-  // compiler does), then fuse only within nests (minLevel = 1).
-  PipelineOptions opts;
-  opts.distribute = false;
-  opts.fusionOptions.minLevel = 1;
-  opts.regroup = false;
-  PipelineResult r = optimize(in, opts);
-  return ProgramVersion{"SGI-like", std::move(r.program),
-                        [padBytes](const Program& p, std::int64_t n) {
-                          return paddedLayout(p, n, padBytes);
-                        }};
-}
-
-ProgramVersion makeFused(const Program& in, int levels, FusionOptions fopts) {
-  PipelineOptions opts;
-  opts.fusionLevels = levels;
-  opts.fusionOptions = fopts;
-  opts.regroup = false;
-  PipelineResult r = optimize(in, opts);
-  return ProgramVersion{"fused(" + std::to_string(levels) + ")",
-                        std::move(r.program),
-                        [](const Program& p, std::int64_t n) {
-                          return contiguousLayout(p, n);
-                        }};
-}
-
-ProgramVersion makeFusedRegrouped(const Program& in, int levels,
-                                  FusionOptions fopts, RegroupOptions ropts) {
-  PipelineOptions opts;
-  opts.fusionLevels = levels;
-  opts.fusionOptions = fopts;
-  opts.regroupOptions = ropts;
-  PipelineResult r = optimize(in, opts);
-  // The layout factory owns the analysis result by value.
-  Regrouping rg = std::move(r.regrouping);
-  return ProgramVersion{"fused+regrouped", std::move(r.program),
-                        [rg](const Program& p, std::int64_t n) {
-                          return rg.layout(p, n);
-                        }};
-}
-
-ProgramVersion makeRegroupedOnly(const Program& in, RegroupOptions ropts) {
-  PipelineOptions opts;
-  opts.fuse = false;
-  opts.distribute = false;
-  opts.regroupOptions = ropts;
-  PipelineResult r = optimize(in, opts);
-  Regrouping rg = std::move(r.regrouping);
-  return ProgramVersion{"regrouped-only", std::move(r.program),
-                        [rg](const Program& p, std::int64_t n) {
-                          return rg.layout(p, n);
-                        }};
+ProgramVersion makeVersion(const Program& in, Strategy strategy,
+                           const VersionSpec& spec) {
+  return assembleVersion(runPipeline(in, pipelineOptionsFor(strategy, spec)),
+                         strategy, spec);
 }
 
 }  // namespace gcr

@@ -9,6 +9,12 @@
 // NoOpt, the SGI-like locally-optimizing baseline, fusion-only, and
 // fusion+regrouping, all exposing a (program, layout) pair the measurement
 // harness can run.
+//
+// API shape: a version is requested as (Strategy, VersionSpec) — see
+// makeVersion() — or, preferably, through a gcr::Engine
+// (engine/engine.hpp), which memoizes the pipeline runs behind
+// content-addressed signatures.  The historical one-function-per-version
+// free functions (makeNoOpt, makeFused, ...) remain as deprecated shims.
 #pragma once
 
 #include <cstdint>
@@ -60,9 +66,15 @@ struct PipelineResult {
     return regrouped ? regrouping.layout(program, n)
                      : contiguousLayout(program, n);
   }
+
+  /// Deep copy (Program is move-only); used by the Engine to hand out
+  /// results without surrendering the cached original.
+  PipelineResult clone() const;
 };
 
-PipelineResult optimize(const Program& in, const PipelineOptions& opts = {});
+/// Run the full pass sequence.  Pure: same (program, options) in, same
+/// result out — which is what lets the Engine memoize it by signature.
+PipelineResult runPipeline(const Program& in, const PipelineOptions& opts = {});
 
 /// A named (program, layout policy) pair — one bar of Figure 10.
 struct ProgramVersion {
@@ -73,27 +85,105 @@ struct ProgramVersion {
   DataLayout layoutAt(std::int64_t n) const {
     return layoutFactory(program, n);
   }
+
+  /// Deep copy (Program is move-only); shares the layout factory.
+  ProgramVersion clone() const {
+    return {name, program.clone(), layoutFactory};
+  }
 };
 
-/// Original program, contiguous layout.
-ProgramVersion makeNoOpt(const Program& in);
+/// The five optimization strategies compared in the paper's evaluation.
+enum class Strategy {
+  NoOpt,           ///< original program, contiguous layout
+  SgiLike,         ///< local optimization only: within-nest fusion + padding
+  Fused,           ///< pre-passes + global loop fusion; contiguous layout
+  FusedRegrouped,  ///< full strategy: fusion + multi-level data regrouping
+  RegroupedOnly,   ///< regrouping without fusion (ablation)
+};
+
+/// Per-strategy tuning knobs; the defaults reproduce the published
+/// configurations.  Fields a strategy does not use are ignored (e.g.
+/// padBytes outside SgiLike).
+struct VersionSpec {
+  int fusionLevels = 8;
+  FusionOptions fusionOptions;
+  RegroupOptions regroupOptions;
+  /// Inter-array pad against cache-set conflicts (SgiLike only).
+  std::int64_t padBytes = 1056;
+};
+
+/// The pipeline configuration a strategy runs (NoOpt disables every pass).
+PipelineOptions pipelineOptionsFor(Strategy strategy,
+                                   const VersionSpec& spec = {});
+
+/// Display name of a version ("NoOpt", "SGI-like", "fused(8)", ...);
+/// matches the historical factory names exactly.
+std::string versionNameFor(Strategy strategy, const VersionSpec& spec = {});
+
+/// Attach a strategy's name and layout policy to a finished pipeline run.
+/// `result` must come from runPipeline(program, pipelineOptionsFor(strategy,
+/// spec)); splitting assembly from the run is what lets the Engine reuse one
+/// cached pipeline result across versions, sizes and machines.
+ProgramVersion assembleVersion(PipelineResult result, Strategy strategy,
+                               const VersionSpec& spec = {});
+
+/// One-shot convenience: runPipeline + assembleVersion.  Uncached — inside
+/// a session prefer Engine::version().
+ProgramVersion makeVersion(const Program& in, Strategy strategy,
+                           const VersionSpec& spec = {});
+
+// --- Deprecated pre-Engine API ---------------------------------------------
+// One free function per version, kept as thin shims for out-of-tree callers.
+// Migration: optimize() → Engine::pipeline() or runPipeline();
+// make<X>() → Engine::version(app, Strategy::<X>) or makeVersion().
+
+[[deprecated("use Engine::pipeline() or gcr::runPipeline()")]] inline PipelineResult
+optimize(const Program& in, const PipelineOptions& opts = {}) {
+  return runPipeline(in, opts);
+}
+
+[[deprecated("use Engine::version(app, Strategy::NoOpt) or gcr::makeVersion()")]] inline ProgramVersion
+makeNoOpt(const Program& in) {
+  return makeVersion(in, Strategy::NoOpt);
+}
 
 /// The "SGI -Ofast"-like baseline: local optimization only — fusion of
 /// loops *within* each top-level nest (no cross-nest/global fusion) plus
 /// inter-array padding against cache-set conflicts; no regrouping.
-ProgramVersion makeSgiLike(const Program& in, std::int64_t padBytes = 1056);
+[[deprecated("use Engine::version(app, Strategy::SgiLike) or gcr::makeVersion()")]] inline ProgramVersion
+makeSgiLike(const Program& in, std::int64_t padBytes = 1056) {
+  VersionSpec spec;
+  spec.padBytes = padBytes;
+  return makeVersion(in, Strategy::SgiLike, spec);
+}
 
 /// Pre-passes + fusion of the given number of levels; contiguous layout.
-ProgramVersion makeFused(const Program& in, int levels = 8,
-                         FusionOptions fopts = {});
+[[deprecated("use Engine::version(app, Strategy::Fused) or gcr::makeVersion()")]] inline ProgramVersion
+makeFused(const Program& in, int levels = 8, FusionOptions fopts = {}) {
+  VersionSpec spec;
+  spec.fusionLevels = levels;
+  spec.fusionOptions = fopts;
+  return makeVersion(in, Strategy::Fused, spec);
+}
 
 /// Full strategy: pre-passes + fusion + multi-level regrouping.
-ProgramVersion makeFusedRegrouped(const Program& in, int levels = 8,
-                                  FusionOptions fopts = {},
-                                  RegroupOptions ropts = {});
+[[deprecated("use Engine::version(app, Strategy::FusedRegrouped) or gcr::makeVersion()")]] inline ProgramVersion
+makeFusedRegrouped(const Program& in, int levels = 8, FusionOptions fopts = {},
+                   RegroupOptions ropts = {}) {
+  VersionSpec spec;
+  spec.fusionLevels = levels;
+  spec.fusionOptions = fopts;
+  spec.regroupOptions = ropts;
+  return makeVersion(in, Strategy::FusedRegrouped, spec);
+}
 
 /// Regrouping without fusion (ablation: "grouping may see little
 /// opportunity without fusion").
-ProgramVersion makeRegroupedOnly(const Program& in, RegroupOptions ropts = {});
+[[deprecated("use Engine::version(app, Strategy::RegroupedOnly) or gcr::makeVersion()")]] inline ProgramVersion
+makeRegroupedOnly(const Program& in, RegroupOptions ropts = {}) {
+  VersionSpec spec;
+  spec.regroupOptions = ropts;
+  return makeVersion(in, Strategy::RegroupedOnly, spec);
+}
 
 }  // namespace gcr

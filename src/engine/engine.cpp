@@ -1,0 +1,467 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cachesim/hierarchy.hpp"
+#include "interp/interp.hpp"
+#include "interp/plan.hpp"
+#include "ir/stats.hpp"
+#include "locality/sampled_reuse.hpp"
+#include "support/thread_pool.hpp"
+
+namespace gcr {
+
+namespace {
+
+// Leading key-space tags so a plan key can never alias a measurement key
+// even over identical component signatures.
+constexpr std::uint64_t kPipelineDomain = 0xE1;
+constexpr std::uint64_t kPlanDomain = 0xE2;
+constexpr std::uint64_t kMeasureDomain = 0xE3;
+constexpr std::uint64_t kProfileDomain = 0xE4;
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool engineForcedToWalk() {
+  const char* env = std::getenv("GCR_ENGINE");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "walk" || v == "tree";
+}
+
+/// A compiled plan together with the Program clone and DataLayout copy it
+/// borrows; heap-allocated via shared_ptr so the borrowed addresses are
+/// stable for the plan's whole lifetime (including after cache eviction,
+/// while an executing task still holds the shared_ptr).
+struct CachedPlan {
+  Program program;
+  DataLayout layout = DataLayout({}, 0);
+  PlanCompileResult compiled;
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  const Options options;
+  const bool forceWalk;
+
+  mutable std::mutex mutex;
+  LruCache<Signature, std::shared_ptr<const PipelineResult>, SignatureHash>
+      pipelines;
+  LruCache<Signature, std::shared_ptr<const CachedPlan>, SignatureHash> plans;
+  LruCache<Signature, Measurement, SignatureHash> measurements;
+  LruCache<Signature, ReuseProfile, SignatureHash> profiles;
+
+  std::unordered_map<Signature,
+                     std::shared_future<std::shared_ptr<const PipelineResult>>,
+                     SignatureHash>
+      inflightPipelines;
+  std::unordered_map<Signature,
+                     std::shared_future<std::shared_ptr<const CachedPlan>>,
+                     SignatureHash>
+      inflightPlans;
+  std::unordered_map<Signature, std::shared_future<Measurement>, SignatureHash>
+      inflightMeasurements;
+  std::unordered_map<Signature, std::shared_future<ReuseProfile>,
+                     SignatureHash>
+      inflightProfiles;
+  std::uint64_t inflightCoalesced = 0;
+
+  // Declared last so it is destroyed first: the destructor drains pending
+  // jobs, which still touch the caches and maps above.
+  ThreadPool pool;
+
+  explicit Impl(const Options& o)
+      : options(o),
+        forceWalk(engineForcedToWalk()),
+        pipelines(o.pipelineCacheCapacity),
+        plans(o.planCacheCapacity),
+        measurements(o.measurementCacheCapacity),
+        profiles(o.profileCacheCapacity),
+        pool(o.threads) {}
+
+  // Serve from `cache`, attach to an identical in-flight computation, or
+  // run `compute` (outside the lock) and publish the result to both the
+  // cache and every attached waiter.
+  template <typename V, typename Compute>
+  V getOrCompute(
+      LruCache<Signature, V, SignatureHash>& cache,
+      std::unordered_map<Signature, std::shared_future<V>, SignatureHash>&
+          inflight,
+      const Signature& key, Compute&& compute) {
+    std::promise<V> promise;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (const V* hit = cache.get(key)) return *hit;
+      auto it = inflight.find(key);
+      if (it != inflight.end()) {
+        std::shared_future<V> f = it->second;
+        ++inflightCoalesced;
+        lock.unlock();
+        return f.get();
+      }
+      inflight.emplace(key, promise.get_future().share());
+    }
+    try {
+      V value = compute();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        cache.put(key, value);
+        inflight.erase(key);
+      }
+      promise.set_value(value);
+      return value;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflight.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  // --- keys ---------------------------------------------------------------
+
+  static Signature pipelineKey(const Program& p, const PipelineOptions& po) {
+    SigHasher h;
+    h.u64(kPipelineDomain).sig(programSignature(p));
+    // The semantic signature excludes textual names, but pipeline
+    // diagnostics embed the program name — include it so two structurally
+    // identical apps never swap diagnostic labels.
+    h.str(p.name);
+    h.sig(pipelineOptionsSignature(po));
+    return h.take();
+  }
+
+  static Signature planKey(const Program& p, const DataLayout& layout,
+                           std::int64_t n, std::uint64_t timeSteps) {
+    SigHasher h;
+    h.u64(kPlanDomain)
+        .sig(programSignature(p))
+        .sig(layoutSignature(layout))
+        .i64(n)
+        .u64(timeSteps);
+    return h.take();
+  }
+
+  static Signature measurementKey(const Program& p, const DataLayout& layout,
+                                  std::int64_t n, std::uint64_t timeSteps,
+                                  const MachineConfig& machine,
+                                  const CostModel& cost) {
+    SigHasher h;
+    h.u64(kMeasureDomain)
+        .sig(programSignature(p))
+        .sig(layoutSignature(layout))
+        .i64(n)
+        .u64(timeSteps)
+        .sig(machineSignature(machine))
+        .sig(costSignature(cost));
+    return h.take();
+  }
+
+  Signature profileKey(const Program& p, const DataLayout& layout,
+                       std::int64_t n, std::uint64_t timeSteps) const {
+    SigHasher h;
+    h.u64(kProfileDomain)
+        .sig(programSignature(p))
+        .sig(layoutSignature(layout))
+        .i64(n)
+        .u64(timeSteps)
+        .f64(options.sampleRate);
+    return h.take();
+  }
+
+  // --- compute stages -----------------------------------------------------
+
+  std::shared_ptr<const PipelineResult> pipelineFor(const Program& p,
+                                                    const PipelineOptions& po) {
+    return getOrCompute(
+        pipelines, inflightPipelines, pipelineKey(p, po), [&] {
+          return std::make_shared<const PipelineResult>(runPipeline(p, po));
+        });
+  }
+
+  std::shared_ptr<const CachedPlan> planFor(const Program& p,
+                                            const DataLayout& layout,
+                                            std::int64_t n,
+                                            std::uint64_t timeSteps) {
+    return getOrCompute(
+        plans, inflightPlans, planKey(p, layout, n, timeSteps), [&] {
+          auto cp = std::make_shared<CachedPlan>();
+          cp->program = p.clone();
+          cp->layout = layout;
+          cp->compiled = compilePlan(cp->program, cp->layout,
+                                     {.n = n, .timeSteps = timeSteps});
+          return std::shared_ptr<const CachedPlan>(std::move(cp));
+        });
+  }
+
+  Measurement computeMeasurement(const ProgramVersion& version,
+                                 const DataLayout& layout, std::int64_t n,
+                                 std::uint64_t timeSteps,
+                                 const MachineConfig& machine,
+                                 const CostModel& cost) {
+    // GCR_ENGINE=walk must reach the tree-walking oracle, not a cached
+    // plan; gcr::measure() defers to execute()'s own engine dispatch.
+    if (forceWalk) return gcr::measure(version, n, machine, timeSteps, cost);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const CachedPlan> plan =
+        planFor(version.program, layout, n, timeSteps);
+    if (!plan->compiled.ok())
+      return gcr::measure(version, n, machine, timeSteps, cost);
+    MemoryHierarchy hierarchy(machine);
+    executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps},
+                &hierarchy);
+    Measurement m;
+    m.counts = hierarchy.counts();
+    m.cycles = cost.cycles(m.counts);
+    m.memoryTrafficBytes = hierarchy.memoryTrafficBytes();
+    m.effectiveBandwidth = hierarchy.effectiveBandwidthRatio();
+    m.wallSeconds = secondsSince(t0);
+    m.accessesPerSecond =
+        m.wallSeconds > 0 ? static_cast<double>(m.counts.refs) / m.wallSeconds
+                          : 0.0;
+    return m;
+  }
+
+  ReuseProfile computeProfile(const ProgramVersion& version,
+                              const DataLayout& layout, std::int64_t n,
+                              std::uint64_t timeSteps) {
+    MeasureOptions mo;
+    mo.sampleRate = options.sampleRate;
+    if (forceWalk) return reuseProfileOf(version, n, timeSteps, mo);
+    std::shared_ptr<const CachedPlan> plan =
+        planFor(version.program, layout, n, timeSteps);
+    if (!plan->compiled.ok()) return reuseProfileOf(version, n, timeSteps, mo);
+    const std::uint64_t expectedRefs =
+        estimateDynamicRefs(plan->program, n, timeSteps);
+    const std::uint64_t dataBytes =
+        static_cast<std::uint64_t>(plan->layout.totalBytes());
+    if (options.sampleRate >= 1.0) {
+      ReuseDistanceSink sink(8);
+      sink.reserve(expectedRefs, dataBytes);
+      executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps},
+                  &sink);
+      return sink.takeProfile();
+    }
+    SampledReuseSink sink(8, options.sampleRate);
+    sink.reserve(expectedRefs, dataBytes);
+    executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
+    return sink.takeProfile();
+  }
+
+  // --- async job bodies (enqueue contract: must not throw) ----------------
+
+  void fulfillMeasurement(const MeasureTask& t, const DataLayout& layout,
+                          const Signature& key,
+                          std::promise<Measurement>& promise) {
+    try {
+      Measurement m = computeMeasurement(t.version, layout, t.n, t.timeSteps,
+                                         t.machine, t.cost);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        measurements.put(key, m);
+        inflightMeasurements.erase(key);
+      }
+      promise.set_value(std::move(m));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflightMeasurements.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+
+  void fulfillProfile(const ReuseTask& t, const DataLayout& layout,
+                      const Signature& key,
+                      std::promise<ReuseProfile>& promise) {
+    try {
+      ReuseProfile p = computeProfile(t.version, layout, t.n, t.timeSteps);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        profiles.put(key, p);
+        inflightProfiles.erase(key);
+      }
+      promise.set_value(std::move(p));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflightProfiles.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+};
+
+Engine::Engine() : Engine(Options()) {}
+
+Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
+
+Engine::~Engine() = default;
+
+PipelineResult Engine::pipeline(const Program& p, const PipelineOptions& opts) {
+  return impl_->pipelineFor(p, opts)->clone();
+}
+
+ProgramVersion Engine::version(const Program& p, Strategy strategy,
+                               const VersionSpec& spec) {
+  const PipelineOptions po = pipelineOptionsFor(strategy, spec);
+  return assembleVersion(impl_->pipelineFor(p, po)->clone(), strategy, spec);
+}
+
+Measurement Engine::measure(const ProgramVersion& version, std::int64_t n,
+                            const MachineConfig& machine,
+                            std::uint64_t timeSteps, const CostModel& cost) {
+  const DataLayout layout = version.layoutAt(n);
+  const Signature key = Impl::measurementKey(version.program, layout, n,
+                                             timeSteps, machine, cost);
+  return impl_->getOrCompute(
+      impl_->measurements, impl_->inflightMeasurements, key, [&] {
+        return impl_->computeMeasurement(version, layout, n, timeSteps,
+                                         machine, cost);
+      });
+}
+
+ReuseProfile Engine::reuseProfile(const ProgramVersion& version,
+                                  std::int64_t n, std::uint64_t timeSteps) {
+  const DataLayout layout = version.layoutAt(n);
+  const Signature key =
+      impl_->profileKey(version.program, layout, n, timeSteps);
+  return impl_->getOrCompute(
+      impl_->profiles, impl_->inflightProfiles, key,
+      [&] { return impl_->computeProfile(version, layout, n, timeSteps); });
+}
+
+Future<Measurement> Engine::submit(MeasureTask task) {
+  Impl& impl = *impl_;
+  DataLayout layout = task.version.layoutAt(task.n);
+  const Signature key = Impl::measurementKey(
+      task.version.program, layout, task.n, task.timeSteps, task.machine,
+      task.cost);
+  std::shared_ptr<std::promise<Measurement>> promise;
+  std::shared_future<Measurement> result;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    if (const Measurement* hit = impl.measurements.get(key))
+      return makeReadyFuture(*hit);
+    auto it = impl.inflightMeasurements.find(key);
+    if (it != impl.inflightMeasurements.end()) {
+      ++impl.inflightCoalesced;
+      return Future<Measurement>(it->second);
+    }
+    promise = std::make_shared<std::promise<Measurement>>();
+    result = promise->get_future().share();
+    impl.inflightMeasurements.emplace(key, result);
+  }
+  // Enqueue strictly outside the lock: with threads == 1 (or from inside a
+  // pool task) the job runs inline before enqueue() returns, and it takes
+  // the same mutex.
+  auto taskPtr = std::make_shared<MeasureTask>(std::move(task));
+  auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
+  impl.pool.enqueue([&impl, taskPtr, layoutPtr, promise, key] {
+    impl.fulfillMeasurement(*taskPtr, *layoutPtr, key, *promise);
+  });
+  return Future<Measurement>(std::move(result));
+}
+
+Future<ReuseProfile> Engine::submit(ReuseTask task) {
+  Impl& impl = *impl_;
+  DataLayout layout = task.version.layoutAt(task.n);
+  const Signature key =
+      impl.profileKey(task.version.program, layout, task.n, task.timeSteps);
+  std::shared_ptr<std::promise<ReuseProfile>> promise;
+  std::shared_future<ReuseProfile> result;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    if (const ReuseProfile* hit = impl.profiles.get(key))
+      return makeReadyFuture(*hit);
+    auto it = impl.inflightProfiles.find(key);
+    if (it != impl.inflightProfiles.end()) {
+      ++impl.inflightCoalesced;
+      return Future<ReuseProfile>(it->second);
+    }
+    promise = std::make_shared<std::promise<ReuseProfile>>();
+    result = promise->get_future().share();
+    impl.inflightProfiles.emplace(key, result);
+  }
+  auto taskPtr = std::make_shared<ReuseTask>(std::move(task));
+  auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
+  impl.pool.enqueue([&impl, taskPtr, layoutPtr, promise, key] {
+    impl.fulfillProfile(*taskPtr, *layoutPtr, key, *promise);
+  });
+  return Future<ReuseProfile>(std::move(result));
+}
+
+Future<PipelineResult> Engine::submit(PipelineRequest request) {
+  Impl& impl = *impl_;
+  auto reqPtr = std::make_shared<PipelineRequest>(std::move(request));
+  auto promise = std::make_shared<std::promise<PipelineResult>>();
+  std::shared_future<PipelineResult> result = promise->get_future().share();
+  // Pipeline runs are cheap relative to simulations, and the future needs
+  // its own PipelineResult copy anyway (the type is move-only and the cache
+  // keeps the original); pipelineFor() still dedupes and memoizes.
+  impl.pool.enqueue([&impl, reqPtr, promise] {
+    try {
+      promise->set_value(
+          impl.pipelineFor(reqPtr->program, reqPtr->options)->clone());
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return Future<PipelineResult>(std::move(result));
+}
+
+std::vector<Measurement> Engine::measureAll(
+    const std::vector<MeasureTask>& tasks) {
+  std::vector<Future<Measurement>> futures;
+  futures.reserve(tasks.size());
+  for (const MeasureTask& t : tasks)
+    futures.push_back(
+        submit(MeasureTask{t.version.clone(), t.n, t.machine, t.timeSteps,
+                           t.cost}));
+  std::vector<Measurement> out;
+  out.reserve(tasks.size());
+  for (const Future<Measurement>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+std::vector<ReuseProfile> Engine::reuseProfilesOf(
+    const std::vector<ReuseTask>& tasks) {
+  std::vector<Future<ReuseProfile>> futures;
+  futures.reserve(tasks.size());
+  for (const ReuseTask& t : tasks)
+    futures.push_back(
+        submit(ReuseTask{t.version.clone(), t.n, t.timeSteps}));
+  std::vector<ReuseProfile> out;
+  out.reserve(tasks.size());
+  for (const Future<ReuseProfile>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return Stats{impl_->pipelines.counters(), impl_->plans.counters(),
+               impl_->measurements.counters(), impl_->profiles.counters(),
+               impl_->inflightCoalesced};
+}
+
+void Engine::clearCaches() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->pipelines.clear();
+  impl_->plans.clear();
+  impl_->measurements.clear();
+  impl_->profiles.clear();
+}
+
+}  // namespace gcr

@@ -1,0 +1,151 @@
+// gcr::Engine — the session runtime and single entry point for optimization
+// and measurement (the tentpole of the Engine PR).
+//
+// An Engine owns two cooperating mechanisms:
+//
+//   1. Content-addressed caches.  Every expensive artifact is memoized under
+//      a canonical 128-bit signature of exactly the inputs that determine it
+//      (engine/signature.hpp):
+//        pipeline      (program, PipelineOptions)            → PipelineResult
+//        plan          (program, layout, n, timeSteps)       → compiled
+//                                                              AccessPlan
+//        measurement   (program, layout, n, timeSteps,
+//                       machine, cost)                       → Measurement
+//        reuse profile (program, layout, n, timeSteps, rate) → ReuseProfile
+//      Each cache is LRU-bounded with hit/miss/eviction counters (stats()).
+//      Cached results are returned verbatim, so a warm lookup is
+//      byte-identical to the cold computation that populated it — enforced
+//      by tests, and the basis of the cache-amortized sweep speedups
+//      reported in EXPERIMENTS.md.
+//
+//   2. An async batch scheduler.  submit() returns immediately with a
+//      Future; the work runs on the session's thread pool.  Identical
+//      in-flight work is deduplicated (two submissions of the same
+//      signature share one computation), and each task resolves its
+//      dependencies through the caches stage by stage — pipeline, then
+//      compiled plan, then simulation — so a sweep over sizes and machines
+//      compiles each plan once and runs each distinct simulation once.
+//      measureAll()/reuseProfilesOf() keep PR 1's slot-per-task contract:
+//      result i belongs to tasks[i], bit-identical for any GCR_THREADS.
+//
+// Determinism: simulated fields never depend on thread count, submission
+// order, or cache state; only the wall-clock observability fields
+// (Measurement::wallSeconds/accessesPerSecond) vary run to run, and a cache
+// hit reproduces even those verbatim from the original computation.
+//
+// GCR_ENGINE=walk (read at Engine construction) bypasses the plan cache
+// entirely and routes measurement through the tree-walking oracle, exactly
+// as the free-standing measure() does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "engine/future.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/signature.hpp"
+
+namespace gcr {
+
+/// An asynchronous pipeline run: the program to optimize plus the pass
+/// configuration (Program is move-only; clone() into the request).
+struct PipelineRequest {
+  Program program;
+  PipelineOptions options;
+};
+
+class Engine {
+ public:
+  struct Options {
+    /// Per-cache entry bounds; 0 disables that cache.
+    std::size_t pipelineCacheCapacity = 64;
+    std::size_t planCacheCapacity = 64;
+    std::size_t measurementCacheCapacity = 512;
+    std::size_t profileCacheCapacity = 128;
+    /// Thread-pool size for submit()/batch APIs (including the calling
+    /// thread).  0 selects GCR_THREADS / hardware_concurrency; 1 runs every
+    /// submission inline (the determinism baseline).
+    int threads = 0;
+    /// Reuse-distance sampling rate, as MeasureOptions::sampleRate.
+    double sampleRate = 1.0;
+  };
+
+  /// Aggregated cache observability; see LruCache::counters().
+  struct Stats {
+    CacheCounters pipeline;
+    CacheCounters plan;
+    CacheCounters measurement;
+    CacheCounters profile;
+    /// Submissions that attached to an identical in-flight computation
+    /// instead of starting their own (in-flight deduplication).
+    std::uint64_t inflightCoalesced = 0;
+  };
+
+  Engine();
+  explicit Engine(Options opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Synchronous façade -------------------------------------------------
+
+  /// Memoized runPipeline(): a cache hit clones the stored result instead of
+  /// re-running the passes.
+  PipelineResult pipeline(const Program& p, const PipelineOptions& opts = {});
+
+  /// Memoized makeVersion(): the underlying pipeline run is cached, so
+  /// requesting the same (program, strategy, spec) twice — or across
+  /// problem sizes and machines — optimizes once.
+  ProgramVersion version(const Program& p, Strategy strategy,
+                         const VersionSpec& spec = {});
+
+  /// Memoized measure(): simulate `version` at size n on `machine`.  Uses
+  /// the plan cache for the address stream; falls back to the tree walker
+  /// exactly as the free measure() does when the program does not qualify.
+  Measurement measure(const ProgramVersion& version, std::int64_t n,
+                      const MachineConfig& machine,
+                      std::uint64_t timeSteps = 1, const CostModel& cost = {});
+
+  /// Memoized reuseProfileOf() at the Engine's configured sampleRate.
+  ReuseProfile reuseProfile(const ProgramVersion& version, std::int64_t n,
+                            std::uint64_t timeSteps = 1);
+
+  // --- Async batch scheduler ----------------------------------------------
+
+  /// Schedule one simulation; returns immediately.  A duplicate of a cached
+  /// result resolves instantly; a duplicate of an in-flight submission
+  /// shares its computation.
+  Future<Measurement> submit(MeasureTask task);
+
+  /// Schedule one reuse-distance profile.
+  Future<ReuseProfile> submit(ReuseTask task);
+
+  /// Schedule one pipeline run.
+  Future<PipelineResult> submit(PipelineRequest request);
+
+  /// Batch measure with slot-per-task determinism: result i belongs to
+  /// tasks[i] for any thread count.  Drop-in for the deprecated free
+  /// measureAll(), plus memoization and in-flight deduplication.
+  std::vector<Measurement> measureAll(const std::vector<MeasureTask>& tasks);
+
+  /// Batch reuse profiling, same contract.
+  std::vector<ReuseProfile> reuseProfilesOf(
+      const std::vector<ReuseTask>& tasks);
+
+  // --- Observability ------------------------------------------------------
+
+  Stats stats() const;
+
+  /// Drop every cached artifact (counters keep their totals).
+  void clearCaches();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gcr

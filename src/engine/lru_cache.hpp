@@ -1,0 +1,90 @@
+// Bounded LRU cache with hit/miss/eviction counters — the storage behind
+// every Engine cache (pipeline results, compiled access plans, memoized
+// measurements and reuse profiles).
+//
+// Not internally synchronized: the Engine serializes access under its own
+// mutex and runs the (expensive) compute work outside it, so the cache only
+// ever sees short critical sections.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace gcr {
+
+/// Monotonic counters of one cache; `entries` is the current size.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+/// capacity == 0 disables the cache entirely: every get() is a miss and
+/// put() drops the value (the counters still run, so a disabled cache is
+/// observable, not silent).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up `key`, marking it most-recently-used on a hit.  The returned
+  /// pointer is invalidated by the next put(); copy the value out while the
+  /// caller's lock is held.
+  const V* get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  CacheCounters counters() const {
+    return {hits_, misses_, evictions_,
+            static_cast<std::uint64_t>(order_.size())};
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gcr

@@ -12,6 +12,8 @@
 //   fusion/    reuse-based loop fusion (Figure 6)
 //   regroup/   multi-level data regrouping (Figures 7-8)
 //   driver/    the full pipeline, program versions, measurement harness
+//   engine/    the session runtime: content-addressed caching + async
+//              batch scheduling behind one API (gcr::Engine)
 //   apps/      the paper's benchmark programs (Figure 9)
 #pragma once
 
@@ -24,6 +26,10 @@
 #include "cachesim/hierarchy.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
+#include "engine/engine.hpp"
+#include "engine/future.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/signature.hpp"
 #include "fusion/align.hpp"
 #include "fusion/atoms.hpp"
 #include "fusion/fusion.hpp"

@@ -1,0 +1,158 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+void JsonWriter::newlineIndent(std::size_t depth) {
+  out_ += '\n';
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::beforeValue() {
+  if (stack_.empty()) {
+    GCR_CHECK(out_.empty(), "JSON document already complete");
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::Object) {
+    GCR_CHECK(keyPending_, "object member needs a key()");
+    keyPending_ = false;
+    return;
+  }
+  if (top.items++ > 0) out_ += ',';
+  newlineIndent(stack_.size());
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ += '{';
+  stack_.push_back({Scope::Object});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  GCR_CHECK(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                !keyPending_,
+            "unbalanced endObject()");
+  const bool empty = stack_.back().items == 0;
+  stack_.pop_back();
+  if (!empty) newlineIndent(stack_.size());
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ += '[';
+  stack_.push_back({Scope::Array});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  GCR_CHECK(!stack_.empty() && stack_.back().scope == Scope::Array,
+            "unbalanced endArray()");
+  const bool empty = stack_.back().items == 0;
+  stack_.pop_back();
+  if (!empty) newlineIndent(stack_.size());
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  GCR_CHECK(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                !keyPending_,
+            "key() outside an object");
+  if (stack_.back().items++ > 0) out_ += ',';
+  newlineIndent(stack_.size());
+  out_ += '"';
+  appendEscaped(k);
+  out_ += "\": ";
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  out_ += '"';
+  appendEscaped(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int precision) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  out_ += buf;
+  return *this;
+}
+
+void JsonWriter::appendEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+const std::string& JsonWriter::str() const {
+  GCR_CHECK(stack_.empty(), "JSON document has unclosed containers");
+  return out_;
+}
+
+bool JsonWriter::writeFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string& doc = str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace gcr

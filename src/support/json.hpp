@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer.
+//
+// Every experiment binary emits a machine-readable result file; this writer
+// replaces the per-bench fprintf JSON with one implementation that cannot
+// produce unbalanced braces or unescaped strings.  Output is pretty-printed
+// (2-space indent, `"key": value` with a space after the colon — the exact
+// shape CI greps for) and fully deterministic: fields appear in insertion
+// order and doubles print with an explicit precision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcr {
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Key of the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Fixed-point with `precision` digits ("%.*f"); NaN/inf render as null
+  /// (JSON has no non-finite numbers).
+  JsonWriter& value(double v, int precision = 6);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& field(std::string_view k, double v, int precision) {
+    key(k);
+    return value(v, precision);
+  }
+
+  /// The document; all containers must be closed.
+  const std::string& str() const;
+
+  /// Write the document to `path`; false (with a message on stderr) when
+  /// the file cannot be written.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  enum class Scope { Object, Array };
+  struct Level {
+    Scope scope;
+    int items = 0;
+  };
+
+  void beforeValue();
+  void newlineIndent(std::size_t depth);
+  void appendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool keyPending_ = false;
+};
+
+}  // namespace gcr

@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace gcr {
 namespace {
@@ -45,28 +47,45 @@ struct ThreadPool::Impl {
   std::exception_ptr error;
   std::mutex errorMutex;
 
+  // Asynchronous one-shot jobs (Engine::submit); guarded by mutex.
+  std::deque<std::function<void()>> asyncJobs;
+
   std::vector<std::thread> workers;
 
   void workerLoop() {
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex);
     while (true) {
-      wakeWorkers.wait(lock,
-                       [&] { return stop || generation != seen; });
+      wakeWorkers.wait(lock, [&] {
+        return stop || generation != seen || !asyncJobs.empty();
+      });
       if (stop) return;
-      seen = generation;
-      // The caller may have drained the whole batch (and cleared `job`)
-      // before this worker woke; there is nothing left to claim.
-      if (job == nullptr) continue;
-      const std::function<void(std::size_t)>* fn = job;
-      const std::size_t n = count;
-      ++active;
-      lock.unlock();
-      insideTask = true;
-      runRange(next, n, *fn, error, errorMutex);
-      insideTask = false;
-      lock.lock();
-      if (--active == 0) batchDone.notify_all();
+      if (generation != seen) {
+        seen = generation;
+        // The caller may have drained the whole batch (and cleared `job`)
+        // before this worker woke; there is nothing left to claim.
+        if (job != nullptr) {
+          const std::function<void(std::size_t)>* fn = job;
+          const std::size_t n = count;
+          ++active;
+          lock.unlock();
+          insideTask = true;
+          runRange(next, n, *fn, error, errorMutex);
+          insideTask = false;
+          lock.lock();
+          if (--active == 0) batchDone.notify_all();
+          continue;
+        }
+      }
+      if (!asyncJobs.empty()) {
+        std::function<void()> fn = std::move(asyncJobs.front());
+        asyncJobs.pop_front();
+        lock.unlock();
+        insideTask = true;
+        fn();  // contract: must not throw
+        insideTask = false;
+        lock.lock();
+      }
     }
   }
 };
@@ -85,12 +104,17 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool() {
   if (!impl_) return;
+  std::deque<std::function<void()>> leftover;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->stop = true;
+    leftover.swap(impl_->asyncJobs);
   }
   impl_->wakeWorkers.notify_all();
   for (std::thread& w : impl_->workers) w.join();
+  // Complete jobs the workers never claimed: an enqueued job's promise must
+  // always be fulfilled, even when the pool dies first.
+  for (std::function<void()>& fn : leftover) fn();
 }
 
 int ThreadPool::defaultThreadCount() {
@@ -100,6 +124,28 @@ int ThreadPool::defaultThreadCount() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (!impl_ || insideTask) {
+    // Inline paths: threads_ == 1 (the determinism baseline — submission
+    // order is execution order, no machinery), or a pool task enqueueing
+    // more work (running inline avoids a worker waiting on its own queue).
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stop) {
+      // Destructor already started tearing the pool down (only reachable
+      // from another thread racing ~ThreadPool); run inline.
+    } else {
+      impl_->asyncJobs.push_back(std::move(job));
+      impl_->wakeWorkers.notify_one();
+      return;
+    }
+  }
+  job();
 }
 
 void ThreadPool::parallelFor(std::size_t count,

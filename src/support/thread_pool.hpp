@@ -55,6 +55,18 @@ class ThreadPool {
     return out;
   }
 
+  /// Enqueue one independent job for asynchronous execution on the worker
+  /// threads and return immediately.  Jobs run in submission order (workers
+  /// permitting) and must not throw — wrap the body and route failures
+  /// through your own channel (the Engine stores them in a promise).  With
+  /// threadCount() == 1, or when called from inside a pool task, the job
+  /// runs inline before enqueue() returns — the same "no thread machinery
+  /// at GCR_THREADS=1" determinism baseline as parallelFor.  Jobs still
+  /// queued at destruction time are completed inline by the destructor, so
+  /// an enqueued job's side effects (e.g. fulfilling a future) always
+  /// happen.
+  void enqueue(std::function<void()> job);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;  // null when threads_ == 1

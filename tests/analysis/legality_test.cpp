@@ -214,7 +214,7 @@ TEST(Verify, StrictDefectsSurfaceAsWarnings) {
 
 TEST(Pipeline, ConsultsLegalityBeforeEachTransform) {
   const Program p = apps::buildApp("Swim");
-  PipelineResult r = optimize(p);
+  PipelineResult r = runPipeline(p);
   EXPECT_FALSE(r.diagnostics.empty());
   // The pass verdicts are consultations, not program defects.
   EXPECT_FALSE(anyErrors(r.diagnostics));
@@ -223,7 +223,7 @@ TEST(Pipeline, ConsultsLegalityBeforeEachTransform) {
 
   PipelineOptions off;
   off.checkLegality = false;
-  EXPECT_TRUE(optimize(p, off).diagnostics.empty());
+  EXPECT_TRUE(runPipeline(p, off).diagnostics.empty());
 }
 
 TEST(Pipeline, DiagnosticsFormatIsGreppable) {

@@ -39,7 +39,7 @@ TEST_P(VerifyFuzz, LegalMeansEnginesAgreeAfterTransform) {
   const VerifyResult v = verifyProgram(p, p.name);
   EXPECT_FALSE(anyErrors(v.diags));
 
-  PipelineResult r = optimize(p);
+  PipelineResult r = runPipeline(p);
   EXPECT_FALSE(anyErrors(r.diagnostics));
 
   const std::int64_t n = 20;

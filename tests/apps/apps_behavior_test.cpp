@@ -14,8 +14,8 @@ TEST(AppsBehavior, AdiFusionHalvesMissesAndTime) {
   Program p = apps::buildApp("ADI");
   const std::int64_t n = 512;
   const MachineConfig m = MachineConfig::origin2000();
-  Measurement orig = measure(makeNoOpt(p), n, m);
-  Measurement opt = measure(makeFusedRegrouped(p), n, m);
+  Measurement orig = measure(makeVersion(p, Strategy::NoOpt), n, m);
+  Measurement opt = measure(makeVersion(p, Strategy::FusedRegrouped), n, m);
   EXPECT_LT(opt.counts.l1Misses, orig.counts.l1Misses * 6 / 10);
   EXPECT_LT(opt.counts.l2Misses, orig.counts.l2Misses * 7 / 10);
   EXPECT_LT(opt.cycles, orig.cycles * 8 / 10);
@@ -27,9 +27,9 @@ TEST(AppsBehavior, SwimFusionTradesL1ForL2) {
   Program p = apps::buildApp("Swim");
   const std::int64_t n = 200;
   const MachineConfig m = MachineConfig::octane();
-  Measurement orig = measure(makeNoOpt(p), n, m, 2);
-  Measurement fused = measure(makeFused(p), n, m, 2);
-  Measurement full = measure(makeFusedRegrouped(p), n, m, 2);
+  Measurement orig = measure(makeVersion(p, Strategy::NoOpt), n, m, 2);
+  Measurement fused = measure(makeVersion(p, Strategy::Fused), n, m, 2);
+  Measurement full = measure(makeVersion(p, Strategy::FusedRegrouped), n, m, 2);
   EXPECT_GT(fused.counts.l1Misses, orig.counts.l1Misses);  // the L1 cost
   EXPECT_LT(fused.counts.l2Misses, orig.counts.l2Misses * 8 / 10);
   EXPECT_LT(full.cycles, orig.cycles);          // combined still a win
@@ -43,9 +43,9 @@ TEST(AppsBehavior, SpFullFusionThrashesSmallPageTlbAndGroupingRecovers) {
   MachineConfig m = MachineConfig::origin2000();
   m.pageSize = 4096;
   m.tlbEntries = 16;  // reach scaled to the test-sized grid
-  Measurement orig = measure(makeNoOpt(p), n, m);
-  Measurement fused3 = measure(makeFused(p, 4), n, m);
-  Measurement full = measure(makeFusedRegrouped(p, 4), n, m);
+  Measurement orig = measure(makeVersion(p, Strategy::NoOpt), n, m);
+  Measurement fused3 = measure(makeVersion(p, Strategy::Fused, {.fusionLevels = 4}), n, m);
+  Measurement full = measure(makeVersion(p, Strategy::FusedRegrouped, {.fusionLevels = 4}), n, m);
   EXPECT_GT(fused3.counts.tlbMisses, orig.counts.tlbMisses * 4);
   EXPECT_GT(fused3.cycles, orig.cycles);  // full fusion alone backfires
   EXPECT_LT(full.counts.tlbMisses, fused3.counts.tlbMisses / 4);
@@ -59,8 +59,8 @@ TEST(AppsBehavior, SpOneLevelFusionIsSafe) {
   MachineConfig m = MachineConfig::origin2000();
   m.pageSize = 4096;
   m.tlbEntries = 16;
-  Measurement orig = measure(makeNoOpt(p), n, m);
-  Measurement fused1 = measure(makeFused(p, 1), n, m);
+  Measurement orig = measure(makeVersion(p, Strategy::NoOpt), n, m);
+  Measurement fused1 = measure(makeVersion(p, Strategy::Fused, {.fusionLevels = 1}), n, m);
   // "Safe" is about magnitude: nowhere near full fusion's order-of-magnitude
   // blowup (see the companion test), and still a net win.
   EXPECT_LE(fused1.counts.tlbMisses, orig.counts.tlbMisses * 2);
@@ -80,8 +80,8 @@ TEST(AppsBehavior, GlobalStrategyCutsMemoryTraffic) {
                       {"Swim", 320, MachineConfig::octane()}};
   for (const Run& run : runs) {
     Program p = apps::buildApp(run.name);
-    Measurement orig = measure(makeNoOpt(p), run.n, run.machine);
-    Measurement opt = measure(makeFusedRegrouped(p), run.n, run.machine);
+    Measurement orig = measure(makeVersion(p, Strategy::NoOpt), run.n, run.machine);
+    Measurement opt = measure(makeVersion(p, Strategy::FusedRegrouped), run.n, run.machine);
     EXPECT_LT(opt.memoryTrafficBytes, orig.memoryTrafficBytes) << run.name;
     EXPECT_GT(opt.effectiveBandwidth, orig.effectiveBandwidth) << run.name;
   }
@@ -94,8 +94,8 @@ TEST(AppsBehavior, PrefetchHidesLatencyButNotTraffic) {
   MachineConfig plain = MachineConfig::origin2000();
   MachineConfig pf = plain;
   pf.l2NextLinePrefetch = true;
-  Measurement noPf = measure(makeNoOpt(p), n, plain);
-  Measurement withPf = measure(makeNoOpt(p), n, pf);
+  Measurement noPf = measure(makeVersion(p, Strategy::NoOpt), n, plain);
+  Measurement withPf = measure(makeVersion(p, Strategy::NoOpt), n, pf);
   EXPECT_LT(withPf.counts.l2Misses, noPf.counts.l2Misses);  // latency hidden
   EXPECT_GE(withPf.memoryTrafficBytes, noPf.memoryTrafficBytes);  // not saved
 }

@@ -21,10 +21,10 @@ namespace {
   PipelineOptions unoptimized;
   unoptimized.fuse = false;
   unoptimized.regroup = false;
-  PipelineResult base = optimize(p, unoptimized);
+  PipelineResult base = runPipeline(p, unoptimized);
 
   PipelineOptions full;
-  PipelineResult opt = optimize(p, full);
+  PipelineResult opt = runPipeline(p, full);
   if (!validationError(opt.program).empty())
     return ::testing::AssertionFailure()
            << "invalid IR: " << validationError(opt.program);
@@ -73,7 +73,7 @@ TEST(AppsPipeline, AdiFusesToOneNest) {
   Program p = apps::buildApp("ADI");
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = runPipeline(p, opts);
   EXPECT_GE(r.fusionReport.fusions, 3);
   EXPECT_EQ(computeStats(r.program).numLoopNests, 1);
 }
@@ -83,7 +83,7 @@ TEST(AppsPipeline, SwimFusionNeedsPeeling) {
   Program p = apps::buildApp("Swim");
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = runPipeline(p, opts);
   EXPECT_GE(r.fusionReport.peels, 1);
   // Fusion must still reduce the nest count substantially.
   EXPECT_LT(computeStats(r.program).numLoopNests,
@@ -96,7 +96,7 @@ TEST(AppsPipeline, SpOneLevelFusionCollapsesOuterLoops) {
   PipelineOptions opts;
   opts.fusionLevels = 1;
   opts.regroup = false;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = runPipeline(p, opts);
   ASSERT_FALSE(r.fusionReport.loopsPerLevelBefore.empty());
   const int before = r.fusionReport.loopsPerLevelBefore[0];
   const int after = r.fusionReport.loopsPerLevelAfter[0];
@@ -106,7 +106,7 @@ TEST(AppsPipeline, SpOneLevelFusionCollapsesOuterLoops) {
 
 TEST(AppsPipeline, SpRegroupingFormsGroups) {
   Program p = apps::buildApp("SP");
-  PipelineResult r = optimize(p, {});
+  PipelineResult r = runPipeline(p, {});
   EXPECT_GE(r.regroupReport.partitionsFormed, 2);
   EXPECT_EQ(r.arraysAfterSplit, 42);
 }
@@ -115,8 +115,8 @@ TEST(AppsPipeline, FusionStopsReuseDistanceGrowth) {
   // The central claim, on a real app: ADI's maximum reuse distance grows
   // with N before optimization and is N-independent after fusion.
   Program p = apps::buildApp("ADI");
-  ProgramVersion noOpt = makeNoOpt(p);
-  ProgramVersion fused = makeFused(p);
+  ProgramVersion noOpt = makeVersion(p, Strategy::NoOpt);
+  ProgramVersion fused = makeVersion(p, Strategy::Fused);
 
   auto maxBin = [](const ReuseProfile& prof) {
     return prof.histogram.highestNonEmptyBin();
@@ -130,7 +130,7 @@ TEST(AppsPipeline, FusionStopsReuseDistanceGrowth) {
   EXPECT_EQ(fusedLarge, fusedSmall);
 }
 
-// Fuzz sweep: the full optimize() pipeline (unroll/split + distribution +
+// Fuzz sweep: the full runPipeline() pipeline (unroll/split + distribution +
 // fusion + regrouping) must preserve semantics on randomly generated
 // programs with 2-D nests and reversed loops enabled.  Each seed is its own
 // ctest case (gtest parameterization + gtest_discover_tests), so a failure
@@ -162,8 +162,8 @@ TEST(AppsPipeline, TomcatvWithoutInterchangeSignalsOrKeepsNests) {
   Program raw = apps::buildApp("Tomcatv-noInterchange");
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult rHand = optimize(hand, opts);
-  PipelineResult rRaw = optimize(raw, opts);
+  PipelineResult rHand = runPipeline(hand, opts);
+  PipelineResult rRaw = runPipeline(raw, opts);
   EXPECT_GT(computeStats(rRaw.program).numLoopNests,
             computeStats(rHand.program).numLoopNests);
 }

@@ -13,7 +13,7 @@ namespace {
 
 ::testing::AssertionResult pipelinePreserves(const char* app, std::int64_t n) {
   Program p = apps::buildApp(app);
-  PipelineResult r = optimize(p, {});
+  PipelineResult r = runPipeline(p, {});
   if (!validationError(r.program).empty())
     return ::testing::AssertionFailure() << validationError(r.program);
   DataLayout l0 = contiguousLayout(p, n);
@@ -42,7 +42,7 @@ TEST(ExtraKernels, JacobiFusesWithAlignment) {
   Program p = apps::buildApp("Jacobi");
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = runPipeline(p, opts);
   EXPECT_GE(r.fusionReport.fusions, 2);
   EXPECT_EQ(computeStats(r.program).numLoopNests, 1);
 }
@@ -51,16 +51,16 @@ TEST(ExtraKernels, LivermoreChainFullyFuses) {
   Program p = apps::buildApp("Livermore");
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult r = optimize(p, opts);
+  PipelineResult r = runPipeline(p, opts);
   EXPECT_EQ(computeStats(r.program).numLoopNests, 1);
 }
 
 TEST(ExtraKernels, JacobiFusionCutsTraffic) {
   Program p = apps::buildApp("Jacobi");
   const std::int64_t n = 700;  // 3 arrays x ~4MB >> 4MB L2
-  Measurement orig = measure(makeNoOpt(p), n, MachineConfig::origin2000());
+  Measurement orig = measure(makeVersion(p, Strategy::NoOpt), n, MachineConfig::origin2000());
   Measurement opt =
-      measure(makeFusedRegrouped(p), n, MachineConfig::origin2000());
+      measure(makeVersion(p, Strategy::FusedRegrouped), n, MachineConfig::origin2000());
   EXPECT_LT(opt.counts.l2Misses, orig.counts.l2Misses);
   EXPECT_LT(opt.memoryTrafficBytes, orig.memoryTrafficBytes);
 }

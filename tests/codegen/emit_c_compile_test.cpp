@@ -106,7 +106,7 @@ TEST(EmitCCompile, RegroupedLayoutMatches) {
 TEST(EmitCCompile, SwimFullPipelineMatches) {
   if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
   Program p = apps::buildApp("Swim");
-  PipelineResult r = optimize(p, {});
+  PipelineResult r = runPipeline(p, {});
   const std::int64_t n = 20;
   expectEmittedMatchesInterpreter(r.program, r.layoutAt(n), n, 2, "swim_full");
 }
@@ -133,7 +133,7 @@ TEST(EmitCCompile, ReversedLoopsMatch) {
 TEST(EmitCCompile, SpWithSplitArraysMatches) {
   if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
   Program p = apps::buildApp("SP");
-  PipelineResult r = optimize(p, {});
+  PipelineResult r = runPipeline(p, {});
   const std::int64_t n = 16;
   expectEmittedMatchesInterpreter(r.program, r.layoutAt(n), n, 1, "sp_full");
 }

@@ -1,0 +1,73 @@
+// The pre-Engine free functions survive as [[deprecated]] shims with a
+// named migration path; this TU (and only this TU) silences the warning and
+// pins the shims to their replacements so the compatibility surface cannot
+// rot while it exists.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "ir/print.hpp"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace gcr {
+namespace {
+
+TEST(DeprecatedShims, OptimizeForwardsToRunPipeline) {
+  Program p = apps::buildApp("ADI");
+  const PipelineResult oldApi = optimize(p);
+  const PipelineResult newApi = runPipeline(p);
+  EXPECT_EQ(toString(oldApi.program), toString(newApi.program));
+  EXPECT_EQ(oldApi.diagnostics.size(), newApi.diagnostics.size());
+}
+
+TEST(DeprecatedShims, VersionFactoriesForwardToMakeVersion) {
+  Program p = apps::buildApp("Swim");
+  struct Case {
+    ProgramVersion oldApi;
+    ProgramVersion newApi;
+  };
+  const Case cases[] = {
+      {makeNoOpt(p), makeVersion(p, Strategy::NoOpt)},
+      {makeSgiLike(p), makeVersion(p, Strategy::SgiLike)},
+      {makeFused(p, 2), makeVersion(p, Strategy::Fused,
+                                    VersionSpec{.fusionLevels = 2})},
+      {makeFusedRegrouped(p), makeVersion(p, Strategy::FusedRegrouped)},
+      {makeRegroupedOnly(p), makeVersion(p, Strategy::RegroupedOnly)},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.oldApi.name, c.newApi.name);
+    EXPECT_EQ(toString(c.oldApi.program), toString(c.newApi.program));
+  }
+}
+
+TEST(DeprecatedShims, BatchShimsForwardToUncachedRunners) {
+  Program p = apps::buildApp("ADI");
+  std::vector<MeasureTask> tasks;
+  tasks.push_back({makeVersion(p, Strategy::NoOpt), 24,
+                   MachineConfig::origin2000(), 1, CostModel{}});
+  const std::vector<Measurement> oldApi = measureAll(tasks);
+  const std::vector<Measurement> newApi = detail::measureAllUncached(tasks);
+  ASSERT_EQ(oldApi.size(), 1u);
+  ASSERT_EQ(newApi.size(), 1u);
+  EXPECT_EQ(oldApi[0].counts.refs, newApi[0].counts.refs);
+  EXPECT_EQ(oldApi[0].counts.l2Misses, newApi[0].counts.l2Misses);
+  EXPECT_EQ(oldApi[0].cycles, newApi[0].cycles);
+
+  std::vector<ReuseTask> profTasks;
+  profTasks.push_back({makeVersion(p, Strategy::NoOpt), 24, 1});
+  const std::vector<ReuseProfile> oldProfs = reuseProfilesOf(profTasks);
+  const std::vector<ReuseProfile> newProfs =
+      detail::reuseProfilesOfUncached(profTasks);
+  ASSERT_EQ(oldProfs.size(), 1u);
+  ASSERT_EQ(newProfs.size(), 1u);
+  EXPECT_EQ(oldProfs[0].accesses, newProfs[0].accesses);
+  EXPECT_EQ(oldProfs[0].distinctData, newProfs[0].distinctData);
+}
+
+}  // namespace
+}  // namespace gcr
+
+#pragma GCC diagnostic pop

@@ -21,7 +21,7 @@ Program twoScans() {
 
 TEST(Measure, CountsAndCyclesPopulated) {
   Program p = twoScans();
-  Measurement m = measure(makeNoOpt(p), 1 << 16, MachineConfig::origin2000());
+  Measurement m = measure(makeVersion(p, Strategy::NoOpt), 1 << 16, MachineConfig::origin2000());
   EXPECT_GT(m.counts.refs, 0u);
   EXPECT_GT(m.counts.l1Misses, 0u);
   EXPECT_GT(m.cycles, static_cast<double>(m.counts.refs));
@@ -34,8 +34,8 @@ TEST(Measure, FusionReducesMissesWhenDataExceedsCache) {
   Program p = twoScans();
   const std::int64_t n = 1 << 21;
   const MachineConfig machine = MachineConfig::origin2000();
-  Measurement noOpt = measure(makeNoOpt(p), n, machine);
-  Measurement fused = measure(makeFused(p), n, machine);
+  Measurement noOpt = measure(makeVersion(p, Strategy::NoOpt), n, machine);
+  Measurement fused = measure(makeVersion(p, Strategy::Fused), n, machine);
   EXPECT_LT(fused.counts.l2Misses, noOpt.counts.l2Misses * 3 / 4);
   EXPECT_LT(fused.cycles, noOpt.cycles);
 }
@@ -43,17 +43,31 @@ TEST(Measure, FusionReducesMissesWhenDataExceedsCache) {
 TEST(Measure, ReuseProfileMatchesVersionStructure) {
   Program p = twoScans();
   const std::int64_t n = 4096;
-  ReuseProfile noOpt = reuseProfileOf(makeNoOpt(p), n);
-  ReuseProfile fused = reuseProfileOf(makeFused(p), n);
+  ReuseProfile noOpt = reuseProfileOf(makeVersion(p, Strategy::NoOpt), n);
+  ReuseProfile fused = reuseProfileOf(makeVersion(p, Strategy::Fused), n);
   // Unfused: the cross-loop reuse sits at distance ~2n; fused: constant.
   EXPECT_GT(noOpt.histogram.countAtLeast(1024), 0u);
   EXPECT_EQ(fused.histogram.countAtLeast(1024), 0u);
 }
 
+TEST(Measure, SpeedupOverEmptyMeasurementIsNaN) {
+  Measurement base;
+  base.cycles = 100.0;
+  Measurement empty;  // cycles == 0: a ratio against it has no meaning
+  EXPECT_TRUE(std::isnan(empty.speedupOver(base)));
+  EXPECT_TRUE(std::isnan(empty.speedupOver(empty)));
+  EXPECT_DOUBLE_EQ(base.speedupOver(base), 1.0);
+  Measurement fast;
+  fast.cycles = 50.0;
+  EXPECT_DOUBLE_EQ(fast.speedupOver(base), 2.0);
+  // NaN must poison aggregates rather than read as "infinitely slow".
+  EXPECT_TRUE(std::isnan(empty.speedupOver(base) + 1.0));
+}
+
 TEST(Measure, TimeStepsScaleRefs) {
   Program p = twoScans();
-  Measurement one = measure(makeNoOpt(p), 1024, MachineConfig::octane(), 1);
-  Measurement three = measure(makeNoOpt(p), 1024, MachineConfig::octane(), 3);
+  Measurement one = measure(makeVersion(p, Strategy::NoOpt), 1024, MachineConfig::octane(), 1);
+  Measurement three = measure(makeVersion(p, Strategy::NoOpt), 1024, MachineConfig::octane(), 3);
   EXPECT_EQ(three.counts.refs, 3 * one.counts.refs);
 }
 

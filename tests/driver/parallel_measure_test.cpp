@@ -30,15 +30,15 @@ std::vector<MeasureTask> fig10Tasks(const std::string& app, std::int64_t n,
   Program p = apps::buildApp(app);
   const MachineConfig machine = MachineConfig::origin2000();
   std::vector<MeasureTask> tasks;
-  tasks.push_back({.version = makeNoOpt(p),
+  tasks.push_back({.version = makeVersion(p, Strategy::NoOpt),
                    .n = n,
                    .machine = machine,
                    .timeSteps = steps});
-  tasks.push_back({.version = makeFused(p),
+  tasks.push_back({.version = makeVersion(p, Strategy::Fused),
                    .n = n,
                    .machine = machine,
                    .timeSteps = steps});
-  tasks.push_back({.version = makeFusedRegrouped(p),
+  tasks.push_back({.version = makeVersion(p, Strategy::FusedRegrouped),
                    .n = n,
                    .machine = machine,
                    .timeSteps = steps});
@@ -61,7 +61,7 @@ TEST_P(ParallelMeasureDeterminism, BitIdenticalForEveryThreadCount) {
 
   for (int threads : {1, 2, 4}) {
     const std::vector<Measurement> got =
-        measureAll(tasks, {.threads = threads});
+        detail::measureAllUncached(tasks, {.threads = threads});
     ASSERT_EQ(got.size(), reference.size());
     for (std::size_t i = 0; i < got.size(); ++i)
       expectIdentical(got[i], reference[i],
@@ -75,8 +75,8 @@ TEST_P(ParallelMeasureDeterminism, ReuseProfilesBitIdentical) {
   const std::int64_t n = app == "ADI" ? 96 : 48;
   Program p = apps::buildApp(app);
   std::vector<ReuseTask> tasks;
-  tasks.push_back({.version = makeNoOpt(p), .n = n});
-  tasks.push_back({.version = makeFused(p), .n = n});
+  tasks.push_back({.version = makeVersion(p, Strategy::NoOpt), .n = n});
+  tasks.push_back({.version = makeVersion(p, Strategy::Fused), .n = n});
 
   std::vector<ReuseProfile> reference;
   for (const ReuseTask& t : tasks)
@@ -84,7 +84,7 @@ TEST_P(ParallelMeasureDeterminism, ReuseProfilesBitIdentical) {
 
   for (int threads : {1, 2, 4}) {
     const std::vector<ReuseProfile> got =
-        reuseProfilesOf(tasks, {.threads = threads});
+        detail::reuseProfilesOfUncached(tasks, {.threads = threads});
     ASSERT_EQ(got.size(), reference.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       // Full histogram contents, cold bin included.
@@ -107,9 +107,9 @@ INSTANTIATE_TEST_SUITE_P(Fig10Apps, ParallelMeasureDeterminism,
 TEST(ParallelMeasure, MergedProfileSumsTasks) {
   Program p = apps::buildApp("ADI");
   std::vector<ReuseTask> tasks;
-  tasks.push_back({.version = makeNoOpt(p), .n = 32});
-  tasks.push_back({.version = makeNoOpt(p), .n = 64});
-  const std::vector<ReuseProfile> profs = reuseProfilesOf(tasks);
+  tasks.push_back({.version = makeVersion(p, Strategy::NoOpt), .n = 32});
+  tasks.push_back({.version = makeVersion(p, Strategy::NoOpt), .n = 64});
+  const std::vector<ReuseProfile> profs = detail::reuseProfilesOfUncached(tasks);
   const ReuseProfile merged = mergeProfiles(profs);
   EXPECT_EQ(merged.accesses, profs[0].accesses + profs[1].accesses);
   EXPECT_EQ(merged.histogram.totalFinite(),

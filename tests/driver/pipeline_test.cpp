@@ -20,7 +20,7 @@ Program sampleProgram() {
 }
 
 TEST(Pipeline, FullPipelineRuns) {
-  PipelineResult r = optimize(sampleProgram());
+  PipelineResult r = runPipeline(sampleProgram());
   EXPECT_TRUE(r.regrouped);
   EXPECT_EQ(r.fusionReport.fusions, 1);
   EXPECT_EQ(computeStats(r.program).numLoopNests, 1);
@@ -32,7 +32,7 @@ TEST(Pipeline, StagesCanBeDisabled) {
   PipelineOptions opts;
   opts.fuse = false;
   opts.regroup = false;
-  PipelineResult r = optimize(sampleProgram(), opts);
+  PipelineResult r = runPipeline(sampleProgram(), opts);
   EXPECT_FALSE(r.regrouped);
   EXPECT_EQ(r.fusionReport.fusions, 0);
   EXPECT_EQ(computeStats(r.program).numLoopNests, 2);
@@ -42,10 +42,10 @@ TEST(Pipeline, VersionsHaveExpectedLayouts) {
   Program p = sampleProgram();
   const std::int64_t n = 32;
 
-  ProgramVersion noOpt = makeNoOpt(p);
-  ProgramVersion sgi = makeSgiLike(p);
-  ProgramVersion fused = makeFused(p);
-  ProgramVersion full = makeFusedRegrouped(p);
+  ProgramVersion noOpt = makeVersion(p, Strategy::NoOpt);
+  ProgramVersion sgi = makeVersion(p, Strategy::SgiLike);
+  ProgramVersion fused = makeVersion(p, Strategy::Fused);
+  ProgramVersion full = makeVersion(p, Strategy::FusedRegrouped);
 
   EXPECT_EQ(noOpt.layoutAt(n).totalBytes(), 2 * n * 8);
   EXPECT_GT(sgi.layoutAt(n).totalBytes(), noOpt.layoutAt(n).totalBytes());
@@ -59,7 +59,7 @@ TEST(Pipeline, RegroupedOnlySeesNoOpportunityWithoutFusion) {
   // "grouping may see little opportunity without fusion": the two separate
   // loops access A alone and {A,B}; A and B are not always together.
   Program p = sampleProgram();
-  ProgramVersion v = makeRegroupedOnly(p);
+  ProgramVersion v = makeVersion(p, Strategy::RegroupedOnly);
   DataLayout l = v.layoutAt(16);
   EXPECT_EQ(l.layoutOf(0).strides[0], 8);  // contiguous, no interleaving
 }
@@ -67,8 +67,8 @@ TEST(Pipeline, RegroupedOnlySeesNoOpportunityWithoutFusion) {
 TEST(Pipeline, VersionsPreserveSemanticsMutually) {
   Program p = sampleProgram();
   const std::int64_t n = 24;
-  ProgramVersion noOpt = makeNoOpt(p);
-  ProgramVersion full = makeFusedRegrouped(p);
+  ProgramVersion noOpt = makeVersion(p, Strategy::NoOpt);
+  ProgramVersion full = makeVersion(p, Strategy::FusedRegrouped);
   DataLayout l0 = noOpt.layoutAt(n);
   DataLayout l1 = full.layoutAt(n);
   ExecResult r0 = execute(noOpt.program, l0, {.n = n});

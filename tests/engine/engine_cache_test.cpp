@@ -1,0 +1,137 @@
+// Engine memoization: warm results must be byte-identical to the cold
+// computation, agree with the direct (engine-less) primitives, and the
+// caches must honor their capacity bounds.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/registry.hpp"
+#include "engine/engine.hpp"
+#include "ir/print.hpp"
+
+namespace gcr {
+namespace {
+
+bool sameSimulatedFields(const Measurement& a, const Measurement& b) {
+  return std::memcmp(&a.counts, &b.counts, sizeof a.counts) == 0 &&
+         a.cycles == b.cycles &&
+         a.memoryTrafficBytes == b.memoryTrafficBytes &&
+         a.effectiveBandwidth == b.effectiveBandwidth;
+}
+
+/// Cached values replay verbatim: even wall-clock fields must round-trip.
+bool byteIdentical(const Measurement& a, const Measurement& b) {
+  return sameSimulatedFields(a, b) && a.wallSeconds == b.wallSeconds &&
+         a.accessesPerSecond == b.accessesPerSecond;
+}
+
+TEST(EngineCache, WarmMeasurementIsByteIdenticalToCold) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::FusedRegrouped);
+  const MachineConfig m = MachineConfig::origin2000();
+
+  const Measurement cold = engine.measure(v, 40, m);
+  const Measurement warm = engine.measure(v, 40, m);
+  EXPECT_TRUE(byteIdentical(cold, warm));
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.measurement.hits, 1u);
+  EXPECT_EQ(s.measurement.misses, 1u);
+}
+
+TEST(EngineCache, EngineAgreesWithDirectPrimitives) {
+  Engine engine;
+  Program p = apps::buildApp("Swim");
+  const MachineConfig m = MachineConfig::origin2000();
+
+  ProgramVersion direct = makeVersion(p, Strategy::FusedRegrouped);
+  ProgramVersion cached = engine.version(p, Strategy::FusedRegrouped);
+  EXPECT_EQ(cached.name, direct.name);
+  EXPECT_EQ(toString(cached.program), toString(direct.program));
+
+  const Measurement md = measure(direct, 32, m, 2);
+  const Measurement me = engine.measure(cached, 32, m, 2);
+  EXPECT_TRUE(sameSimulatedFields(md, me));
+}
+
+TEST(EngineCache, VersionRequestsShareOnePipelineRun) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  (void)engine.version(p, Strategy::Fused);
+  (void)engine.version(p, Strategy::Fused);
+  (void)engine.version(p, Strategy::Fused, VersionSpec{.fusionLevels = 2});
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.pipeline.hits, 1u);    // identical request
+  EXPECT_EQ(s.pipeline.misses, 2u);  // distinct fusionLevels -> distinct key
+}
+
+TEST(EngineCache, PipelineResultsCloneIndependently) {
+  Engine engine;
+  Program p = apps::buildApp("Tomcatv");
+  PipelineResult r1 = engine.pipeline(p);
+  PipelineResult r2 = engine.pipeline(p);
+  EXPECT_EQ(toString(r1.program), toString(r2.program));
+  EXPECT_EQ(r1.diagnostics.size(), r2.diagnostics.size());
+  EXPECT_EQ(engine.stats().pipeline.hits, 1u);
+}
+
+TEST(EngineCache, ReuseProfileIsMemoized) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::NoOpt);
+  const ReuseProfile cold = engine.reuseProfile(v, 48);
+  const ReuseProfile warm = engine.reuseProfile(v, 48);
+  EXPECT_EQ(cold.accesses, warm.accesses);
+  EXPECT_EQ(cold.distinctData, warm.distinctData);
+  EXPECT_EQ(cold.histogram.highestNonEmptyBin(),
+            warm.histogram.highestNonEmptyBin());
+  EXPECT_EQ(engine.stats().profile.hits, 1u);
+}
+
+TEST(EngineCache, CapacityOneMeasurementCacheEvicts) {
+  Engine::Options opts;
+  opts.measurementCacheCapacity = 1;
+  Engine engine(opts);
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::NoOpt);
+  const MachineConfig m = MachineConfig::origin2000();
+
+  const Measurement a1 = engine.measure(v, 32, m);
+  const Measurement b1 = engine.measure(v, 40, m);  // evicts the n=32 entry
+  const Measurement a2 = engine.measure(v, 32, m);  // recomputed, not cached
+  EXPECT_TRUE(sameSimulatedFields(a1, a2));
+
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.measurement.hits, 0u);
+  EXPECT_EQ(s.measurement.misses, 3u);
+  EXPECT_GE(s.measurement.evictions, 1u);
+  EXPECT_EQ(s.measurement.entries, 1u);
+  (void)b1;
+}
+
+TEST(EngineCache, ClearCachesForcesRecomputeWithIdenticalResults) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::Fused);
+  const MachineConfig m = MachineConfig::origin2000();
+  const Measurement before = engine.measure(v, 32, m);
+  engine.clearCaches();
+  const Measurement after = engine.measure(v, 32, m);
+  EXPECT_TRUE(sameSimulatedFields(before, after));
+  const Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.measurement.misses, 2u);
+  EXPECT_EQ(s.measurement.hits, 0u);
+}
+
+TEST(EngineCache, DistinctMachinesAreDistinctKeys) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::NoOpt);
+  (void)engine.measure(v, 32, MachineConfig::origin2000());
+  (void)engine.measure(v, 32, MachineConfig::octane());
+  EXPECT_EQ(engine.stats().measurement.misses, 2u);
+  EXPECT_EQ(engine.stats().measurement.hits, 0u);
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,77 @@
+// LruCache: bounded storage semantics and counter observability.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/lru_cache.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache<int, std::string> c(4);
+  EXPECT_EQ(c.get(1), nullptr);
+  c.put(1, "one");
+  const std::string* v = c.get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "one");
+  const CacheCounters n = c.counters();
+  EXPECT_EQ(n.hits, 1u);
+  EXPECT_EQ(n.misses, 1u);
+  EXPECT_EQ(n.evictions, 0u);
+  EXPECT_EQ(n.entries, 1u);
+}
+
+TEST(LruCache, CapacityOneEvictsOnSecondInsert) {
+  LruCache<int, int> c(1);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_EQ(c.get(1), nullptr);  // evicted
+  ASSERT_NE(c.get(2), nullptr);
+  EXPECT_EQ(*c.get(2), 20);
+  EXPECT_EQ(c.counters().evictions, 1u);
+  EXPECT_EQ(c.counters().entries, 1u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.get(1), nullptr);  // 1 becomes MRU; 2 is now LRU
+  c.put(3, 30);                  // evicts 2
+  EXPECT_NE(c.get(1), nullptr);
+  EXPECT_EQ(c.get(2), nullptr);
+  EXPECT_NE(c.get(3), nullptr);
+}
+
+TEST(LruCache, OverwriteDoesNotGrowOrEvict) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(1, 11);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.counters().evictions, 0u);
+  EXPECT_EQ(*c.get(1), 11);
+}
+
+TEST(LruCache, ZeroCapacityIsDisabledButObservable) {
+  LruCache<int, int> c(0);
+  c.put(1, 10);
+  EXPECT_EQ(c.get(1), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.counters().misses, 1u);
+}
+
+TEST(LruCache, ClearKeepsCounterTotals) {
+  LruCache<int, int> c(4);
+  c.put(1, 10);
+  EXPECT_NE(c.get(1), nullptr);
+  c.clear();
+  EXPECT_EQ(c.get(1), nullptr);
+  const CacheCounters n = c.counters();
+  EXPECT_EQ(n.hits, 1u);
+  EXPECT_EQ(n.misses, 1u);
+  EXPECT_EQ(n.entries, 0u);
+}
+
+}  // namespace
+}  // namespace gcr

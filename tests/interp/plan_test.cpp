@@ -57,9 +57,9 @@ void expectEnginesIdentical(const ProgramVersion& v, std::int64_t n,
 TEST(PlanDifferential, RegistryAppsContiguous) {
   for (const auto& app : apps::evaluationApps()) {
     SCOPED_TRACE(app.name);
-    expectEnginesIdentical(makeNoOpt(apps::buildApp(app.name)), 24);
+    expectEnginesIdentical(makeVersion(apps::buildApp(app.name), Strategy::NoOpt), 24);
   }
-  expectEnginesIdentical(makeNoOpt(apps::buildApp("Sweep3D")), 16);
+  expectEnginesIdentical(makeVersion(apps::buildApp("Sweep3D"), Strategy::NoOpt), 16);
 }
 
 TEST(PlanDifferential, RegistryAppsTransformedAndRegrouped) {
@@ -69,16 +69,16 @@ TEST(PlanDifferential, RegistryAppsTransformedAndRegrouped) {
   for (const auto& app : apps::evaluationApps()) {
     SCOPED_TRACE(app.name);
     Program p = apps::buildApp(app.name);
-    expectEnginesIdentical(makeFused(p), 24);
-    expectEnginesIdentical(makeFusedRegrouped(p), 24);
-    expectEnginesIdentical(makeSgiLike(p), 24);
+    expectEnginesIdentical(makeVersion(p, Strategy::Fused), 24);
+    expectEnginesIdentical(makeVersion(p, Strategy::FusedRegrouped), 24);
+    expectEnginesIdentical(makeVersion(p, Strategy::SgiLike), 24);
   }
 }
 
 TEST(PlanDifferential, TimeStepsRepeatIdentically) {
   Program p = apps::buildApp("ADI");
-  expectEnginesIdentical(makeNoOpt(p), 20, /*timeSteps=*/3);
-  expectEnginesIdentical(makeFusedRegrouped(p), 20, /*timeSteps=*/3);
+  expectEnginesIdentical(makeVersion(p, Strategy::NoOpt), 20, /*timeSteps=*/3);
+  expectEnginesIdentical(makeVersion(p, Strategy::FusedRegrouped), 20, /*timeSteps=*/3);
 }
 
 TEST(PlanDifferential, ReversedLoops) {
@@ -180,7 +180,7 @@ TEST(PlanCompile, RegistryAppsQualify) {
   for (const auto& app : apps::evaluationApps()) {
     Program p = apps::buildApp(app.name);
     for (const ProgramVersion& v :
-         {makeNoOpt(p), makeFused(p), makeFusedRegrouped(p), makeSgiLike(p)}) {
+         {makeVersion(p, Strategy::NoOpt), makeVersion(p, Strategy::Fused), makeVersion(p, Strategy::FusedRegrouped), makeVersion(p, Strategy::SgiLike)}) {
       SCOPED_TRACE(app.name + "/" + v.name);
       DataLayout layout = v.layoutAt(24);
       const PlanCompileResult r =
@@ -212,7 +212,7 @@ TEST_P(PlanFuzz, RandomProgramsIdentical) {
   expectEnginesIdentical(p, paddedLayout(p, 21, 96), {.n = 21});
   // Push each random program through the optimizer too: fused output is the
   // guard-heavy IR the plan engine must get right.
-  expectEnginesIdentical(makeFusedRegrouped(p), 21);
+  expectEnginesIdentical(makeVersion(p, Strategy::FusedRegrouped), 21);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz,

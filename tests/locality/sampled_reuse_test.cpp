@@ -115,7 +115,7 @@ TEST(SampledReuse, WithinBoundOnRandomProgramPipelines) {
   opts.allowReversed = true;
   for (std::uint64_t seed : {3u, 17u, 29u}) {
     Program p = testing::randomProgram(seed, opts);
-    ProgramVersion v = makeNoOpt(p);
+    ProgramVersion v = makeVersion(p, Strategy::NoOpt);
     std::int64_t n = 256;
     while (n < 16384 &&
            v.layoutAt(n).totalBytes() / 8 < std::int64_t{64} * 1024)
@@ -148,7 +148,7 @@ TEST(SampledReuse, RealAppProfileWithinBound) {
   // The tentpole use case: paper-app reuse profiles at rate 1/64.
   for (const char* app : {"ADI", "Swim"}) {
     Program prog = apps::buildApp(app);
-    ProgramVersion v = makeNoOpt(prog);
+    ProgramVersion v = makeVersion(prog, Strategy::NoOpt);
     const std::int64_t n = 128;
     const ReuseProfile exact = reuseProfileOf(v, n);
     const ReuseProfile sampled =

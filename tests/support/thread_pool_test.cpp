@@ -84,6 +84,47 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
     ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
 }
 
+TEST(ThreadPool, EnqueueRunsEveryJob) {
+  for (int threads : {1, 4}) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(threads);
+      for (int i = 0; i < 100; ++i) pool.enqueue([&] { ++ran; });
+    }  // destructor completes whatever is still queued
+    EXPECT_EQ(ran.load(), 100) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, EnqueueInlineWithOneThread) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.enqueue([&] { ran = true; });
+  // No worker machinery at threads == 1: the job ran before enqueue returned.
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, EnqueueFromInsideTaskRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallelFor(8, [&](std::size_t) {
+    pool.enqueue([&] { ++ran; });  // must not deadlock on the pool's queue
+  });
+  // Inline execution means all nested jobs finished with the batch.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, EnqueueInterleavesWithParallelFor) {
+  std::atomic<int> async{0};
+  std::atomic<int> batch{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) pool.enqueue([&] { ++async; });
+    pool.parallelFor(64, [&](std::size_t) { ++batch; });
+    EXPECT_EQ(batch.load(), 64);
+  }  // destruction drains any async jobs still queued
+  EXPECT_EQ(async.load(), 32);
+}
+
 TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
   setenv("GCR_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);

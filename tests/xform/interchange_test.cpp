@@ -124,13 +124,13 @@ TEST(Interchange, AutoOrderingFixesTomcatv) {
 
   PipelineOptions opts;
   opts.regroup = false;
-  PipelineResult rRaw = optimize(raw, opts);
-  PipelineResult rFixed = optimize(fixed, opts);
+  PipelineResult rRaw = runPipeline(raw, opts);
+  PipelineResult rFixed = runPipeline(fixed, opts);
   EXPECT_LT(computeStats(rFixed.program).numLoopNests,
             computeStats(rRaw.program).numLoopNests);
 
   Program hand = apps::buildApp("Tomcatv");
-  PipelineResult rHand = optimize(hand, opts);
+  PipelineResult rHand = runPipeline(hand, opts);
   EXPECT_EQ(computeStats(rFixed.program).numLoopNests,
             computeStats(rHand.program).numLoopNests);
 }

@@ -51,6 +51,13 @@ struct Options {
   int notes = 0;
 };
 
+/// Session Engine for --pipeline runs: verifying the same app twice (or an
+/// app that appears in several name lists) reuses the cached pipeline run.
+Engine& sessionEngine() {
+  static Engine engine;
+  return engine;
+}
+
 /// Verify one program; returns all diagnostics (prints nothing).
 std::vector<Diagnostic> verifyOne(const Program& p, const std::string& name,
                                   const Options& o) {
@@ -61,7 +68,7 @@ std::vector<Diagnostic> verifyOne(const Program& p, const std::string& name,
   if (o.pipeline) {
     PipelineOptions po;
     po.fusionOptions.minN = o.minN;
-    PipelineResult r = optimize(p, po);
+    PipelineResult r = sessionEngine().pipeline(p, po);
     appendDiagnostics(diags, r.diagnostics);
     appendDiagnostics(diags,
                       verifyProgram(r.program, name + "+opt", vo).diags);

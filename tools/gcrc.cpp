@@ -88,7 +88,10 @@ int main(int argc, char** argv) {
                 emitOrigPath.c_str());
   }
 
-  PipelineResult r = optimize(p, opts);
+  // One Engine per invocation: repeated emission paths below reuse the
+  // cached pipeline run instead of re-optimizing.
+  Engine engine;
+  PipelineResult r = engine.pipeline(p, opts);
   std::printf("optimized: %s\n", computeStats(r.program).summary().c_str());
   if (report) {
     std::printf("fusions=%d embeddings=%d peels=%d\n", r.fusionReport.fusions,
