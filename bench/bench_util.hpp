@@ -81,7 +81,9 @@ inline void printThroughput(const std::vector<VersionRow>& rows) {
 
 /// Session-Engine cache counters of a finished sweep.  Like the throughput
 /// line, the counts may depend on scheduling (in-flight coalescing vs cache
-/// hit), so this is printed outside the byte-compared result tables.
+/// hit), so this is printed outside the byte-compared result tables.  Both
+/// lines ("engine cache", "engine store") are excluded by CI's determinism
+/// greps — keep those patterns in sync when renaming.
 inline void printEngineStats() {
   const Engine::Stats s = sessionEngine().stats();
   auto hm = [](const CacheCounters& c) {
@@ -92,6 +94,17 @@ inline void printEngineStats() {
               hm(s.pipeline).c_str(), hm(s.plan).c_str(),
               hm(s.measurement).c_str(), hm(s.profile).c_str(),
               static_cast<unsigned long long>(s.inflightCoalesced));
+  const std::string dir = sessionEngine().cacheDirInUse();
+  if (!dir.empty()) {
+    const store::StoreCounters& d = s.store;
+    std::printf("engine store (disk tier at %s): %llu hits, %llu misses, "
+                "%llu puts, %llu corrupt-rejected, %llu evicted\n",
+                dir.c_str(), static_cast<unsigned long long>(d.hits),
+                static_cast<unsigned long long>(d.misses),
+                static_cast<unsigned long long>(d.puts),
+                static_cast<unsigned long long>(d.corruptRejected),
+                static_cast<unsigned long long>(d.evictions));
+  }
 }
 
 /// Print the Figure 10 panel: execution time and miss counts normalized to

@@ -46,7 +46,9 @@ class ResultWriter {
   /// construction and finish().
   JsonWriter& json() { return json_; }
 
-  /// Record the cache counters of the Engine that produced the results.
+  /// Record the cache counters of the Engine that produced the results,
+  /// including the disk-tier counters (all zero when no persistent store
+  /// was attached).
   void addEngineStats(const Engine::Stats& s) {
     json_.key("engine_cache").beginObject();
     cacheObject("pipeline", s.pipeline);
@@ -54,6 +56,16 @@ class ResultWriter {
     cacheObject("measurement", s.measurement);
     cacheObject("profile", s.profile);
     json_.field("inflight_coalesced", s.inflightCoalesced);
+    json_.key("store").beginObject();
+    json_.field("hits", s.store.hits);
+    json_.field("misses", s.store.misses);
+    json_.field("puts", s.store.puts);
+    json_.field("put_failures", s.store.putFailures);
+    json_.field("corrupt_rejected", s.store.corruptRejected);
+    json_.field("evictions", s.store.evictions);
+    json_.field("bytes_loaded", s.store.bytesLoaded);
+    json_.field("bytes_stored", s.store.bytesStored);
+    json_.endObject();
     json_.endObject();
   }
 

@@ -13,6 +13,7 @@
 #include "interp/plan.hpp"
 #include "ir/stats.hpp"
 #include "locality/sampled_reuse.hpp"
+#include "store/codec.hpp"
 #include "support/thread_pool.hpp"
 
 namespace gcr {
@@ -38,6 +39,13 @@ bool engineForcedToWalk() {
   return v == "walk" || v == "tree";
 }
 
+/// Options::cacheDir wins; nullopt defers to GCR_CACHE_DIR; "" disables.
+std::string resolveCacheDir(const Engine::Options& o) {
+  if (o.cacheDir.has_value()) return *o.cacheDir;
+  const char* env = std::getenv("GCR_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 /// A compiled plan together with the Program clone and DataLayout copy it
 /// borrows; heap-allocated via shared_ptr so the borrowed addresses are
 /// stable for the plan's whole lifetime (including after cache eviction,
@@ -53,6 +61,9 @@ struct CachedPlan {
 struct Engine::Impl {
   const Options options;
   const bool forceWalk;
+  /// Persistent disk tier; nullptr = memory-only.  Thread-safe internally,
+  /// so it is consulted from compute lambdas outside `mutex`.
+  const std::unique_ptr<store::ArtifactStore> diskStore;
 
   mutable std::mutex mutex;
   LruCache<Signature, std::shared_ptr<const PipelineResult>, SignatureHash>
@@ -76,6 +87,10 @@ struct Engine::Impl {
       inflightProfiles;
   std::uint64_t inflightCoalesced = 0;
 
+  /// Signatures of plans compiled this session (plans stay in memory; see
+  /// Engine::compiledPlanSignatures).
+  std::vector<Signature> planSignatures;
+
   // Declared last so it is destroyed first: the destructor drains pending
   // jobs, which still touch the caches and maps above.
   ThreadPool pool;
@@ -83,6 +98,9 @@ struct Engine::Impl {
   explicit Impl(const Options& o)
       : options(o),
         forceWalk(engineForcedToWalk()),
+        diskStore(store::ArtifactStore::open({.dir = resolveCacheDir(o),
+                                              .fsync = o.storeFsync,
+                                              .maxBytes = o.storeMaxBytes})),
         pipelines(o.pipelineCacheCapacity),
         plans(o.planCacheCapacity),
         measurements(o.measurementCacheCapacity),
@@ -181,29 +199,90 @@ struct Engine::Impl {
     return h.take();
   }
 
+  // --- persistent disk tier -----------------------------------------------
+
+  /// Checksum-validated disk lookup.  An entry that passes the store's
+  /// validation but fails to decode (codec version drift) is treated as a
+  /// miss; the recompute republishes under the same key.
+  template <typename T, typename Decode>
+  std::optional<T> loadArtifact(store::ArtifactKind kind, const Signature& key,
+                                Decode&& decode) {
+    if (!diskStore) return std::nullopt;
+    const std::optional<store::MappedEntry> entry = diskStore->get(kind, key);
+    if (!entry) return std::nullopt;
+    return decode(entry->payload());
+  }
+
+  void saveArtifact(store::ArtifactKind kind, const Signature& key,
+                    const std::vector<std::uint8_t>& payload) {
+    if (diskStore) diskStore->put(kind, key, payload);
+  }
+
   // --- compute stages -----------------------------------------------------
 
   std::shared_ptr<const PipelineResult> pipelineFor(const Program& p,
                                                     const PipelineOptions& po) {
-    return getOrCompute(
-        pipelines, inflightPipelines, pipelineKey(p, po), [&] {
-          return std::make_shared<const PipelineResult>(runPipeline(p, po));
-        });
+    const Signature key = pipelineKey(p, po);
+    return getOrCompute(pipelines, inflightPipelines, key, [&] {
+      if (std::optional<PipelineResult> cached =
+              loadArtifact<PipelineResult>(store::ArtifactKind::PipelineResult,
+                                           key, store::decodePipelineResult))
+        return std::make_shared<const PipelineResult>(std::move(*cached));
+      auto r = std::make_shared<const PipelineResult>(runPipeline(p, po));
+      saveArtifact(store::ArtifactKind::PipelineResult, key,
+                   store::encodePipelineResult(*r));
+      return r;
+    });
   }
 
   std::shared_ptr<const CachedPlan> planFor(const Program& p,
                                             const DataLayout& layout,
                                             std::int64_t n,
                                             std::uint64_t timeSteps) {
-    return getOrCompute(
-        plans, inflightPlans, planKey(p, layout, n, timeSteps), [&] {
-          auto cp = std::make_shared<CachedPlan>();
-          cp->program = p.clone();
-          cp->layout = layout;
-          cp->compiled = compilePlan(cp->program, cp->layout,
-                                     {.n = n, .timeSteps = timeSteps});
-          return std::shared_ptr<const CachedPlan>(std::move(cp));
-        });
+    const Signature key = planKey(p, layout, n, timeSteps);
+    return getOrCompute(plans, inflightPlans, key, [&] {
+      auto cp = std::make_shared<CachedPlan>();
+      cp->program = p.clone();
+      cp->layout = layout;
+      cp->compiled = compilePlan(cp->program, cp->layout,
+                                 {.n = n, .timeSteps = timeSteps});
+      {
+        // Plans are in-memory artifacts (they borrow the program and layout
+        // above); record the signature so persistent compiled artifacts can
+        // attach to the same key later.
+        std::lock_guard<std::mutex> lock(mutex);
+        planSignatures.push_back(key);
+      }
+      return std::shared_ptr<const CachedPlan>(std::move(cp));
+    });
+  }
+
+  Measurement measurementFor(const Signature& key,
+                             const ProgramVersion& version,
+                             const DataLayout& layout, std::int64_t n,
+                             std::uint64_t timeSteps,
+                             const MachineConfig& machine,
+                             const CostModel& cost) {
+    if (std::optional<Measurement> cached = loadArtifact<Measurement>(
+            store::ArtifactKind::Measurement, key, store::decodeMeasurement))
+      return *cached;
+    Measurement m =
+        computeMeasurement(version, layout, n, timeSteps, machine, cost);
+    saveArtifact(store::ArtifactKind::Measurement, key,
+                 store::encodeMeasurement(m));
+    return m;
+  }
+
+  ReuseProfile profileFor(const Signature& key, const ProgramVersion& version,
+                          const DataLayout& layout, std::int64_t n,
+                          std::uint64_t timeSteps) {
+    if (std::optional<ReuseProfile> cached = loadArtifact<ReuseProfile>(
+            store::ArtifactKind::ReuseProfile, key, store::decodeReuseProfile))
+      return *cached;
+    ReuseProfile p = computeProfile(version, layout, n, timeSteps);
+    saveArtifact(store::ArtifactKind::ReuseProfile, key,
+                 store::encodeReuseProfile(p));
+    return p;
   }
 
   Measurement computeMeasurement(const ProgramVersion& version,
@@ -266,8 +345,8 @@ struct Engine::Impl {
                           const Signature& key,
                           std::promise<Measurement>& promise) {
     try {
-      Measurement m = computeMeasurement(t.version, layout, t.n, t.timeSteps,
-                                         t.machine, t.cost);
+      Measurement m = measurementFor(key, t.version, layout, t.n, t.timeSteps,
+                                     t.machine, t.cost);
       {
         std::lock_guard<std::mutex> lock(mutex);
         measurements.put(key, m);
@@ -287,7 +366,7 @@ struct Engine::Impl {
                       const Signature& key,
                       std::promise<ReuseProfile>& promise) {
     try {
-      ReuseProfile p = computeProfile(t.version, layout, t.n, t.timeSteps);
+      ReuseProfile p = profileFor(key, t.version, layout, t.n, t.timeSteps);
       {
         std::lock_guard<std::mutex> lock(mutex);
         profiles.put(key, p);
@@ -328,8 +407,8 @@ Measurement Engine::measure(const ProgramVersion& version, std::int64_t n,
                                              timeSteps, machine, cost);
   return impl_->getOrCompute(
       impl_->measurements, impl_->inflightMeasurements, key, [&] {
-        return impl_->computeMeasurement(version, layout, n, timeSteps,
-                                         machine, cost);
+        return impl_->measurementFor(key, version, layout, n, timeSteps,
+                                     machine, cost);
       });
 }
 
@@ -339,8 +418,9 @@ ReuseProfile Engine::reuseProfile(const ProgramVersion& version,
   const Signature key =
       impl_->profileKey(version.program, layout, n, timeSteps);
   return impl_->getOrCompute(
-      impl_->profiles, impl_->inflightProfiles, key,
-      [&] { return impl_->computeProfile(version, layout, n, timeSteps); });
+      impl_->profiles, impl_->inflightProfiles, key, [&] {
+        return impl_->profileFor(key, version, layout, n, timeSteps);
+      });
 }
 
 Future<Measurement> Engine::submit(MeasureTask task) {
@@ -450,10 +530,25 @@ std::vector<ReuseProfile> Engine::reuseProfilesOf(
 }
 
 Engine::Stats Engine::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    s = Stats{impl_->pipelines.counters(), impl_->plans.counters(),
+              impl_->measurements.counters(), impl_->profiles.counters(),
+              impl_->inflightCoalesced, store::StoreCounters{}};
+  }
+  // The store has its own lock; never hold both.
+  if (impl_->diskStore) s.store = impl_->diskStore->counters();
+  return s;
+}
+
+std::string Engine::cacheDirInUse() const {
+  return impl_->diskStore ? impl_->diskStore->dir() : std::string();
+}
+
+std::vector<Signature> Engine::compiledPlanSignatures() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return Stats{impl_->pipelines.counters(), impl_->plans.counters(),
-               impl_->measurements.counters(), impl_->profiles.counters(),
-               impl_->inflightCoalesced};
+  return impl_->planSignatures;
 }
 
 void Engine::clearCaches() {

@@ -36,10 +36,23 @@
 // GCR_ENGINE=walk (read at Engine construction) bypasses the plan cache
 // entirely and routes measurement through the tree-walking oracle, exactly
 // as the free-standing measure() does.
+//
+// Persistent disk tier: with Options::cacheDir (or the GCR_CACHE_DIR
+// environment variable) set, the in-memory caches are backed by an on-disk
+// content-addressed artifact store (store/store.hpp).  A miss in memory
+// consults the disk before computing; a fresh computation is published to
+// both tiers.  Stored values are returned verbatim — a cold *process* with
+// a warm *disk* reproduces the original results bit-for-bit, wall-clock
+// fields included — and any disk-level corruption degrades to a recompute,
+// never a wrong result.  Compiled plans are never persisted (they borrow
+// in-memory pointers); their signatures are recorded so future native
+// codegen can attach compiled artifacts under the same keys.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "driver/measure.hpp"
@@ -47,6 +60,7 @@
 #include "engine/future.hpp"
 #include "engine/lru_cache.hpp"
 #include "engine/signature.hpp"
+#include "store/store.hpp"
 
 namespace gcr {
 
@@ -71,6 +85,18 @@ class Engine {
     int threads = 0;
     /// Reuse-distance sampling rate, as MeasureOptions::sampleRate.
     double sampleRate = 1.0;
+    /// Directory of the persistent artifact store (the disk cache tier).
+    /// nullopt (default) defers to the GCR_CACHE_DIR environment variable;
+    /// an empty string disables the disk tier even when the variable is
+    /// set.  The directory is created on demand; if it cannot be opened the
+    /// Engine silently runs memory-only.
+    std::optional<std::string> cacheDir;
+    /// fsync artifacts during publication (crash durability).  Disable only
+    /// for throwaway store directories; publication stays atomic.
+    bool storeFsync = true;
+    /// Disk-store size budget in bytes (0 = unbounded); oldest entries are
+    /// evicted after a publication pushes the store past the budget.
+    std::uint64_t storeMaxBytes = 0;
   };
 
   /// Aggregated cache observability; see LruCache::counters().
@@ -82,6 +108,8 @@ class Engine {
     /// Submissions that attached to an identical in-flight computation
     /// instead of starting their own (in-flight deduplication).
     std::uint64_t inflightCoalesced = 0;
+    /// Disk-tier counters (all zero when no persistent store is attached).
+    store::StoreCounters store;
   };
 
   Engine();
@@ -140,7 +168,18 @@ class Engine {
 
   Stats stats() const;
 
-  /// Drop every cached artifact (counters keep their totals).
+  /// Directory of the attached persistent store; empty when the disk tier
+  /// is disabled (or failed to open).
+  std::string cacheDirInUse() const;
+
+  /// Signatures of every access plan compiled by this session, in first-
+  /// compilation order.  Plans are in-memory-only artifacts; this is the
+  /// hook for attaching persistent compiled-code artifacts to the same keys
+  /// later (ROADMAP: native codegen).
+  std::vector<Signature> compiledPlanSignatures() const;
+
+  /// Drop every cached artifact from the in-memory tier (counters keep
+  /// their totals; the persistent store is untouched).
   void clearCaches();
 
  private:

@@ -12,6 +12,8 @@
 //   fusion/    reuse-based loop fusion (Figure 6)
 //   regroup/   multi-level data regrouping (Figures 7-8)
 //   driver/    the full pipeline, program versions, measurement harness
+//   store/     persistent content-addressed artifact store (the disk
+//              cache tier: crash-safe publication, mmap zero-copy loads)
 //   engine/    the session runtime: content-addressed caching + async
 //              batch scheduling behind one API (gcr::Engine)
 //   apps/      the paper's benchmark programs (Figure 9)
@@ -47,7 +49,11 @@
 #include "locality/reuse_distance.hpp"
 #include "regroup/regroup.hpp"
 #include "reuse_driven/reuse_driven.hpp"
+#include "store/codec.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
 #include "support/affine.hpp"
+#include "support/serialize.hpp"
 #include "support/histogram.hpp"
 #include "support/table.hpp"
 #include "xform/distribute.hpp"

@@ -55,6 +55,17 @@ class Regrouping {
   static Regrouping analyze(const Program& p, const RegroupOptions& opts = {},
                             RegroupReport* report = nullptr);
 
+  /// Rebuild a Regrouping from its partitions, exactly as exposed by
+  /// maxRank()/partitionAt() — the deserialization path of the persistent
+  /// artifact store (store/codec.hpp).  The caller vouches that the
+  /// partitions came from analyze() on the same program.
+  static Regrouping fromPartitions(
+      std::vector<std::vector<std::vector<ArrayId>>> partitions) {
+    Regrouping rg;
+    rg.partitions_ = std::move(partitions);
+    return rg;
+  }
+
   /// Materialize the layout at problem size n.
   DataLayout layout(const Program& p, std::int64_t n) const;
 

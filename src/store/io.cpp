@@ -1,0 +1,47 @@
+#include "store/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace gcr::store {
+
+int StoreIo::openForWrite(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+long long StoreIo::write(int fd, const void* data, std::size_t n) {
+  const ssize_t w = ::write(fd, data, n);
+  return static_cast<long long>(w);
+}
+
+bool StoreIo::fsync(int fd) { return ::fsync(fd) == 0; }
+
+bool StoreIo::close(int fd) { return ::close(fd) == 0; }
+
+bool StoreIo::rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool StoreIo::fsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool StoreIo::unlink(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+StoreIo& StoreIo::posix() {
+  static StoreIo io;
+  return io;
+}
+
+}  // namespace gcr::store

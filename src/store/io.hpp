@@ -1,0 +1,50 @@
+// Syscall seam of the artifact store's *write* path.
+//
+// Every operation of the crash-safe publication sequence — create temp,
+// append, fsync, close, rename into place, fsync the directory — goes
+// through a StoreIo, so the fault-injection harness (tests/store/) can model
+// short writes, elided fsyncs and a process dying at any point K of the
+// sequence, without platform hooks or actually killing processes.  The read
+// path does not go through StoreIo: corruption of *published* entries is
+// modelled by mutating the files directly, which also covers bit rot that
+// no syscall ever saw.
+//
+// The default implementation is plain POSIX.  All methods return false / -1
+// on failure; the store treats any publication failure as "this artifact is
+// not cached" and never leaves a partially visible entry (the temp file may
+// remain as debris, which open()/maintenance sweeps remove).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gcr::store {
+
+class StoreIo {
+ public:
+  virtual ~StoreIo() = default;
+
+  /// O_WRONLY|O_CREAT|O_TRUNC, 0644.  Returns a file descriptor or -1.
+  virtual int openForWrite(const std::string& path);
+
+  /// Append up to `n` bytes; returns bytes actually written (a short count
+  /// is legal, the store loops) or -1 on error.
+  virtual long long write(int fd, const void* data, std::size_t n);
+
+  virtual bool fsync(int fd);
+
+  virtual bool close(int fd);
+
+  virtual bool rename(const std::string& from, const std::string& to);
+
+  /// fsync the directory containing a just-renamed entry, making the rename
+  /// itself durable.
+  virtual bool fsyncDir(const std::string& dir);
+
+  virtual bool unlink(const std::string& path);
+
+  /// The process-wide default (plain POSIX).
+  static StoreIo& posix();
+};
+
+}  // namespace gcr::store

@@ -1,0 +1,276 @@
+#include "store/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace gcr::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// objects/<32-hex>-<kind>.gcra
+std::string objectFileName(ArtifactKind kind, const Signature& sig) {
+  return sig.str() + "-" + artifactKindName(kind) + ".gcra";
+}
+
+struct FileAge {
+  fs::path path;
+  fs::file_time_type mtime;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace
+
+MappedEntry& MappedEntry::operator=(MappedEntry&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, mapBytes_);
+    map_ = std::exchange(other.map_, nullptr);
+    mapBytes_ = std::exchange(other.mapBytes_, 0);
+    payload_ = std::exchange(other.payload_, {});
+  }
+  return *this;
+}
+
+MappedEntry::~MappedEntry() {
+  if (map_ != nullptr) ::munmap(map_, mapBytes_);
+}
+
+ArtifactStore::ArtifactStore(Options opts, std::string dir)
+    : opts_(opts),
+      dir_(std::move(dir)),
+      objectsDir_(dir_ + "/objects"),
+      tmpDir_(dir_ + "/tmp"),
+      io_(opts.io != nullptr ? opts.io : &StoreIo::posix()) {}
+
+std::unique_ptr<ArtifactStore> ArtifactStore::open(Options opts) {
+  if (opts.dir.empty()) return nullptr;
+  std::error_code ec;
+  fs::create_directories(opts.dir + "/objects", ec);
+  if (ec) return nullptr;
+  fs::create_directories(opts.dir + "/tmp", ec);
+  if (ec) return nullptr;
+  std::unique_ptr<ArtifactStore> s(
+      new ArtifactStore(opts, fs::path(opts.dir).string()));
+  s->removeStaleTempFiles();
+  return s;
+}
+
+std::string ArtifactStore::objectPath(ArtifactKind kind,
+                                      const Signature& sig) const {
+  return objectsDir_ + "/" + objectFileName(kind, sig);
+}
+
+bool ArtifactStore::put(ArtifactKind kind, const Signature& sig,
+                        std::span<const std::uint8_t> payload) {
+  EntryHeader h;
+  h.formatVersion = kFormatVersion;
+  h.kind = kind;
+  h.signature = sig;
+  h.payloadBytes = payload.size();
+  h.payloadChecksum = fnv1a64(payload);
+  const std::array<std::uint8_t, kHeaderBytes> header = encodeHeader(h);
+
+  std::string tmpPath;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tmpPath = tmpDir_ + "/" + objectFileName(kind, sig) + "." +
+              std::to_string(::getpid()) + "." + std::to_string(tmpSeq_++) +
+              ".tmp";
+  }
+
+  auto fail = [&](int fd) {
+    if (fd >= 0) io_->close(fd);
+    io_->unlink(tmpPath);  // best-effort; debris is swept by open()
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.putFailures;
+    return false;
+  };
+
+  const int fd = io_->openForWrite(tmpPath);
+  if (fd < 0) return fail(-1);
+
+  auto writeAll = [&](std::span<const std::uint8_t> bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const long long w =
+          io_->write(fd, bytes.data() + done, bytes.size() - done);
+      if (w <= 0) return false;
+      done += static_cast<std::size_t>(w);
+    }
+    return true;
+  };
+  if (!writeAll(header)) return fail(fd);
+  if (!writeAll(payload)) return fail(fd);
+  if (opts_.fsync && !io_->fsync(fd)) return fail(fd);
+  if (!io_->close(fd)) return fail(-1);
+  if (!io_->rename(tmpPath, objectPath(kind, sig))) return fail(-1);
+  if (opts_.fsync) io_->fsyncDir(objectsDir_);  // durability only; the
+                                                // rename is already visible
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.puts;
+    counters_.bytesStored += payload.size();
+  }
+  if (opts_.maxBytes > 0) enforceSizeBudget();
+  return true;
+}
+
+std::optional<MappedEntry> ArtifactStore::get(ArtifactKind kind,
+                                              const Signature& sig) {
+  const std::string path = objectPath(kind, sig);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.misses;
+    return std::nullopt;
+  }
+
+  auto reject = [&] {
+    ::close(fd);
+    // Self-healing: drop the bad entry so it costs exactly one recompute.
+    ::unlink(path.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.corruptRejected;
+    ++counters_.misses;
+    return std::nullopt;
+  };
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return reject();
+  const std::size_t fileBytes = static_cast<std::size_t>(st.st_size);
+  if (fileBytes < kHeaderBytes) return reject();
+
+  void* map = ::mmap(nullptr, fileBytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the inode alive
+  if (map == MAP_FAILED) return reject();
+
+  MappedEntry entry;
+  entry.map_ = map;
+  entry.mapBytes_ = fileBytes;
+  const std::span<const std::uint8_t> bytes(
+      static_cast<const std::uint8_t*>(map), fileBytes);
+
+  EntryHeader h;
+  if (!decodeHeader(bytes, &h)) return reject();
+  if (h.formatVersion != kFormatVersion) return reject();
+  if (h.kind != kind) return reject();
+  if (h.signature != sig) return reject();
+  if (h.payloadBytes != fileBytes - kHeaderBytes) return reject();
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderBytes);
+  if (fnv1a64(payload) != h.payloadChecksum) return reject();
+
+  entry.payload_ = payload;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.hits;
+    counters_.bytesLoaded += payload.size();
+  }
+  return entry;
+}
+
+int ArtifactStore::removeStaleTempFiles(long long maxAgeSeconds) {
+  int removed = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& e : fs::directory_iterator(tmpDir_, ec)) {
+    std::error_code fec;
+    const auto mtime = fs::last_write_time(e.path(), fec);
+    if (fec) continue;
+    const auto age =
+        std::chrono::duration_cast<std::chrono::seconds>(now - mtime).count();
+    if (age >= maxAgeSeconds) {
+      if (fs::remove(e.path(), fec) && !fec) ++removed;
+    }
+  }
+  return removed;
+}
+
+void ArtifactStore::enforceSizeBudget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  std::vector<FileAge> files;
+  std::uint64_t total = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(objectsDir_, ec)) {
+    std::error_code fec;
+    FileAge f;
+    f.path = e.path();
+    f.bytes = static_cast<std::uint64_t>(fs::file_size(e.path(), fec));
+    if (fec) continue;
+    f.mtime = fs::last_write_time(e.path(), fec);
+    if (fec) continue;
+    total += f.bytes;
+    files.push_back(std::move(f));
+  }
+  if (total <= opts_.maxBytes) return;
+  std::sort(files.begin(), files.end(),
+            [](const FileAge& a, const FileAge& b) { return a.mtime < b.mtime; });
+  for (const FileAge& f : files) {
+    if (total <= opts_.maxBytes) break;
+    std::error_code fec;
+    if (fs::remove(f.path, fec) && !fec) {
+      total -= f.bytes;
+      ++counters_.evictions;
+    }
+  }
+}
+
+std::vector<ArtifactStore::EntryInfo> ArtifactStore::scan() const {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(objectsDir_, ec)) {
+    EntryInfo info;
+    info.file = e.path().filename().string();
+    std::error_code fec;
+    info.fileBytes = static_cast<std::uint64_t>(fs::file_size(e.path(), fec));
+    if (fec) {
+      out.push_back(std::move(info));
+      continue;
+    }
+    const int fd = ::open(e.path().c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      out.push_back(std::move(info));
+      continue;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) == 0 &&
+        static_cast<std::size_t>(st.st_size) >= kHeaderBytes) {
+      const std::size_t fileBytes = static_cast<std::size_t>(st.st_size);
+      void* map = ::mmap(nullptr, fileBytes, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        const std::span<const std::uint8_t> bytes(
+            static_cast<const std::uint8_t*>(map), fileBytes);
+        if (decodeHeader(bytes, &info.header)) {
+          info.headerDecoded = true;
+          info.valid =
+              info.header.formatVersion == kFormatVersion &&
+              info.header.payloadBytes == fileBytes - kHeaderBytes &&
+              fnv1a64(bytes.subspan(kHeaderBytes)) ==
+                  info.header.payloadChecksum;
+        }
+        ::munmap(map, fileBytes);
+      }
+    }
+    ::close(fd);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntryInfo& a, const EntryInfo& b) { return a.file < b.file; });
+  return out;
+}
+
+StoreCounters ArtifactStore::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace gcr::store

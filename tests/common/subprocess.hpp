@@ -1,0 +1,53 @@
+// Fork-based multi-process helpers for the store concurrency tests.
+//
+// Children must terminate with _exit: running atexit handlers or gtest
+// teardown in a forked copy of the test binary would double-report results
+// and flush duplicated stdio buffers.
+#pragma once
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace gcr::testing {
+
+/// Run `fn(childIndex)` in `count` forked child processes concurrently and
+/// wait for all of them.  Returns one status per child: the child's return
+/// value (0 = success), 125 for an escaped exception, 127 if fork failed,
+/// or 128+signal if the child died on a signal.
+inline std::vector<int> runInChildProcesses(
+    int count, const std::function<int(int)>& fn) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> pids;
+  std::vector<int> status(static_cast<std::size_t>(count), 127);
+  for (int i = 0; i < count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) break;
+    if (pid == 0) {
+      int rc = 126;
+      try {
+        rc = fn(i);
+      } catch (...) {
+        rc = 125;
+      }
+      ::_exit(rc);
+    }
+    pids.push_back(pid);
+  }
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int wstatus = 0;
+    if (::waitpid(pids[i], &wstatus, 0) != pids[i]) continue;
+    if (WIFEXITED(wstatus))
+      status[i] = WEXITSTATUS(wstatus);
+    else if (WIFSIGNALED(wstatus))
+      status[i] = 128 + WTERMSIG(wstatus);
+  }
+  return status;
+}
+
+}  // namespace gcr::testing

@@ -1,0 +1,39 @@
+// Self-cleaning temporary directory for store tests.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gcr::testing {
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "gcr-test") {
+    const std::string tmpl =
+        (std::filesystem::temp_directory_path() / (prefix + ".XXXXXX"))
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    GCR_CHECK(::mkdtemp(buf.data()) != nullptr, "mkdtemp failed");
+    path_ = buf.data();
+  }
+
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gcr::testing

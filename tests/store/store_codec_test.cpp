@@ -1,0 +1,267 @@
+// Codec contracts (store/codec.hpp): exact round trips with bit-for-bit
+// doubles, canonical re-encoding, and defensive decoding of hostile bytes —
+// plus the full serialize → store → mmap-load → deserialize loop over a
+// 25-seed random-program corpus.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "../common/random_program.hpp"
+#include "../common/temp_dir.hpp"
+#include "driver/measure.hpp"
+#include "driver/pipeline.hpp"
+#include "ir/print.hpp"
+#include "store/codec.hpp"
+#include "store/store.hpp"
+#include "support/prng.hpp"
+
+namespace gcr::store {
+namespace {
+
+bool sameDouble(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool sameMeasurement(const Measurement& a, const Measurement& b) {
+  return std::memcmp(&a.counts, &b.counts, sizeof a.counts) == 0 &&
+         sameDouble(a.cycles, b.cycles) &&
+         a.memoryTrafficBytes == b.memoryTrafficBytes &&
+         sameDouble(a.effectiveBandwidth, b.effectiveBandwidth) &&
+         sameDouble(a.wallSeconds, b.wallSeconds) &&
+         sameDouble(a.accessesPerSecond, b.accessesPerSecond);
+}
+
+bool sameProfile(const ReuseProfile& a, const ReuseProfile& b) {
+  if (a.accesses != b.accesses || a.distinctData != b.distinctData)
+    return false;
+  if (a.histogram.coldCount() != b.histogram.coldCount()) return false;
+  if (a.histogram.highestNonEmptyBin() != b.histogram.highestNonEmptyBin())
+    return false;
+  for (int bin = 0; bin <= a.histogram.highestNonEmptyBin(); ++bin)
+    if (a.histogram.binCount(bin) != b.histogram.binCount(bin)) return false;
+  return true;
+}
+
+bool sameLayout(const DataLayout& a, const DataLayout& b) {
+  if (a.numArrays() != b.numArrays() || a.totalBytes() != b.totalBytes())
+    return false;
+  for (std::size_t i = 0; i < a.numArrays(); ++i) {
+    const ArrayLayout& la = a.layoutOf(static_cast<ArrayId>(i));
+    const ArrayLayout& lb = b.layoutOf(static_cast<ArrayId>(i));
+    if (la.base != lb.base || la.strides != lb.strides) return false;
+  }
+  return true;
+}
+
+Measurement oddballMeasurement() {
+  Measurement m;
+  m.counts.refs = 123456789;
+  m.counts.l1Misses = 42;
+  m.counts.l2Misses = 7;
+  m.counts.tlbMisses = 1;
+  m.counts.l2Writebacks = 99;
+  m.counts.l2Prefetches = 5;
+  m.counts.l2PrefetchHits = 3;
+  m.cycles = 0.1 + 0.2;  // not exactly 0.3
+  m.memoryTrafficBytes = ~std::uint64_t{0} - 17;
+  m.effectiveBandwidth = std::numeric_limits<double>::quiet_NaN();
+  m.wallSeconds = -0.0;
+  m.accessesPerSecond = std::numeric_limits<double>::denorm_min();
+  return m;
+}
+
+TEST(StoreCodec, MeasurementRoundTripIsBitExact) {
+  const Measurement m = oddballMeasurement();
+  const auto bytes = encodeMeasurement(m);
+  const auto back = decodeMeasurement(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(sameMeasurement(m, *back));  // NaN, -0.0, denormal included
+  EXPECT_EQ(encodeMeasurement(*back), bytes);  // canonical
+}
+
+TEST(StoreCodec, ProfileRoundTripIsExact) {
+  ReuseProfile p;
+  p.accesses = 1000;
+  p.distinctData = 77;
+  p.histogram.add(Log2Histogram::kCold, 77);
+  p.histogram.add(0, 10);
+  p.histogram.add(1, 20);
+  p.histogram.add(12345, 30);
+  p.histogram.add(std::uint64_t{1} << 40, 5);
+
+  const auto bytes = encodeReuseProfile(p);
+  const auto back = decodeReuseProfile(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(sameProfile(p, *back));
+  EXPECT_EQ(encodeReuseProfile(*back), bytes);
+}
+
+TEST(StoreCodec, PipelineResultRoundTripOnRandomCorpus) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.allowReversed = true;
+  const PipelineOptions popts = pipelineOptionsFor(Strategy::FusedRegrouped);
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Program p = testing::randomProgram(seed, opts);
+    const PipelineResult r = runPipeline(p, popts);
+    const auto bytes = encodePipelineResult(r);
+    auto back = decodePipelineResult(bytes);
+    ASSERT_TRUE(back.has_value()) << "seed " << seed;
+
+    EXPECT_EQ(toString(back->program), toString(r.program)) << "seed " << seed;
+    EXPECT_EQ(back->regrouped, r.regrouped);
+    EXPECT_EQ(back->unrolledLoops, r.unrolledLoops);
+    EXPECT_EQ(back->arraysAfterSplit, r.arraysAfterSplit);
+    EXPECT_EQ(back->distributedLoops, r.distributedLoops);
+    EXPECT_EQ(back->fusionReport.fusions, r.fusionReport.fusions);
+    EXPECT_EQ(back->fusionReport.embeddings, r.fusionReport.embeddings);
+    EXPECT_EQ(back->fusionReport.peels, r.fusionReport.peels);
+    EXPECT_EQ(back->fusionReport.log, r.fusionReport.log);
+    EXPECT_EQ(back->fusionReport.signals, r.fusionReport.signals);
+    EXPECT_EQ(back->fusionReport.loopsPerLevelBefore,
+              r.fusionReport.loopsPerLevelBefore);
+    EXPECT_EQ(back->fusionReport.loopsPerLevelAfter,
+              r.fusionReport.loopsPerLevelAfter);
+    EXPECT_EQ(back->regroupReport.compatibleGroups,
+              r.regroupReport.compatibleGroups);
+    EXPECT_EQ(back->regroupReport.partitionsFormed,
+              r.regroupReport.partitionsFormed);
+    EXPECT_EQ(back->regroupReport.log, r.regroupReport.log);
+
+    ASSERT_EQ(back->diagnostics.size(), r.diagnostics.size());
+    for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+      EXPECT_EQ(back->diagnostics[i].format(), r.diagnostics[i].format());
+      EXPECT_EQ(back->diagnostics[i].witness, r.diagnostics[i].witness);
+    }
+
+    // The decoded result must materialize the same memory layout — this is
+    // what the Engine uses it for.
+    EXPECT_TRUE(sameLayout(back->layoutAt(16), r.layoutAt(16)))
+        << "seed " << seed;
+    EXPECT_TRUE(sameLayout(back->layoutAt(24), r.layoutAt(24)))
+        << "seed " << seed;
+
+    // Canonical: re-encoding the decoded value is byte-identical, which is
+    // what makes the store's content checksum meaningful.
+    EXPECT_EQ(encodePipelineResult(*back), bytes) << "seed " << seed;
+  }
+}
+
+TEST(StoreCodec, StoreRoundTripThroughDiskIsByteIdentical) {
+  // The full loop of the ISSUE: serialize → put → mmap get → deserialize,
+  // byte-identical, for measurements and reuse profiles of a 25-seed corpus.
+  testing::ScopedTempDir dir("gcr-store-codec");
+  ArtifactStore::Options sopts;
+  sopts.dir = dir.path();
+  auto store = ArtifactStore::open(sopts);
+  ASSERT_NE(store, nullptr);
+
+  const MachineConfig machine = MachineConfig::origin2000();
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Program p = testing::randomProgram(seed, opts);
+    const ProgramVersion v = makeVersion(p, Strategy::NoOpt);
+    const Measurement m = measure(v, 16, machine);
+    const ReuseProfile prof = reuseProfileOf(v, 16);
+
+    const Signature sigM{seed, 0xABC};
+    const Signature sigP{seed, 0xDEF};
+    const auto mBytes = encodeMeasurement(m);
+    const auto pBytes = encodeReuseProfile(prof);
+    ASSERT_TRUE(store->put(ArtifactKind::Measurement, sigM, mBytes));
+    ASSERT_TRUE(store->put(ArtifactKind::ReuseProfile, sigP, pBytes));
+
+    auto mEntry = store->get(ArtifactKind::Measurement, sigM);
+    auto pEntry = store->get(ArtifactKind::ReuseProfile, sigP);
+    ASSERT_TRUE(mEntry.has_value()) << "seed " << seed;
+    ASSERT_TRUE(pEntry.has_value()) << "seed " << seed;
+
+    const auto mBack = decodeMeasurement(mEntry->payload());
+    const auto pBack = decodeReuseProfile(pEntry->payload());
+    ASSERT_TRUE(mBack.has_value()) << "seed " << seed;
+    ASSERT_TRUE(pBack.has_value()) << "seed " << seed;
+    EXPECT_TRUE(sameMeasurement(m, *mBack)) << "seed " << seed;
+    EXPECT_TRUE(sameProfile(prof, *pBack)) << "seed " << seed;
+    EXPECT_EQ(encodeMeasurement(*mBack), mBytes) << "seed " << seed;
+    EXPECT_EQ(encodeReuseProfile(*pBack), pBytes) << "seed " << seed;
+  }
+  EXPECT_EQ(store->counters().corruptRejected, 0u);
+}
+
+TEST(StoreCodec, DecodeRejectsTruncationAndTrailingBytes) {
+  const auto bytes = encodeMeasurement(oddballMeasurement());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.begin() + cut);
+    EXPECT_FALSE(decodeMeasurement(shorter).has_value()) << "cut " << cut;
+  }
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_FALSE(decodeMeasurement(longer).has_value());
+
+  const Program p = testing::randomProgram(3);
+  const auto rBytes =
+      encodePipelineResult(runPipeline(p, pipelineOptionsFor(
+                                              Strategy::FusedRegrouped)));
+  // Sample truncation points (every offset would be O(n^2) over a large
+  // encoding); always include the interesting edges.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          rBytes.size() / 3, rBytes.size() / 2,
+                          rBytes.size() - 1}) {
+    const std::vector<std::uint8_t> shorter(rBytes.begin(),
+                                            rBytes.begin() + cut);
+    EXPECT_FALSE(decodePipelineResult(shorter).has_value()) << "cut " << cut;
+  }
+  auto rLonger = rBytes;
+  rLonger.push_back(7);
+  EXPECT_FALSE(decodePipelineResult(rLonger).has_value());
+}
+
+TEST(StoreCodec, DecodeRejectsWrongCodecVersion) {
+  auto bytes = encodeMeasurement(oddballMeasurement());
+  bytes[0] = 0x63;  // codec version is the leading u32
+  EXPECT_FALSE(decodeMeasurement(bytes).has_value());
+}
+
+TEST(StoreCodec, DecodeNeverCrashesOnBitFlips) {
+  // At the codec layer a bit flip may decode to a *different valid value*
+  // (the store's checksums are what reject flipped content); the codec's own
+  // contract is bounds-safety: no crash, no hang, no huge allocation.  The
+  // sanitizer CI jobs give this test teeth.
+  const Program p = testing::randomProgram(5, {.allowTwoDim = true});
+  const auto bytes =
+      encodePipelineResult(runPipeline(p, pipelineOptionsFor(
+                                              Strategy::FusedRegrouped)));
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 512);
+  for (std::size_t i = 0; i < bytes.size(); i += stride) {
+    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto mutated = bytes;
+      mutated[i] ^= bit;
+      (void)decodePipelineResult(mutated);  // must simply not blow up
+    }
+  }
+}
+
+TEST(StoreCodec, DecodeRejectsRandomGarbage) {
+  SplitMix64 rng(0xC0FFEE);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::uint8_t> soup(rng.nextBelow(300));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    // Garbage essentially never forms a full well-formed value that also
+    // consumes every byte; all three decoders must return nullopt (and
+    // certainly not throw or scribble).
+    EXPECT_FALSE(decodeMeasurement(soup).has_value());
+    EXPECT_FALSE(decodeReuseProfile(soup).has_value());
+    EXPECT_FALSE(decodePipelineResult(soup).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace gcr::store

@@ -1,0 +1,222 @@
+// Engine <-> disk-tier integration: a cold *process* (modelled as a fresh
+// Engine, whose in-memory caches are empty) with a warm *disk* must
+// reproduce the original results bit-for-bit — wall-clock observability
+// fields included, because stored artifacts are returned verbatim — while
+// an engine with no store computes the same simulated fields from scratch.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "../common/random_program.hpp"
+#include "../common/temp_dir.hpp"
+#include "apps/registry.hpp"
+#include "engine/engine.hpp"
+
+namespace gcr {
+namespace {
+
+bool bitIdentical(const Measurement& a, const Measurement& b) {
+  auto d = [](double x, double y) {
+    return std::bit_cast<std::uint64_t>(x) == std::bit_cast<std::uint64_t>(y);
+  };
+  return std::memcmp(&a.counts, &b.counts, sizeof a.counts) == 0 &&
+         d(a.cycles, b.cycles) &&
+         a.memoryTrafficBytes == b.memoryTrafficBytes &&
+         d(a.effectiveBandwidth, b.effectiveBandwidth) &&
+         d(a.wallSeconds, b.wallSeconds) &&
+         d(a.accessesPerSecond, b.accessesPerSecond);
+}
+
+bool sameSimulatedFields(const Measurement& a, const Measurement& b) {
+  return std::memcmp(&a.counts, &b.counts, sizeof a.counts) == 0 &&
+         a.cycles == b.cycles &&
+         a.memoryTrafficBytes == b.memoryTrafficBytes &&
+         a.effectiveBandwidth == b.effectiveBandwidth;
+}
+
+bool sameProfile(const ReuseProfile& a, const ReuseProfile& b) {
+  if (a.accesses != b.accesses || a.distinctData != b.distinctData)
+    return false;
+  if (a.histogram.coldCount() != b.histogram.coldCount()) return false;
+  if (a.histogram.highestNonEmptyBin() != b.histogram.highestNonEmptyBin())
+    return false;
+  for (int bin = 0; bin <= a.histogram.highestNonEmptyBin(); ++bin)
+    if (a.histogram.binCount(bin) != b.histogram.binCount(bin)) return false;
+  return true;
+}
+
+Engine::Options optionsWithDir(const std::string& dir) {
+  Engine::Options o;
+  o.cacheDir = dir;
+  return o;
+}
+
+TEST(StoreEngine, WarmDiskColdProcessIsBitForBitIdentical) {
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const MachineConfig machine = MachineConfig::origin2000();
+  const Program p = testing::randomProgram(21, {.allowTwoDim = true});
+
+  Measurement first;
+  ReuseProfile firstProfile;
+  {
+    Engine warm(optionsWithDir(dir.path()));
+    const ProgramVersion v = warm.version(p, Strategy::FusedRegrouped);
+    first = warm.measure(v, 16, machine);
+    firstProfile = warm.reuseProfile(v, 16);
+    EXPECT_GT(warm.stats().store.puts, 0u);
+    EXPECT_EQ(warm.stats().store.hits, 0u);
+  }
+
+  // "Cold process": a brand-new Engine, nothing in memory, same disk.
+  Engine cold(optionsWithDir(dir.path()));
+  const ProgramVersion v = cold.version(p, Strategy::FusedRegrouped);
+  const Measurement replay = cold.measure(v, 16, machine);
+  const ReuseProfile replayProfile = cold.reuseProfile(v, 16);
+
+  // Verbatim replay: even wallSeconds/accessesPerSecond come back from disk.
+  EXPECT_TRUE(bitIdentical(first, replay));
+  EXPECT_TRUE(sameProfile(firstProfile, replayProfile));
+  const Engine::Stats s = cold.stats();
+  EXPECT_GT(s.store.hits, 0u);
+  EXPECT_EQ(s.store.corruptRejected, 0u);
+  // All three persisted artifact kinds were served from disk: the pipeline
+  // (inside version()), the measurement and the profile.
+  EXPECT_GE(s.store.hits, 3u);
+}
+
+TEST(StoreEngine, DiskTierMatchesStorelessEngine) {
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const MachineConfig machine = MachineConfig::origin2000();
+
+  Engine::Options none;
+  none.cacheDir = "";  // explicitly no disk tier
+  Engine bare(none);
+  Engine stored(optionsWithDir(dir.path()));
+
+  for (std::uint64_t seed : {31, 32, 33}) {
+    const Program p = testing::randomProgram(seed);
+    for (Strategy s : {Strategy::NoOpt, Strategy::FusedRegrouped}) {
+      const Measurement want = bare.measure(bare.version(p, s), 16, machine);
+      const Measurement got =
+          stored.measure(stored.version(p, s), 16, machine);
+      EXPECT_TRUE(sameSimulatedFields(want, got))
+          << "seed " << seed << " strategy " << static_cast<int>(s);
+    }
+  }
+  EXPECT_EQ(bare.cacheDirInUse(), "");
+  EXPECT_EQ(stored.cacheDirInUse(), dir.path());
+}
+
+TEST(StoreEngine, WarmDiskReproducesFig9AppSweep) {
+  // The bench_fig9_apps shape at test size: every paper app, three
+  // strategies — a cold process on a warm disk must reproduce the sweep
+  // exactly, which is what makes BENCH results reproducible across runs.
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const MachineConfig machine = MachineConfig::origin2000();
+  const std::vector<std::string> apps = {"ADI", "Swim", "Tomcatv", "SP"};
+  const std::vector<Strategy> strategies = {
+      Strategy::NoOpt, Strategy::Fused, Strategy::FusedRegrouped};
+
+  std::vector<Measurement> firstRun;
+  {
+    Engine warm(optionsWithDir(dir.path()));
+    for (const std::string& app : apps) {
+      const Program p = apps::buildApp(app);
+      for (Strategy s : strategies)
+        firstRun.push_back(warm.measure(warm.version(p, s), 16, machine));
+    }
+  }
+
+  Engine cold(optionsWithDir(dir.path()));
+  std::size_t i = 0;
+  for (const std::string& app : apps) {
+    const Program p = apps::buildApp(app);
+    for (Strategy s : strategies) {
+      const Measurement replay =
+          cold.measure(cold.version(p, s), 16, machine);
+      EXPECT_TRUE(bitIdentical(firstRun[i], replay))
+          << app << " strategy " << static_cast<int>(s);
+      ++i;
+    }
+  }
+  EXPECT_EQ(cold.stats().measurement.hits, 0u);  // memory was cold
+  EXPECT_GE(cold.stats().store.hits, firstRun.size());
+}
+
+TEST(StoreEngine, CacheDirEnvironmentVariableIsPickedUp) {
+  testing::ScopedTempDir dir("gcr-engine-env");
+  ASSERT_EQ(::setenv("GCR_CACHE_DIR", dir.path().c_str(), 1), 0);
+
+  {
+    Engine byEnv;  // Options::cacheDir nullopt → environment
+    EXPECT_EQ(byEnv.cacheDirInUse(), dir.path());
+
+    Engine::Options off;
+    off.cacheDir = "";  // explicit empty string beats the environment
+    Engine disabled(off);
+    EXPECT_EQ(disabled.cacheDirInUse(), "");
+  }
+  ASSERT_EQ(::unsetenv("GCR_CACHE_DIR"), 0);
+
+  Engine noEnv;
+  EXPECT_EQ(noEnv.cacheDirInUse(), "");
+}
+
+TEST(StoreEngine, PlanSignaturesAreRecordedNotPersisted) {
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const MachineConfig machine = MachineConfig::origin2000();
+  const Program p = testing::randomProgram(41);
+
+  Engine warm(optionsWithDir(dir.path()));
+  (void)warm.measure(warm.version(p, Strategy::NoOpt), 16, machine);
+  // The plan was compiled this session and its key recorded for the future
+  // native-codegen artifact tier...
+  EXPECT_FALSE(warm.compiledPlanSignatures().empty());
+  // ...but nothing plan-shaped was written to disk: every stored object is
+  // one of the three serializable kinds.
+  store::ArtifactStore::Options sopts;
+  sopts.dir = dir.path();
+  auto store = store::ArtifactStore::open(sopts);
+  ASSERT_NE(store, nullptr);
+  for (const auto& e : store->scan()) {
+    EXPECT_TRUE(e.valid) << e.file;
+    const auto kind = e.header.kind;
+    EXPECT_TRUE(kind == store::ArtifactKind::PipelineResult ||
+                kind == store::ArtifactKind::Measurement ||
+                kind == store::ArtifactKind::ReuseProfile)
+        << e.file;
+  }
+}
+
+TEST(StoreEngine, AsyncBatchPathUsesTheDiskTier) {
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const MachineConfig machine = MachineConfig::origin2000();
+  const Program p = testing::randomProgram(51, {.allowTwoDim = true});
+
+  std::vector<MeasureTask> tasks;
+  for (std::int64_t n : {8, 12, 16}) {
+    MeasureTask t;
+    t.version = makeVersion(p, Strategy::Fused);
+    t.n = n;
+    t.machine = machine;
+    tasks.push_back(std::move(t));
+  }
+
+  std::vector<Measurement> first;
+  {
+    Engine warm(optionsWithDir(dir.path()));
+    first = warm.measureAll(tasks);
+  }
+  Engine cold(optionsWithDir(dir.path()));
+  const std::vector<Measurement> replay = cold.measureAll(tasks);
+  ASSERT_EQ(first.size(), replay.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_TRUE(bitIdentical(first[i], replay[i])) << "task " << i;
+  EXPECT_GE(cold.stats().store.hits, tasks.size());
+}
+
+}  // namespace
+}  // namespace gcr

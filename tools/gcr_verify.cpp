@@ -19,10 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "gcr/gcr.hpp"
+#include "support/json.hpp"
 
 using namespace gcr;
 
@@ -40,7 +42,9 @@ void usage() {
       "  --json            machine-readable output (one JSON array)\n"
       "  --minn <k>        legality domain: exact for all N >= k (default "
       "16)\n"
-      "  --notes <k>       print up to k per-pair dependence notes\n");
+      "  --notes <k>       print up to k per-pair dependence notes\n"
+      "  --store-stats <dir>  dump a persistent artifact store's header and\n"
+      "                    entry inventory (full validation scan) as JSON\n");
 }
 
 struct Options {
@@ -134,6 +138,55 @@ int runAdversarial(const Options& o) {
   return missed ? 1 : 0;
 }
 
+/// --store-stats: validate every entry of an on-disk artifact store and
+/// dump the inventory as one JSON object (the operator's view of what
+/// GCR_CACHE_DIR currently holds, and whether any of it is corrupt).
+int runStoreStats(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "gcr-verify: %s is not a directory\n", dir.c_str());
+    return 2;
+  }
+  store::ArtifactStore::Options opts;
+  opts.dir = dir;
+  const auto s = store::ArtifactStore::open(opts);
+  if (s == nullptr) {
+    std::fprintf(stderr, "gcr-verify: cannot open store at %s\n", dir.c_str());
+    return 2;
+  }
+
+  const std::vector<store::ArtifactStore::EntryInfo> entries = s->scan();
+  std::uint64_t validCount = 0, totalBytes = 0;
+  JsonWriter j;
+  j.beginObject();
+  j.field("store_dir", std::string_view(dir));
+  j.field("format_version", std::uint64_t{store::kFormatVersion});
+  j.field("header_bytes", std::uint64_t{store::kHeaderBytes});
+  j.key("entries").beginArray();
+  for (const auto& e : entries) {
+    totalBytes += e.fileBytes;
+    if (e.valid) ++validCount;
+    j.beginObject();
+    j.field("file", std::string_view(e.file));
+    j.field("file_bytes", e.fileBytes);
+    j.field("valid", e.valid);
+    if (e.headerDecoded) {
+      j.field("entry_format_version", std::uint64_t{e.header.formatVersion});
+      j.field("kind", store::artifactKindName(e.header.kind));
+      j.field("signature", std::string_view(e.header.signature.str()));
+      j.field("payload_bytes", e.header.payloadBytes);
+    }
+    j.endObject();
+  }
+  j.endArray();
+  j.field("total_entries", std::uint64_t{entries.size()});
+  j.field("valid_entries", validCount);
+  j.field("corrupt_entries", std::uint64_t{entries.size()} - validCount);
+  j.field("total_bytes", totalBytes);
+  j.endObject();
+  std::printf("%s\n", j.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,6 +219,8 @@ int main(int argc, char** argv) {
       o.minN = std::atoll(value());
     } else if (arg == "--notes") {
       o.notes = std::atoi(value());
+    } else if (arg == "--store-stats") {
+      return runStoreStats(value());
     } else {
       usage();
       return 2;
