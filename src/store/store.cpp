@@ -128,30 +128,45 @@ bool ArtifactStore::put(ArtifactKind kind, const Signature& sig,
 std::optional<MappedEntry> ArtifactStore::get(ArtifactKind kind,
                                               const Signature& sig) {
   const std::string path = objectPath(kind, sig);
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.misses;
     return std::nullopt;
   }
 
+  struct stat st {};
+  const bool haveStat = ::fstat(fd, &st) == 0;
+
   auto reject = [&] {
-    ::close(fd);
-    // Self-healing: drop the bad entry so it costs exactly one recompute.
-    ::unlink(path.c_str());
+    if (fd >= 0) {  // fd may already be closed (and its number reused by
+      ::close(fd);  // another thread) once the mapping holds the inode
+      fd = -1;
+    }
+    // Self-healing: drop the bad entry so it costs one recompute — but only
+    // if the path still names the inode that failed validation; a concurrent
+    // writer may have renamed a fresh, valid entry into place since our
+    // open(), and that entry must survive.  The stat/unlink pair is not
+    // atomic, so an adversarially timed rename can still lose a good entry;
+    // that degrades to one extra recompute, never a wrong result.
+    struct stat cur;
+    if (haveStat && ::stat(path.c_str(), &cur) == 0 &&
+        cur.st_ino == st.st_ino && cur.st_dev == st.st_dev) {
+      ::unlink(path.c_str());
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.corruptRejected;
     ++counters_.misses;
     return std::nullopt;
   };
 
-  struct stat st;
-  if (::fstat(fd, &st) != 0) return reject();
+  if (!haveStat) return reject();
   const std::size_t fileBytes = static_cast<std::size_t>(st.st_size);
   if (fileBytes < kHeaderBytes) return reject();
 
   void* map = ::mmap(nullptr, fileBytes, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps the inode alive
+  fd = -1;
   if (map == MAP_FAILED) return reject();
 
   MappedEntry entry;
@@ -196,7 +211,10 @@ int ArtifactStore::removeStaleTempFiles(long long maxAgeSeconds) {
 }
 
 void ArtifactStore::enforceSizeBudget() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Runs unlocked: the store already tolerates concurrent mutation of
+  // objects/ (removals racing with puts or other sweeps just fail softly),
+  // and holding mutex_ across a full directory walk would serialize the
+  // tail of every put() and stall counters() readers on large stores.
   std::error_code ec;
   std::vector<FileAge> files;
   std::uint64_t total = 0;
@@ -214,13 +232,18 @@ void ArtifactStore::enforceSizeBudget() {
   if (total <= opts_.maxBytes) return;
   std::sort(files.begin(), files.end(),
             [](const FileAge& a, const FileAge& b) { return a.mtime < b.mtime; });
+  std::uint64_t removed = 0;
   for (const FileAge& f : files) {
     if (total <= opts_.maxBytes) break;
     std::error_code fec;
     if (fs::remove(f.path, fec) && !fec) {
       total -= f.bytes;
-      ++counters_.evictions;
+      ++removed;
     }
+  }
+  if (removed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.evictions += removed;
   }
 }
 

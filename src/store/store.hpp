@@ -39,7 +39,9 @@ namespace gcr::store {
 /// Monotonic observability counters of one store instance.
 struct StoreCounters {
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;          ///< absent entries (corruption excluded)
+  std::uint64_t misses = 0;          ///< failed lookups, absent or rejected
+                                     ///< (hits + misses == total gets; a
+                                     ///< rejection also bumps corruptRejected)
   std::uint64_t puts = 0;            ///< successful publications
   std::uint64_t putFailures = 0;     ///< abandoned publications (I/O faults)
   std::uint64_t corruptRejected = 0; ///< entries rejected by validation
@@ -94,8 +96,10 @@ class ArtifactStore {
   bool put(ArtifactKind kind, const Signature& sig,
            std::span<const std::uint8_t> payload);
 
-  /// Validated lookup; nullopt on absence or any validation failure (the
-  /// offending file is unlinked so one corrupt entry costs one recompute).
+  /// Validated lookup; nullopt on absence or any validation failure.  The
+  /// offending entry is unlinked — after re-checking the path still names
+  /// the inode that failed validation — so one corrupt entry costs one
+  /// recompute without deleting a fresh entry renamed in concurrently.
   std::optional<MappedEntry> get(ArtifactKind kind, const Signature& sig);
 
   /// Remove tmp/ files older than `maxAgeSeconds` (crash debris from dead
@@ -132,7 +136,8 @@ class ArtifactStore {
   StoreIo* io_;
   std::uint64_t tmpSeq_ = 0;
 
-  mutable std::mutex mutex_;  // counters + tmpSeq_ + eviction sweep
+  mutable std::mutex mutex_;  // counters + tmpSeq_ only; filesystem work
+                              // (puts, gets, eviction sweeps) runs unlocked
   StoreCounters counters_;
 };
 
