@@ -1,0 +1,57 @@
+// Native lowering of compiled access plans: the plan -> C translation unit
+// emitter behind the native execution tier (native_exec.hpp).
+//
+// The plan interpreter (interp/plan.cpp) already reduces every address
+// stream to strength-reduced recurrences over guard-free segments, but it
+// still *interprets* the segment descriptors: per trip it walks a HotStmt
+// vector, bounces every address through memory, and re-dispatches per read.
+// This emitter removes that last interpretive layer by lowering the plan's
+// STRUCTURE to straight-line C — each segment becomes a counted loop whose
+// body is the fully unrolled statement sequence, each reference a named
+// local advanced by `addr += step` — and leaving every NUMERIC value (loop
+// bounds, segment boundaries, residual guard ranges, address bases and
+// strides) in a runtime parameter table.  The host compiles the emitted
+// unit once per plan *structure* and re-parameterizes it per problem size:
+// `n` and `steps` are runtime arguments (see native_abi.hpp), so one shared
+// object serves a whole fig9/fig10 size sweep — unlike emit_c.hpp, whose
+// EmitOptions bake N into the text for human inspection.
+//
+// Bit-identical semantics to both other engines is the contract: same
+// memory image, same instruction count, same instruction stream (delivered
+// through the block callback), enforced by the three-way differential suite
+// in tests/codegen/native_exec_test.cpp.
+//
+// The emitted text is a pure function of the plan structure (statement
+// seeds/ids included, textual names excluded), so hashing the text yields
+// the artifact's content address: structurally identical plans — across
+// problem sizes, time-step counts, or renamed programs — share one
+// compiled artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/plan.hpp"
+
+namespace gcr {
+
+/// An emitted native translation unit for one plan structure.
+struct NativeSource {
+  std::string code;         ///< self-contained C11, symbols per native_abi.hpp
+  std::size_t paramCount = 0;  ///< expected size of the params table
+};
+
+/// Lower `plan`'s structure to a C translation unit.  Deterministic: equal
+/// plan structures produce byte-identical text.
+NativeSource emitNativePlan(const AccessPlan& plan);
+
+/// Serialize `plan`'s numeric values into the parameter table the emitted
+/// code expects, in the emitter's canonical slot order:
+///   [per loop: lo, hi]
+///   [per loop, per segment: lo, hi]
+///   [per loop, per child, per outer guard: lo, hi]
+///   [per statement: write ref then reads; per ref: constTerm, coeffs...]
+std::vector<std::int64_t> nativeParams(const AccessPlan& plan);
+
+}  // namespace gcr

@@ -1,0 +1,66 @@
+// ABI between the host and a natively compiled access plan (emit_native.hpp).
+//
+// A compiled plan is an ordinary shared object built by the host C compiler
+// from an emitted C translation unit.  The contract is four unmangled
+// symbols:
+//
+//   int32_t  <prefix>_abi(void);          // must equal kNativeAbiVersion
+//   int64_t  <prefix>_param_count(void);  // expected size of the params table
+//   uint64_t <prefix>_run(uint64_t* mem, const int64_t* params,
+//                         int64_t n, int64_t steps);
+//   uint64_t <prefix>_trace(uint64_t* mem, const int64_t* params,
+//                           int64_t n, int64_t steps,
+//                           int32_t* blockStmt, uint64_t* blockOff,
+//                           int64_t* blockPool, int64_t* blockWrite,
+//                           uint64_t blockCap,
+//                           GcrNativeBlockFn emit, void* ctx);
+//
+// Only the *structure* of the plan (loop nesting, segments, statement
+// bodies, seeds, statement ids) is baked into the code; every numeric value
+// that depends on the problem size — loop bounds, segment boundaries,
+// residual guard ranges, address bases and strides — is read from the
+// `params` table, filled by the host from a plan compiled at the actual n
+// (emit_native.hpp's nativeParams, same canonical order as the emitter).
+// One compiled artifact therefore serves a whole size sweep: `n` and
+// `steps` are runtime parameters, not compile-time constants.
+//
+// Both entry points return the executed instance count.  The trace entry
+// batches instances into the host-provided structure-of-arrays buffers
+// (the InstrBlock shape of interp/trace.hpp) and calls `emit` whenever
+// `blockCap` instances have accumulated, plus once for the final partial
+// block.  blockOff carries the usual size()+1 fencepost layout.
+#pragma once
+
+#include <cstdint>
+
+namespace gcr {
+
+/// Bumped on any change to the entry-point signatures or the params-table
+/// ordering; a stored artifact whose abi() disagrees is discarded.
+inline constexpr std::int32_t kNativeAbiVersion = 1;
+
+/// Symbol prefix of every emitted translation unit.
+inline constexpr const char* kNativeSymbolPrefix = "gcrn";
+
+/// Block-delivery callback: mirrors InstrBlock (count instances, count+1
+/// offsets, offs[count] pooled reads).
+extern "C" {
+using GcrNativeBlockFn = void (*)(void* ctx, const std::int32_t* stmtIds,
+                                  const std::uint64_t* readOffsets,
+                                  const std::int64_t* readPool,
+                                  const std::int64_t* writeAddrs,
+                                  std::uint64_t count);
+
+using GcrNativeAbiFn = std::int32_t (*)(void);
+using GcrNativeParamCountFn = std::int64_t (*)(void);
+using GcrNativeRunFn = std::uint64_t (*)(std::uint64_t* mem,
+                                         const std::int64_t* params,
+                                         std::int64_t n, std::int64_t steps);
+using GcrNativeTraceFn = std::uint64_t (*)(
+    std::uint64_t* mem, const std::int64_t* params, std::int64_t n,
+    std::int64_t steps, std::int32_t* blockStmt, std::uint64_t* blockOff,
+    std::int64_t* blockPool, std::int64_t* blockWrite, std::uint64_t blockCap,
+    GcrNativeBlockFn emit, void* ctx);
+}
+
+}  // namespace gcr

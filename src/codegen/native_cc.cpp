@@ -1,0 +1,155 @@
+#include "codegen/native_cc.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gcr {
+namespace {
+
+// First line of `cmd`'s stdout, or empty if it fails to run or prints
+// nothing.  Candidate commands come from the environment; they are passed
+// to the shell verbatim (CC conventionally may carry flags, e.g. "gcc -m64").
+std::string probeVersionLine(const std::string& cmd) {
+  const std::string full = cmd + " --version 2>/dev/null";
+  FILE* pipe = ::popen(full.c_str(), "r");
+  if (pipe == nullptr) return {};
+  char buf[512];
+  std::string line;
+  if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+  }
+  const int rc = ::pclose(pipe);
+  if (rc != 0) return {};
+  return line;
+}
+
+std::string machineArch() {
+  struct utsname u{};
+  if (::uname(&u) != 0) return "unknown";
+  return u.machine;
+}
+
+NativeCompiler makeFound(std::string command, std::string versionLine) {
+  NativeCompiler cc;
+  cc.found = true;
+  cc.command = std::move(command);
+  cc.versionLine = std::move(versionLine);
+  cc.fingerprint =
+      cc.versionLine + "|" + kNativeCompileFlags + "|" + machineArch();
+  return cc;
+}
+
+/// Private mkdtemp scratch directory, removed (with known contents) on
+/// destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr && *base != '\0' ? base
+                                                                    : "/tmp") +
+                       "/gcr-native-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) path_ = buf.data();
+  }
+  ~ScratchDir() {
+    if (path_.empty()) return;
+    for (const char* f : {"plan.c", "plan.so", "cc.err"})
+      (void)::unlink((path_ + "/" + f).c_str());
+    (void)::rmdir(path_.c_str());
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  std::string file(const char* name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+NativeCompiler discoverNativeCompiler() {
+  if (const char* env = std::getenv("GCR_CC");
+      env != nullptr && *env != '\0') {
+    const std::string line = probeVersionLine(env);
+    if (!line.empty()) return makeFound(env, line);
+    NativeCompiler cc;
+    cc.diagnostic = std::string("GCR_CC is set to '") + env +
+                    "' but `" + env + " --version` failed; refusing to "
+                    "substitute another compiler";
+    return cc;
+  }
+  std::vector<std::string> candidates;
+  if (const char* env = std::getenv("CC"); env != nullptr && *env != '\0')
+    candidates.push_back(env);
+  candidates.insert(candidates.end(), {"cc", "gcc", "clang"});
+  for (const std::string& cand : candidates) {
+    const std::string line = probeVersionLine(cand);
+    if (!line.empty()) return makeFound(cand, line);
+  }
+  NativeCompiler cc;
+  cc.diagnostic =
+      "no usable C compiler: GCR_CC/CC unset and none of cc, gcc, clang "
+      "answered --version";
+  return cc;
+}
+
+NativeCompileResult compileNativeSource(const NativeCompiler& cc,
+                                        const std::string& source) {
+  NativeCompileResult r;
+  if (!cc.found) {
+    r.error = "no compiler: " + cc.diagnostic;
+    return r;
+  }
+  ScratchDir dir;
+  if (!dir.ok()) {
+    r.error = std::string("mkdtemp failed: ") + std::strerror(errno);
+    return r;
+  }
+  const std::string cPath = dir.file("plan.c");
+  const std::string soPath = dir.file("plan.so");
+  const std::string errPath = dir.file("cc.err");
+  {
+    std::ofstream out(cPath, std::ios::binary);
+    out << source;
+    if (!out) {
+      r.error = "failed to write " + cPath;
+      return r;
+    }
+  }
+  const std::string cmd = cc.command + " " + kNativeCompileFlags + " -o '" +
+                          soPath + "' '" + cPath + "' 2> '" + errPath + "'";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    r.error = "compiler exited with status " + std::to_string(rc) + ": " +
+              readWholeFile(errPath);
+    return r;
+  }
+  r.soBytes = readWholeFile(soPath);
+  if (r.soBytes.empty()) {
+    r.error = "compiler produced no output at " + soPath;
+    return r;
+  }
+  return r;
+}
+
+}  // namespace gcr

@@ -1,0 +1,56 @@
+// Host-compiler discovery and out-of-process compilation of emitted plan
+// code to shared objects.
+//
+// Discovery ladder (first hit wins):
+//   1. GCR_CC   — explicit override; if set but unusable, discovery FAILS
+//                 rather than silently substituting another compiler, so a
+//                 test or user pointing at a specific toolchain finds out.
+//   2. CC       — the conventional environment variable.
+//   3. cc, gcc, clang — probed in that order on PATH.
+// A candidate is usable iff `<cc> --version` runs and prints something; its
+// first output line becomes part of the compiler fingerprint.
+//
+// The fingerprint (version line + flags + machine architecture) is stored
+// inside every CompiledPlan artifact and folded into its content address:
+// artifacts produced by different compilers, flag sets, or architectures
+// never collide in a shared store, and a store moved across machines simply
+// recompiles.  For the same reason the flag set deliberately excludes
+// -march=native: baking host-specific ISA extensions into a shareable
+// artifact would trade portability for a speedup the plan code (pure
+// integer recurrences) barely uses.
+#pragma once
+
+#include <string>
+
+namespace gcr {
+
+/// A discovered host C compiler (or the reason there is none).
+struct NativeCompiler {
+  bool found = false;
+  std::string command;      ///< argv prefix, used verbatim in a shell command
+  std::string versionLine;  ///< first line of `--version`
+  std::string fingerprint;  ///< versionLine + flags + arch; part of the key
+  std::string diagnostic;   ///< when !found: why discovery failed
+};
+
+/// Flags every native compile uses (also folded into the fingerprint).
+inline constexpr const char* kNativeCompileFlags = "-O2 -shared -fPIC";
+
+/// Run the discovery ladder.  Reads the environment on every call — callers
+/// that want a stable answer (NativeRuntime) cache the result themselves, so
+/// tests can vary GCR_CC between runtimes.
+NativeCompiler discoverNativeCompiler();
+
+struct NativeCompileResult {
+  std::string soBytes;  ///< the shared object, on success
+  std::string error;    ///< non-empty on failure (includes compiler stderr)
+  bool ok() const { return error.empty(); }
+};
+
+/// Compile `source` (a C translation unit) to a shared object with
+/// `<cc.command> -O2 -shared -fPIC`, entirely out of process via temp files;
+/// returns the .so bytes.  Never throws; failures land in `error`.
+NativeCompileResult compileNativeSource(const NativeCompiler& cc,
+                                        const std::string& source);
+
+}  // namespace gcr

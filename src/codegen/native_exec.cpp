@@ -1,0 +1,192 @@
+#include "codegen/native_exec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "store/codec.hpp"
+
+namespace gcr {
+namespace {
+
+/// Matches the plan interpreter's chunk granularity (one onBlock per ~4K
+/// instances); block boundaries are semantically invisible to sinks.
+constexpr std::uint64_t kNativeBlockCapacity = 4096;
+
+static_assert(sizeof(int) == 4, "InstrBlock stmtIds assume 32-bit int");
+
+void deliverBlock(void* ctx, const std::int32_t* stmt,
+                  const std::uint64_t* off, const std::int64_t* pool,
+                  const std::int64_t* wr, std::uint64_t count) {
+  auto* sink = static_cast<InstrSink*>(ctx);
+  InstrBlock b;
+  b.stmtIds = {reinterpret_cast<const int*>(stmt),
+               static_cast<std::size_t>(count)};
+  b.readOffsets = {off, static_cast<std::size_t>(count) + 1};
+  b.readPool = {pool, static_cast<std::size_t>(off[count])};
+  b.writes = {wr, static_cast<std::size_t>(count)};
+  sink->onBlock(b);
+}
+
+}  // namespace
+
+NativeRuntime::NativeRuntime(Options opts)
+    : opts_(opts),
+      compiler_(discoverNativeCompiler()),
+      modules_(opts.moduleCacheCapacity) {}
+
+Signature NativeRuntime::keyFor(const std::string& code) const {
+  SigHasher h;
+  h.str(code).str(compiler_.fingerprint).i64(kNativeAbiVersion);
+  return h.take();
+}
+
+Signature NativeRuntime::artifactKey(const AccessPlan& plan) const {
+  return keyFor(emitNativePlan(plan).code);
+}
+
+void NativeRuntime::noteFallback(const std::string& why) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.fallbacks;
+  diagnostic_ = why;
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "gcr: native engine unavailable (%s); falling back to the "
+                 "plan interpreter\n",
+                 why.c_str());
+  }
+}
+
+std::shared_ptr<NativeModule> NativeRuntime::moduleFor(const NativeSource& src,
+                                                       std::string* why) {
+  const Signature key = keyFor(src.code);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto* m = modules_.get(key)) {
+      ++counters_.moduleCacheHits;
+      return *m;
+    }
+  }
+  // Disk tier: a warm store crosses process boundaries without a compiler.
+  if (opts_.store != nullptr) {
+    if (auto entry = opts_.store->get(store::ArtifactKind::CompiledPlan, key)) {
+      if (auto art = store::decodeCompiledPlan(entry->payload());
+          art && art->abiVersion == kNativeAbiVersion &&
+          art->compilerFingerprint == compiler_.fingerprint &&
+          art->paramCount == src.paramCount) {
+        const std::string bytes(art->soBytes.begin(), art->soBytes.end());
+        std::string loadErr;
+        if (auto m = NativeModule::load(bytes, &loadErr)) {
+          if (m->paramCount() ==
+              static_cast<std::int64_t>(src.paramCount)) {
+            std::shared_ptr<NativeModule> sm(std::move(m));
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.storeHits;
+            modules_.put(key, sm);
+            return sm;
+          }
+        }
+      }
+      // Decode/validation/load failure degrades to a compile; the store
+      // already self-heals checksum-level corruption on its side.
+    }
+  }
+  if (!opts_.allowCompile) {
+    *why = "native compilation disabled and no stored artifact for key " +
+           key.str();
+    return nullptr;
+  }
+  if (!compiler_.found) {
+    *why = compiler_.diagnostic;
+    return nullptr;
+  }
+  NativeCompileResult cr = compileNativeSource(compiler_, src.code);
+  if (!cr.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.compileFailures;
+    *why = "native compile failed: " + cr.error;
+    return nullptr;
+  }
+  std::string loadErr;
+  auto m = NativeModule::load(cr.soBytes, &loadErr);
+  if (m == nullptr) {
+    *why = "native module load failed: " + loadErr;
+    return nullptr;
+  }
+  if (m->paramCount() != static_cast<std::int64_t>(src.paramCount)) {
+    *why = "native module parameter-count mismatch";
+    return nullptr;
+  }
+  bool published = false;
+  if (opts_.store != nullptr) {
+    store::CompiledPlanArtifact art;
+    art.abiVersion = kNativeAbiVersion;
+    art.compilerFingerprint = compiler_.fingerprint;
+    art.paramCount = src.paramCount;
+    art.soBytes.assign(cr.soBytes.begin(), cr.soBytes.end());
+    published = opts_.store->put(store::ArtifactKind::CompiledPlan, key,
+                                 store::encodeCompiledPlan(art));
+  }
+  std::shared_ptr<NativeModule> sm(std::move(m));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.compiles;
+  if (published) ++counters_.storePuts;
+  modules_.put(key, sm);
+  return sm;
+}
+
+ExecResult NativeRuntime::execute(const AccessPlan& plan,
+                                  const ExecOptions& opts, InstrSink* sink) {
+  const NativeSource src = emitNativePlan(plan);
+  std::string why;
+  std::shared_ptr<NativeModule> m = moduleFor(src, &why);
+  if (m == nullptr) {
+    noteFallback(why);
+    return executePlan(plan, opts, sink);
+  }
+  const std::vector<std::int64_t> params = nativeParams(plan);
+  if (params.size() != src.paramCount) {
+    noteFallback("native parameter table size mismatch");
+    return executePlan(plan, opts, sink);
+  }
+
+  // Identical starting state to both interpreter engines.
+  ExecResult res;
+  res.memory.assign(
+      static_cast<std::size_t>(plan.layout->totalBytes() / 8), 0);
+  initializeMemory(*plan.program, *plan.layout, opts, res.memory);
+
+  const std::int64_t steps = static_cast<std::int64_t>(plan.timeSteps);
+  if (sink == nullptr) {
+    res.instrCount =
+        m->run()(res.memory.data(), params.data(), plan.n, steps);
+  } else {
+    const std::size_t cap = static_cast<std::size_t>(kNativeBlockCapacity);
+    std::vector<std::int32_t> bstmt(cap);
+    std::vector<std::uint64_t> boff(cap + 1);
+    std::vector<std::int64_t> bwrite(cap);
+    std::vector<std::int64_t> bpool(
+        cap * std::max<std::size_t>(plan.maxReadsPerStmt, 1));
+    res.instrCount = m->trace()(
+        res.memory.data(), params.data(), plan.n, steps, bstmt.data(),
+        boff.data(), bpool.data(), bwrite.data(), kNativeBlockCapacity,
+        &deliverBlock, sink);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.nativeRuns;
+  }
+  return res;
+}
+
+std::string NativeRuntime::diagnostic() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return diagnostic_;
+}
+
+NativeCounters NativeRuntime::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace gcr

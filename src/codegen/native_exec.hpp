@@ -1,0 +1,107 @@
+// Native execution tier: runs compiled access plans as host machine code.
+//
+// NativeRuntime turns an AccessPlan into executable code in four steps —
+// emit (emit_native.hpp), key, materialize, dispatch — with a cache tier at
+// each level:
+//
+//   1. emit the plan's structure to a C translation unit;
+//   2. key = hash(emitted source, compiler fingerprint, ABI version) — a
+//      STRUCTURAL signature, independent of n/timeSteps, so one artifact
+//      serves a whole size sweep;
+//   3. materialize a loaded module for that key:
+//        a. in-process module cache (LRU of dlopen'd objects);
+//        b. persistent store lookup (ArtifactKind::CompiledPlan) — a warm
+//           disk crosses process boundaries with zero compiler invocations;
+//        c. out-of-process compile (native_cc.hpp), publish to the store;
+//   4. dispatch run/trace through the module's entry points, feeding the
+//      plan's numeric parameter table (nativeParams).
+//
+// Failure ladder: ANY failure — no compiler, compile error, dlopen error,
+// ABI or parameter-count mismatch, store corruption — falls back to the
+// plan interpreter (executePlan), which is bit-identical by contract, and
+// records the reason (diagnostic(), counters().fallbacks).  The native tier
+// can therefore never produce a wrong result, only a slower one.
+//
+// Thread safety: all public methods are safe for concurrent use.  Two
+// threads racing on a cold key may both compile; publication is
+// last-writer-wins with byte-identical content, so the only cost is one
+// redundant compile (mirrors the store's own residual window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "codegen/emit_native.hpp"
+#include "codegen/native_cc.hpp"
+#include "codegen/native_module.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/signature.hpp"
+#include "interp/interp.hpp"
+#include "interp/plan.hpp"
+#include "store/store.hpp"
+
+namespace gcr {
+
+/// Monotonic observability counters of one runtime.
+struct NativeCounters {
+  std::uint64_t nativeRuns = 0;       ///< executions served by machine code
+  std::uint64_t fallbacks = 0;        ///< executions served by executePlan
+  std::uint64_t moduleCacheHits = 0;  ///< served by the in-process LRU
+  std::uint64_t storeHits = 0;        ///< modules loaded from the store
+  std::uint64_t storePuts = 0;        ///< artifacts published to the store
+  std::uint64_t compiles = 0;         ///< compiler invocations (successful)
+  std::uint64_t compileFailures = 0;  ///< compiler invocations that failed
+};
+
+class NativeRuntime {
+ public:
+  struct Options {
+    /// Persistent tier for CompiledPlan artifacts; nullptr = no disk tier.
+    /// Borrowed; must outlive the runtime.
+    store::ArtifactStore* store = nullptr;
+    /// When false, only the module cache and the store are consulted — the
+    /// compiler is never invoked (warm-store verification mode).
+    bool allowCompile = true;
+    /// Loaded modules kept in process (keyed by artifact signature).
+    std::size_t moduleCacheCapacity = 32;
+  };
+
+  /// Runs compiler discovery once, at construction (so tests can vary
+  /// GCR_CC between runtimes but one runtime answers consistently).
+  explicit NativeRuntime(Options opts);
+  NativeRuntime() : NativeRuntime(Options()) {}
+
+  /// Execute `plan` natively, falling back to the plan interpreter on any
+  /// failure.  Results are bit-identical to executePlan / the tree walker:
+  /// same memory image, same instruction count, same instruction stream.
+  ExecResult execute(const AccessPlan& plan, const ExecOptions& opts,
+                     InstrSink* sink = nullptr);
+
+  /// The structural artifact key `plan` maps to under this runtime's
+  /// compiler: hash(emitted source, compiler fingerprint, ABI version).
+  Signature artifactKey(const AccessPlan& plan) const;
+
+  const NativeCompiler& compiler() const { return compiler_; }
+  bool compilerFound() const { return compiler_.found; }
+  /// Reason of the most recent fallback (empty if none yet).
+  std::string diagnostic() const;
+  NativeCounters counters() const;
+
+ private:
+  std::shared_ptr<NativeModule> moduleFor(const NativeSource& src,
+                                          std::string* why);
+  Signature keyFor(const std::string& code) const;
+  void noteFallback(const std::string& why);
+
+  Options opts_;
+  NativeCompiler compiler_;
+  mutable std::mutex mu_;
+  LruCache<Signature, std::shared_ptr<NativeModule>, SignatureHash> modules_;
+  NativeCounters counters_;
+  std::string diagnostic_;
+  bool warned_ = false;
+};
+
+}  // namespace gcr

@@ -1,0 +1,100 @@
+#include "codegen/native_module.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace gcr {
+namespace {
+
+// Materialize bytes to a private temp file; path valid until destruction.
+class TempSo {
+ public:
+  explicit TempSo(const std::string& bytes) {
+    const char* base = std::getenv("TMPDIR");
+    std::string nameBuf = std::string(base != nullptr && *base != '\0'
+                                          ? base
+                                          : "/tmp") +
+                          "/gcr-module-XXXXXX";
+    fd_ = ::mkstemp(nameBuf.data());
+    if (fd_ < 0) {
+      error_ = std::string("mkstemp failed: ") + std::strerror(errno);
+      return;
+    }
+    path_ = nameBuf;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w =
+          ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        error_ = std::string("write failed: ") + std::strerror(errno);
+        return;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  ~TempSo() {
+    if (fd_ >= 0) ::close(fd_);
+    if (!path_.empty()) (void)::unlink(path_.c_str());
+  }
+  TempSo(const TempSo&) = delete;
+  TempSo& operator=(const TempSo&) = delete;
+
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string error_;
+};
+
+}  // namespace
+
+std::unique_ptr<NativeModule> NativeModule::load(const std::string& soBytes,
+                                                 std::string* error) {
+  auto fail = [&](std::string why) -> std::unique_ptr<NativeModule> {
+    if (error != nullptr) *error = std::move(why);
+    return nullptr;
+  };
+  if (soBytes.empty()) return fail("empty shared-object image");
+  TempSo tmp(soBytes);
+  if (!tmp.error().empty()) return fail(tmp.error());
+
+  std::unique_ptr<NativeModule> m(new NativeModule());
+  m->handle_ = ::dlopen(tmp.path().c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (m->handle_ == nullptr) {
+    const char* e = ::dlerror();
+    return fail(std::string("dlopen failed: ") + (e != nullptr ? e : "?"));
+  }
+  // TempSo unlinks at scope exit; the mapping keeps the object alive.
+
+  auto sym = [&](const char* name) -> void* {
+    return ::dlsym(m->handle_, name);
+  };
+  auto* abi = reinterpret_cast<GcrNativeAbiFn>(sym("gcrn_abi"));
+  auto* pcount =
+      reinterpret_cast<GcrNativeParamCountFn>(sym("gcrn_param_count"));
+  m->run_ = reinterpret_cast<GcrNativeRunFn>(sym("gcrn_run"));
+  m->trace_ = reinterpret_cast<GcrNativeTraceFn>(sym("gcrn_trace"));
+  if (abi == nullptr || pcount == nullptr || m->run_ == nullptr ||
+      m->trace_ == nullptr)
+    return fail("missing gcrn_* entry point");
+  const std::int32_t gotAbi = abi();
+  if (gotAbi != kNativeAbiVersion)
+    return fail("ABI mismatch: artifact " + std::to_string(gotAbi) +
+                ", host " + std::to_string(kNativeAbiVersion));
+  m->paramCount_ = pcount();
+  return m;
+}
+
+NativeModule::~NativeModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+}  // namespace gcr

@@ -1,0 +1,45 @@
+// dlopen wrapper over a compiled-plan shared object (bytes -> entry points).
+//
+// Artifacts live as bytes (in memory, in the persistent store); the loader
+// materializes them to a private temp file, dlopen()s with
+// RTLD_NOW | RTLD_LOCAL, unlinks the file immediately (the mapping keeps the
+// inode alive), and resolves the native_abi.hpp symbols.  load() validates
+// the embedded ABI version and reads the embedded parameter count, so a
+// stale or foreign artifact fails loudly here instead of crashing inside
+// generated code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "codegen/native_abi.hpp"
+
+namespace gcr {
+
+class NativeModule {
+ public:
+  /// Load a shared object from its bytes.  Returns null on any failure
+  /// (unwritable temp, dlopen error, missing symbol, ABI mismatch) with the
+  /// reason in *error.
+  static std::unique_ptr<NativeModule> load(const std::string& soBytes,
+                                            std::string* error);
+
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  GcrNativeRunFn run() const { return run_; }
+  GcrNativeTraceFn trace() const { return trace_; }
+  std::int64_t paramCount() const { return paramCount_; }
+
+ private:
+  NativeModule() = default;
+
+  void* handle_ = nullptr;
+  GcrNativeRunFn run_ = nullptr;
+  GcrNativeTraceFn trace_ = nullptr;
+  std::int64_t paramCount_ = 0;
+};
+
+}  // namespace gcr

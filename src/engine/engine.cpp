@@ -39,6 +39,11 @@ bool engineForcedToWalk() {
   return v == "walk" || v == "tree";
 }
 
+bool engineNativeRequested() {
+  const char* env = std::getenv("GCR_ENGINE");
+  return env != nullptr && std::string(env) == "native";
+}
+
 /// Options::cacheDir wins; nullopt defers to GCR_CACHE_DIR; "" disables.
 std::string resolveCacheDir(const Engine::Options& o) {
   if (o.cacheDir.has_value()) return *o.cacheDir;
@@ -64,6 +69,11 @@ struct Engine::Impl {
   /// Persistent disk tier; nullptr = memory-only.  Thread-safe internally,
   /// so it is consulted from compute lambdas outside `mutex`.
   const std::unique_ptr<store::ArtifactStore> diskStore;
+  /// Native codegen tier; non-null only under GCR_ENGINE=native.  Shares the
+  /// disk store, so compiled-plan artifacts persist across sessions under
+  /// the plans' structural keys.  Thread-safe internally; any native failure
+  /// falls back to executePlan, so results are engine-independent.
+  const std::unique_ptr<NativeRuntime> native;
 
   mutable std::mutex mutex;
   LruCache<Signature, std::shared_ptr<const PipelineResult>, SignatureHash>
@@ -101,6 +111,10 @@ struct Engine::Impl {
         diskStore(store::ArtifactStore::open({.dir = resolveCacheDir(o),
                                               .fsync = o.storeFsync,
                                               .maxBytes = o.storeMaxBytes})),
+        native(engineNativeRequested()
+                   ? std::make_unique<NativeRuntime>(
+                         NativeRuntime::Options{.store = diskStore.get()})
+                   : nullptr),
         pipelines(o.pipelineCacheCapacity),
         plans(o.planCacheCapacity),
         measurements(o.measurementCacheCapacity),
@@ -285,6 +299,17 @@ struct Engine::Impl {
     return p;
   }
 
+  /// Run a compiled plan through the selected engine: the native tier when
+  /// one is attached (it falls back to executePlan internally on any
+  /// failure), the plan interpreter otherwise.  Bit-identical either way.
+  void runPlan(const AccessPlan& plan, const ExecOptions& opts,
+               InstrSink* sink) {
+    if (native)
+      native->execute(plan, opts, sink);
+    else
+      executePlan(plan, opts, sink);
+  }
+
   Measurement computeMeasurement(const ProgramVersion& version,
                                  const DataLayout& layout, std::int64_t n,
                                  std::uint64_t timeSteps,
@@ -299,8 +324,8 @@ struct Engine::Impl {
     if (!plan->compiled.ok())
       return gcr::measure(version, n, machine, timeSteps, cost);
     MemoryHierarchy hierarchy(machine);
-    executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps},
-                &hierarchy);
+    runPlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps},
+            &hierarchy);
     Measurement m;
     m.counts = hierarchy.counts();
     m.cycles = cost.cycles(m.counts);
@@ -329,13 +354,12 @@ struct Engine::Impl {
     if (options.sampleRate >= 1.0) {
       ReuseDistanceSink sink(8);
       sink.reserve(expectedRefs, dataBytes);
-      executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps},
-                  &sink);
+      runPlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
       return sink.takeProfile();
     }
     SampledReuseSink sink(8, options.sampleRate);
     sink.reserve(expectedRefs, dataBytes);
-    executePlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
+    runPlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
     return sink.takeProfile();
   }
 
@@ -537,8 +561,9 @@ Engine::Stats Engine::stats() const {
               impl_->measurements.counters(), impl_->profiles.counters(),
               impl_->inflightCoalesced, store::StoreCounters{}};
   }
-  // The store has its own lock; never hold both.
+  // The store and native runtime have their own locks; never hold both.
   if (impl_->diskStore) s.store = impl_->diskStore->counters();
+  if (impl_->native) s.native = impl_->native->counters();
   return s;
 }
 

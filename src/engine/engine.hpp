@@ -33,9 +33,14 @@
 // (Measurement::wallSeconds/accessesPerSecond) vary run to run, and a cache
 // hit reproduces even those verbatim from the original computation.
 //
-// GCR_ENGINE=walk (read at Engine construction) bypasses the plan cache
-// entirely and routes measurement through the tree-walking oracle, exactly
-// as the free-standing measure() does.
+// GCR_ENGINE (read at Engine construction) selects the execution engine:
+// "walk" bypasses the plan cache entirely and routes measurement through
+// the tree-walking oracle, exactly as the free-standing measure() does;
+// "native" attaches a NativeRuntime (codegen/native_exec.hpp) that lowers
+// each compiled plan to a shared object — cached in the persistent store
+// under the plan's structural signature — and dispatches trace generation
+// through it, falling back to the plan interpreter on any failure.  All
+// engines produce bit-identical simulated fields.
 //
 // Persistent disk tier: with Options::cacheDir (or the GCR_CACHE_DIR
 // environment variable) set, the in-memory caches are backed by an on-disk
@@ -44,9 +49,11 @@
 // both tiers.  Stored values are returned verbatim — a cold *process* with
 // a warm *disk* reproduces the original results bit-for-bit, wall-clock
 // fields included — and any disk-level corruption degrades to a recompute,
-// never a wrong result.  Compiled plans are never persisted (they borrow
-// in-memory pointers); their signatures are recorded so future native
-// codegen can attach compiled artifacts under the same keys.
+// never a wrong result.  Compiled plans themselves are never persisted
+// (they borrow in-memory pointers); their signatures are recorded, and
+// under GCR_ENGINE=native the runtime persists the corresponding compiled
+// MACHINE CODE (ArtifactKind::CompiledPlan) keyed by plan structure, so a
+// warm store serves native modules with zero compiler invocations.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/native_exec.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "engine/future.hpp"
@@ -110,6 +118,8 @@ class Engine {
     std::uint64_t inflightCoalesced = 0;
     /// Disk-tier counters (all zero when no persistent store is attached).
     store::StoreCounters store;
+    /// Native-tier counters (all zero unless GCR_ENGINE=native).
+    NativeCounters native;
   };
 
   Engine();

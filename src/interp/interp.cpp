@@ -125,7 +125,9 @@ class Executor {
 };
 
 // GCR_ENGINE environment override, consulted only when opts.engine is Auto:
-// "walk"/"tree" forces the tree walker, "plan" requires the plan engine.
+// "walk"/"tree" forces the tree walker, "plan" requires the plan engine,
+// "native" selects the codegen tier where one is attached (gcr::Engine) and
+// behaves like Auto here.
 ExecEngine envEngine() {
   static const ExecEngine cached = [] {
     const char* env = std::getenv("GCR_ENGINE");
@@ -133,6 +135,7 @@ ExecEngine envEngine() {
     const std::string v(env);
     if (v == "walk" || v == "tree") return ExecEngine::TreeWalk;
     if (v == "plan") return ExecEngine::Plan;
+    if (v == "native") return ExecEngine::Native;
     return ExecEngine::Auto;
   }();
   return cached;

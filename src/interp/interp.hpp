@@ -26,8 +26,13 @@ namespace gcr {
 
 /// Which execution engine execute() uses.  Auto prefers the compiled plan
 /// and falls back to the tree walker when the program does not qualify; the
-/// GCR_ENGINE environment variable ("plan", "walk") overrides Auto.
-enum class ExecEngine { Auto, TreeWalk, Plan };
+/// GCR_ENGINE environment variable ("native", "plan", "walk") overrides
+/// Auto.  Native — compiled plans lowered to host machine code — is
+/// serviced by the codegen tier (codegen/native_exec.hpp) when execution is
+/// routed through gcr::Engine or another NativeRuntime holder; the raw
+/// execute() entry point treats Native like Auto (the interp layer stays
+/// independent of the codegen layer, which links against it).
+enum class ExecEngine { Auto, TreeWalk, Plan, Native };
 
 struct ExecOptions {
   std::int64_t n = 16;           ///< problem size (value of the parameter N)

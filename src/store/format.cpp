@@ -11,6 +11,7 @@ const char* artifactKindName(ArtifactKind k) {
     case ArtifactKind::PipelineResult: return "pipeline";
     case ArtifactKind::Measurement: return "measurement";
     case ArtifactKind::ReuseProfile: return "profile";
+    case ArtifactKind::CompiledPlan: return "compiled_plan";
   }
   return "unknown";
 }

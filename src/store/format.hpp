@@ -47,6 +47,12 @@ enum class ArtifactKind : std::uint32_t {
   PipelineResult = 1,
   Measurement = 2,
   ReuseProfile = 3,
+  /// A natively compiled access plan: shared-object bytes plus the compiler
+  /// fingerprint they were built with (store/codec.hpp CompiledPlanArtifact).
+  /// Keyed by the plan's STRUCTURAL signature (emitted-source hash + compiler
+  /// fingerprint + codegen ABI), not the per-size plan key, so one artifact
+  /// serves every problem size of the same plan structure.
+  CompiledPlan = 4,
 };
 
 const char* artifactKindName(ArtifactKind k);

@@ -1,0 +1,318 @@
+// Three-way differential oracle for the native execution tier: the
+// tree-walking interpreter, the compiled access-plan engine, and the
+// natively compiled shared object must agree bit-for-bit — memory image,
+// instruction count, and the complete instruction trace (block boundaries
+// invisible) — over the registry applications under every pipeline layout,
+// handcrafted guard/reversal shapes, and a fuzzed program corpus.
+//
+// One shared NativeRuntime serves the whole suite: the artifact key is
+// structural, so every test that re-executes a known plan shape reuses the
+// already-loaded module instead of paying the out-of-process compile again.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../common/random_program.hpp"
+#include "../common/temp_dir.hpp"
+#include "apps/registry.hpp"
+#include "codegen/native_exec.hpp"
+#include "driver/pipeline.hpp"
+#include "fusion/fusion.hpp"
+#include "interp/interp.hpp"
+#include "interp/plan.hpp"
+#include "ir/builder.hpp"
+#include "store/codec.hpp"
+
+namespace gcr {
+namespace {
+
+/// Suite-wide runtime (no store): modules persist across tests, so e.g.
+/// SP's translation unit is compiled once for the whole binary.
+NativeRuntime& sharedRuntime() {
+  static NativeRuntime runtime;
+  return runtime;
+}
+
+bool sameTrace(const InstrTrace& a, const InstrTrace& b, std::string* why) {
+  if (a.size() != b.size()) {
+    *why = "trace sizes differ: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.stmtId(i) != b.stmtId(i) || a.writeAddr(i) != b.writeAddr(i)) {
+      *why = "instance " + std::to_string(i) + " stmt/write differs";
+      return false;
+    }
+    const auto ra = a.reads(i);
+    const auto rb = b.reads(i);
+    if (ra.size() != rb.size() ||
+        !std::equal(ra.begin(), ra.end(), rb.begin())) {
+      *why = "instance " + std::to_string(i) + " reads differ";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The oracle: run all three engines over (p, layout, n, steps) with full
+/// traces and require byte-identical results.  When a compiler is present
+/// the native run must actually be native (no fallback consumed).
+void expectThreeWayIdentical(const Program& p, const DataLayout& layout,
+                             std::int64_t n, std::uint64_t steps,
+                             const std::string& tag) {
+  InstrTrace walkTrace;
+  const ExecResult walk = execute(
+      p, layout, {.n = n, .timeSteps = steps, .engine = ExecEngine::TreeWalk},
+      &walkTrace);
+
+  const PlanCompileResult compiled =
+      compilePlan(p, layout, {.n = n, .timeSteps = steps});
+  ASSERT_TRUE(compiled.ok()) << tag << ": " << compiled.reason;
+  InstrTrace planTrace;
+  const ExecResult plan =
+      executePlan(*compiled.plan, {.n = n, .timeSteps = steps}, &planTrace);
+
+  NativeRuntime& rt = sharedRuntime();
+  const NativeCounters before = rt.counters();
+  InstrTrace nativeTrace;
+  const ExecResult native =
+      rt.execute(*compiled.plan, {.n = n, .timeSteps = steps}, &nativeTrace);
+  const NativeCounters after = rt.counters();
+  if (rt.compilerFound()) {
+    EXPECT_EQ(after.fallbacks, before.fallbacks)
+        << tag << " fell back: " << rt.diagnostic();
+  }
+
+  EXPECT_EQ(walk.instrCount, plan.instrCount) << tag;
+  EXPECT_EQ(walk.instrCount, native.instrCount) << tag;
+  EXPECT_EQ(walk.memory, plan.memory) << tag;
+  EXPECT_EQ(walk.memory, native.memory) << tag;
+  std::string why;
+  EXPECT_TRUE(sameTrace(walkTrace, planTrace, &why)) << tag << ": " << why;
+  EXPECT_TRUE(sameTrace(walkTrace, nativeTrace, &why)) << tag << ": " << why;
+
+  // The sink-free entry point must agree with the traced one.
+  const ExecResult nativeNoSink =
+      rt.execute(*compiled.plan, {.n = n, .timeSteps = steps});
+  EXPECT_EQ(nativeNoSink.instrCount, walk.instrCount) << tag;
+  EXPECT_EQ(nativeNoSink.memory, walk.memory) << tag;
+}
+
+TEST(NativeExec, RegistryAppsThreeWayIdenticalUnderAllPipelineLayouts) {
+  // Originals under the contiguous layout, then the full pipeline output
+  // (fusion guards, embedded border statements, reversed loops, regrouped
+  // and split-array layouts).  Sizes put every app past the 4096-instance
+  // block capacity so flush boundaries are exercised.
+  for (const auto& info : apps::evaluationApps()) {
+    const std::int64_t n = info.name == "SP" ? 10 : 32;
+    const Program p = info.build();
+    expectThreeWayIdentical(p, contiguousLayout(p, n), n, 2,
+                            info.name + "-original");
+    const PipelineResult r = runPipeline(p, {});
+    expectThreeWayIdentical(r.program, r.layoutAt(n), n, 2,
+                            info.name + "-pipeline");
+  }
+}
+
+TEST(NativeExec, GuardedFusedAndReversedShapesThreeWayIdentical) {
+  // Figure 4(a)-style fusion: guards and embedded border statements.
+  {
+    ProgramBuilder b("fig4a");
+    ArrayId a = b.array("A", {AffineN::N() + AffineN(1)});
+    ArrayId c = b.array("B", {AffineN::N() + AffineN(1)});
+    b.loop("i", 3, AffineN::N() - AffineN(2),
+           [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i - 1})}); });
+    b.assign(b.ref(a, {cst(1)}), {b.ref(a, {cst(AffineN::N())})});
+    b.assign(b.ref(a, {cst(2)}), {});
+    b.loop("i", 3, AffineN::N(),
+           [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i - 2})}); });
+    const Program p = b.take();
+    const Program fused = fuseProgram(p);
+    expectThreeWayIdentical(fused, contiguousLayout(fused, 33), 33, 3,
+                            "fig4a-fused");
+  }
+  // Backward recurrence pair: reversed loops, multiple time steps.
+  {
+    ProgramBuilder b("reversed");
+    ArrayId a = b.array("A", {AffineN::N() + AffineN(2)});
+    ArrayId c = b.array("B", {AffineN::N() + AffineN(2)});
+    b.loopDown("i", 1, AffineN::N(),
+               [&](IxVar i) { b.assign(b.ref(a, {i}), {b.ref(a, {i + 1})}); });
+    b.loopDown("i", 1, AffineN::N(),
+               [&](IxVar i) { b.assign(b.ref(c, {i}), {b.ref(a, {i})}); });
+    const Program p = b.take();
+    const Program fused = fuseProgram(p);
+    expectThreeWayIdentical(p, contiguousLayout(p, 25), 25, 3,
+                            "reversed-orig");
+    expectThreeWayIdentical(fused, contiguousLayout(fused, 25), 25, 3,
+                            "reversed-fused");
+  }
+}
+
+TEST(NativeExec, FuzzedProgramCorpusThreeWayIdentical) {
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  opts.allowReversed = true;
+  int qualified = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Program p = testing::randomProgram(seed, opts);
+    const std::int64_t n = 14 + static_cast<std::int64_t>(seed % 5);
+    const DataLayout layout = contiguousLayout(p, n);
+    if (!compilePlan(p, layout, {.n = n}).ok()) continue;
+    ++qualified;
+    expectThreeWayIdentical(p, layout, n, 1 + seed % 2,
+                            "fuzz-" + std::to_string(seed));
+  }
+  EXPECT_GE(qualified, 20) << "fuzz corpus mostly fell off the plan path";
+}
+
+TEST(NativeExec, MissingCompilerFallsBackWithDiagnostic) {
+  // GCR_CC pointing nowhere must disable the tier outright — never
+  // substitute a different compiler — and every execution then degrades to
+  // the (bit-identical) plan interpreter with a recorded reason.
+  ASSERT_EQ(::setenv("GCR_CC", "/nonexistent/gcr-no-such-cc", 1), 0);
+  NativeRuntime rt;
+  ASSERT_EQ(::unsetenv("GCR_CC"), 0);
+  EXPECT_FALSE(rt.compilerFound());
+  EXPECT_FALSE(rt.compiler().diagnostic.empty());
+
+  const Program p = apps::buildApp("ADI");
+  const std::int64_t n = 16;
+  const DataLayout layout = contiguousLayout(p, n);
+  const PlanCompileResult compiled = compilePlan(p, layout, {.n = n});
+  ASSERT_TRUE(compiled.ok());
+  const ExecResult oracle = executePlan(*compiled.plan, {.n = n});
+  const ExecResult fell = rt.execute(*compiled.plan, {.n = n});
+  EXPECT_EQ(fell.memory, oracle.memory);
+  EXPECT_EQ(fell.instrCount, oracle.instrCount);
+  EXPECT_EQ(rt.counters().fallbacks, 1u);
+  EXPECT_EQ(rt.counters().nativeRuns, 0u);
+  EXPECT_EQ(rt.counters().compiles, 0u);
+  EXPECT_FALSE(rt.diagnostic().empty());
+}
+
+TEST(NativeExec, OneModuleServesSizeSweepAndLayoutChanges) {
+  if (!sharedRuntime().compilerFound()) GTEST_SKIP() << "no C compiler";
+  // The artifact key is structural: problem size, time steps, and layout
+  // strides only change the runtime parameter table, so one compile serves
+  // the whole sweep.
+  NativeRuntime rt;  // fresh runtime: exact counter accounting
+  const Program p = apps::buildApp("ADI");
+  const Program fused = fuseProgram(p);
+
+  std::vector<Signature> keys;
+  for (const std::int64_t n : {16, 24, 40}) {
+    const DataLayout layout = contiguousLayout(p, n);
+    const PlanCompileResult compiled =
+        compilePlan(p, layout, {.n = n, .timeSteps = 2});
+    ASSERT_TRUE(compiled.ok());
+    keys.push_back(rt.artifactKey(*compiled.plan));
+    const ExecResult native =
+        rt.execute(*compiled.plan, {.n = n, .timeSteps = 2});
+    const ExecResult oracle =
+        executePlan(*compiled.plan, {.n = n, .timeSteps = 2});
+    EXPECT_EQ(native.memory, oracle.memory) << "n=" << n;
+  }
+  EXPECT_EQ(keys[0], keys[1]);
+  EXPECT_EQ(keys[0], keys[2]);
+  EXPECT_EQ(rt.counters().compiles, 1u);
+  EXPECT_EQ(rt.counters().moduleCacheHits, 2u);
+  EXPECT_EQ(rt.counters().nativeRuns, 3u);
+  EXPECT_EQ(rt.counters().fallbacks, 0u);
+
+  // Different time steps: same key, still no new compile.
+  {
+    const DataLayout layout = contiguousLayout(p, 16);
+    const PlanCompileResult compiled =
+        compilePlan(p, layout, {.n = 16, .timeSteps = 5});
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(rt.artifactKey(*compiled.plan), keys[0]);
+  }
+  // A structurally different program gets a different key.
+  {
+    const DataLayout layout = contiguousLayout(fused, 16);
+    const PlanCompileResult compiled =
+        compilePlan(fused, layout, {.n = 16});
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_NE(rt.artifactKey(*compiled.plan), keys[0]);
+  }
+}
+
+TEST(NativeExec, WarmStoreServesModulesWithZeroCompilerInvocations) {
+  if (!sharedRuntime().compilerFound()) GTEST_SKIP() << "no C compiler";
+  testing::ScopedTempDir dir("gcr-native-store");
+  auto store = store::ArtifactStore::open({.dir = dir.path()});
+  ASSERT_NE(store, nullptr);
+
+  const Program p = apps::buildApp("Swim");
+  const std::int64_t n = 20;
+  const DataLayout layout = contiguousLayout(p, n);
+  const PlanCompileResult compiled = compilePlan(p, layout, {.n = n});
+  ASSERT_TRUE(compiled.ok());
+
+  // Cold: compile once, publish to the store.
+  NativeRuntime cold({.store = store.get()});
+  const ExecResult first = cold.execute(*compiled.plan, {.n = n});
+  ASSERT_EQ(cold.counters().nativeRuns, 1u) << cold.diagnostic();
+  EXPECT_EQ(cold.counters().compiles, 1u);
+  EXPECT_EQ(cold.counters().storePuts, 1u);
+
+  // The published artifact is well-formed and self-describing.
+  const auto entry =
+      store->get(store::ArtifactKind::CompiledPlan,
+                 cold.artifactKey(*compiled.plan));
+  ASSERT_TRUE(entry.has_value());
+  const auto artifact = store::decodeCompiledPlan(entry->payload());
+  ASSERT_TRUE(artifact.has_value());
+  EXPECT_EQ(artifact->compilerFingerprint, cold.compiler().fingerprint);
+  EXPECT_FALSE(artifact->soBytes.empty());
+
+  // Warm second "process": compiler forbidden, module must load from the
+  // store alone and reproduce the cold results bit-for-bit.
+  NativeRuntime warm({.store = store.get(), .allowCompile = false});
+  const ExecResult second = warm.execute(*compiled.plan, {.n = n});
+  EXPECT_EQ(warm.counters().nativeRuns, 1u) << warm.diagnostic();
+  EXPECT_EQ(warm.counters().storeHits, 1u);
+  EXPECT_EQ(warm.counters().compiles, 0u);
+  EXPECT_EQ(warm.counters().fallbacks, 0u);
+  EXPECT_EQ(second.memory, first.memory);
+  EXPECT_EQ(second.instrCount, first.instrCount);
+
+  // No store and no permission to compile: clean fallback, with a reason.
+  NativeRuntime neither({.allowCompile = false});
+  const ExecResult third = neither.execute(*compiled.plan, {.n = n});
+  EXPECT_EQ(neither.counters().fallbacks, 1u);
+  EXPECT_FALSE(neither.diagnostic().empty());
+  EXPECT_EQ(third.memory, first.memory);
+}
+
+TEST(NativeExec, EmissionIsDeterministicAndStructural) {
+  const Program p = apps::buildApp("Tomcatv");
+  const DataLayout l16 = contiguousLayout(p, 16);
+  const DataLayout l48 = contiguousLayout(p, 48);
+  const PlanCompileResult a = compilePlan(p, l16, {.n = 16, .timeSteps = 1});
+  const PlanCompileResult b = compilePlan(p, l16, {.n = 16, .timeSteps = 1});
+  const PlanCompileResult c = compilePlan(p, l48, {.n = 48, .timeSteps = 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+
+  const NativeSource sa = emitNativePlan(*a.plan);
+  const NativeSource sb = emitNativePlan(*b.plan);
+  const NativeSource sc = emitNativePlan(*c.plan);
+  EXPECT_EQ(sa.code, sb.code);  // deterministic text = stable address
+  EXPECT_EQ(sa.code, sc.code);  // structural: n/steps live in the params
+  EXPECT_EQ(sa.paramCount, sc.paramCount);
+
+  const auto pa = nativeParams(*a.plan);
+  const auto pc = nativeParams(*c.plan);
+  EXPECT_EQ(pa.size(), sa.paramCount);
+  EXPECT_EQ(pc.size(), sc.paramCount);
+  EXPECT_NE(pa, pc);  // the numbers, not the code, carry the size
+}
+
+}  // namespace
+}  // namespace gcr

@@ -1,0 +1,117 @@
+// GCR_ENGINE=native end to end through gcr::Engine: simulated fields must
+// be bit-identical to the plan engine's, the native tier must actually
+// serve the executions (counters), and with a cache directory attached the
+// compiled module must persist — a second Engine in the same store serves
+// it with zero compiler invocations.
+//
+// The environment variable is read at Engine construction, so each test
+// sets it, builds the Engine, and restores the prior value immediately.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "../common/temp_dir.hpp"
+#include "apps/registry.hpp"
+#include "engine/engine.hpp"
+
+namespace gcr {
+namespace {
+
+/// Scoped GCR_ENGINE override (Engine snapshots it at construction).
+class ScopedEngineEnv {
+ public:
+  explicit ScopedEngineEnv(const char* value) {
+    const char* old = std::getenv("GCR_ENGINE");
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    if (value != nullptr)
+      ::setenv("GCR_ENGINE", value, 1);
+    else
+      ::unsetenv("GCR_ENGINE");
+  }
+  ~ScopedEngineEnv() {
+    if (had_)
+      ::setenv("GCR_ENGINE", old_.c_str(), 1);
+    else
+      ::unsetenv("GCR_ENGINE");
+  }
+
+ private:
+  bool had_ = false;
+  std::string old_;
+};
+
+bool haveCompiler() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+Measurement measureAdi(Engine& e, std::int64_t n) {
+  const Program p = apps::buildApp("ADI");
+  const ProgramVersion v = e.version(p, Strategy::FusedRegrouped);
+  return e.measure(v, n, MachineConfig::origin2000(), 2);
+}
+
+TEST(EngineNative, SimulatedFieldsMatchPlanEngineBitForBit) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+  Measurement plan;
+  {
+    ScopedEngineEnv env("plan");
+    Engine e;
+    plan = measureAdi(e, 40);
+  }
+  ScopedEngineEnv env("native");
+  Engine e;
+  const Measurement native = measureAdi(e, 40);
+
+  EXPECT_EQ(native.counts.refs, plan.counts.refs);
+  EXPECT_EQ(native.counts.l1Misses, plan.counts.l1Misses);
+  EXPECT_EQ(native.counts.l2Misses, plan.counts.l2Misses);
+  EXPECT_EQ(native.counts.tlbMisses, plan.counts.tlbMisses);
+  EXPECT_EQ(native.cycles, plan.cycles);
+  EXPECT_EQ(native.memoryTrafficBytes, plan.memoryTrafficBytes);
+  EXPECT_EQ(native.effectiveBandwidth, plan.effectiveBandwidth);
+
+  const Engine::Stats s = e.stats();
+  EXPECT_EQ(s.native.nativeRuns, 1u);
+  EXPECT_EQ(s.native.fallbacks, 0u);
+}
+
+TEST(EngineNative, StatsStayZeroWithoutNativeMode) {
+  ScopedEngineEnv env(nullptr);
+  Engine e;
+  measureAdi(e, 16);
+  const Engine::Stats s = e.stats();
+  EXPECT_EQ(s.native.nativeRuns, 0u);
+  EXPECT_EQ(s.native.fallbacks, 0u);
+  EXPECT_EQ(s.native.compiles, 0u);
+}
+
+TEST(EngineNative, CompiledModulePersistsAcrossEngines) {
+  if (!haveCompiler()) GTEST_SKIP() << "no system C compiler";
+  testing::ScopedTempDir dir("gcr-engine-native");
+  ScopedEngineEnv env("native");
+
+  Measurement cold;
+  {
+    Engine e({.cacheDir = dir.path()});
+    cold = measureAdi(e, 24);
+    const Engine::Stats s = e.stats();
+    EXPECT_EQ(s.native.compiles, 1u);
+    EXPECT_EQ(s.native.storePuts, 1u);
+  }
+  // Second Engine, same store, different measurement key (different n) so
+  // the simulation truly re-runs — but the module comes from the store.
+  Engine e({.cacheDir = dir.path()});
+  const Measurement warm = measureAdi(e, 32);
+  const Engine::Stats s = e.stats();
+  EXPECT_EQ(s.native.nativeRuns, 1u);
+  EXPECT_EQ(s.native.storeHits, 1u);
+  EXPECT_EQ(s.native.compiles, 0u) << "warm store must not re-compile";
+  EXPECT_EQ(s.native.fallbacks, 0u);
+  (void)cold;
+  (void)warm;
+}
+
+}  // namespace
+}  // namespace gcr
