@@ -1,0 +1,128 @@
+#include "server/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "store/codec.hpp"
+
+namespace gcr::server {
+
+struct Client::Impl {
+  int fd = -1;
+  std::string serverName;
+  std::vector<std::uint8_t> lastPayload;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// One request/reply exchange.  Returns the reply payload when the reply
+  /// kind matches `expect`; otherwise a populated error Result.
+  template <typename T>
+  Result<T> exchange(MsgKind request, std::span<const std::uint8_t> payload,
+                     MsgKind expect,
+                     std::optional<T> (*decode)(
+                         std::span<const std::uint8_t>)) {
+    Result<T> out;
+    if (!sendFrame(fd, request, payload)) {
+      out.message = "transport: send failed";
+      return out;
+    }
+    const RecvResult r = recvFrame(fd);
+    if (!r.ok) {
+      out.message = r.eof ? "transport: connection closed"
+                          : "transport: malformed reply frame";
+      return out;
+    }
+    if (r.header.kind == MsgKind::ReplyError) {
+      const std::optional<ErrorReply> err = decodeErrorReply(r.payload);
+      if (err) {
+        out.error = err->code;
+        out.message = err->message;
+      } else {
+        out.message = "transport: undecodable error reply";
+      }
+      return out;
+    }
+    if (r.header.kind != expect) {
+      out.message = "transport: unexpected reply kind";
+      return out;
+    }
+    std::optional<T> value = decode(r.payload);
+    if (!value) {
+      out.message = "transport: undecodable reply payload";
+      return out;
+    }
+    lastPayload = std::move(r.payload);
+    out.value = std::move(value);
+    return out;
+  }
+};
+
+Client::Client() = default;
+Client::~Client() = default;
+
+std::unique_ptr<Client> Client::connect(const std::string& address,
+                                        const std::string& tenant,
+                                        std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<Client> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  auto impl = std::make_unique<Impl>();
+  impl->fd = connectAddress(address);
+  if (impl->fd < 0) return fail("cannot connect to " + address);
+
+  const Result<HelloReply> hello = impl->exchange<HelloReply>(
+      MsgKind::Hello, encodeHelloRequest(HelloRequest{tenant}),
+      MsgKind::ReplyHello, decodeHelloReply);
+  if (!hello.ok())
+    return fail("handshake failed: " + hello.message);
+  if (hello->protocolVersion != kProtocolVersion)
+    return fail("protocol version mismatch");
+
+  std::unique_ptr<Client> c(new Client());
+  c->impl_ = std::move(impl);
+  c->impl_->serverName = hello->serverName;
+  return c;
+}
+
+Result<PipelineResult> Client::optimize(const OptimizeRequest& req) {
+  return impl_->exchange<PipelineResult>(
+      MsgKind::Optimize, encodeOptimizeRequest(req), MsgKind::ReplyOptimize,
+      store::decodePipelineResult);
+}
+
+Result<Measurement> Client::measure(const MeasureRequest& req) {
+  return impl_->exchange<Measurement>(MsgKind::Measure,
+                                      encodeMeasureRequest(req),
+                                      MsgKind::ReplyMeasure,
+                                      store::decodeMeasurement);
+}
+
+Result<ReuseProfile> Client::profile(const ProfileRequest& req) {
+  return impl_->exchange<ReuseProfile>(MsgKind::Profile,
+                                       encodeProfileRequest(req),
+                                       MsgKind::ReplyProfile,
+                                       store::decodeReuseProfile);
+}
+
+Result<VerifyReply> Client::verify(const VerifyRequest& req) {
+  return impl_->exchange<VerifyReply>(MsgKind::Verify,
+                                      encodeVerifyRequest(req),
+                                      MsgKind::ReplyVerify, decodeVerifyReply);
+}
+
+Result<StatsReply> Client::stats() {
+  return impl_->exchange<StatsReply>(MsgKind::Stats, {}, MsgKind::ReplyStats,
+                                     decodeStatsReply);
+}
+
+const std::vector<std::uint8_t>& Client::lastPayload() const {
+  return impl_->lastPayload;
+}
+
+const std::string& Client::serverName() const { return impl_->serverName; }
+
+}  // namespace gcr::server

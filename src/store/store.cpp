@@ -1,6 +1,7 @@
 #include "store/store.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -26,6 +27,38 @@ struct FileAge {
   fs::path path;
   fs::file_time_type mtime;
   std::uint64_t bytes = 0;
+};
+
+/// Advisory cross-process lock on `<dir>/lock`, held around the three
+/// operations that mutate objects/: publication rename, the eviction sweep,
+/// and the reject-unlink stat/unlink pair.  With every mutator holding it,
+/// a sweep can no longer delete an entry mid-publication and a rejection
+/// can no longer unlink an entry that a concurrent publisher just renamed
+/// into place — races the unlocked store tolerated (they cost a recompute,
+/// never a wrong result) but no longer pays for.
+///
+/// The lock fd is opened per operation, NOT shared: flock ownership follows
+/// the open-file-description, so a shared member fd would let one thread's
+/// close release a lock another thread still holds.  Best-effort: when the
+/// lock file cannot be created or flock fails, the operation proceeds
+/// unlocked with exactly the pre-lock semantics.
+class ScopedStoreLock {
+ public:
+  explicit ScopedStoreLock(const std::string& dir) {
+    fd_ = ::open((dir + "/lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ScopedStoreLock() {
+    if (fd_ >= 0) ::close(fd_);  // close releases the flock
+  }
+  ScopedStoreLock(const ScopedStoreLock&) = delete;
+  ScopedStoreLock& operator=(const ScopedStoreLock&) = delete;
+
+ private:
+  int fd_ = -1;
 };
 
 }  // namespace
@@ -112,9 +145,12 @@ bool ArtifactStore::put(ArtifactKind kind, const Signature& sig,
   if (!writeAll(payload)) return fail(fd);
   if (opts_.fsync && !io_->fsync(fd)) return fail(fd);
   if (!io_->close(fd)) return fail(-1);
-  if (!io_->rename(tmpPath, objectPath(kind, sig))) return fail(-1);
-  if (opts_.fsync) io_->fsyncDir(objectsDir_);  // durability only; the
-                                                // rename is already visible
+  {
+    ScopedStoreLock lock(dir_);
+    if (!io_->rename(tmpPath, objectPath(kind, sig))) return fail(-1);
+    if (opts_.fsync) io_->fsyncDir(objectsDir_);  // durability only; the
+                                                  // rename is already visible
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -146,13 +182,18 @@ std::optional<MappedEntry> ArtifactStore::get(ArtifactKind kind,
     // Self-healing: drop the bad entry so it costs one recompute — but only
     // if the path still names the inode that failed validation; a concurrent
     // writer may have renamed a fresh, valid entry into place since our
-    // open(), and that entry must survive.  The stat/unlink pair is not
-    // atomic, so an adversarially timed rename can still lose a good entry;
-    // that degrades to one extra recompute, never a wrong result.
-    struct stat cur;
-    if (haveStat && ::stat(path.c_str(), &cur) == 0 &&
-        cur.st_ino == st.st_ino && cur.st_dev == st.st_dev) {
-      ::unlink(path.c_str());
+    // open(), and that entry must survive.  The advisory store lock makes
+    // the stat/unlink pair atomic against every locking mutator
+    // (publication renames, eviction sweeps); only an unlocked foreign
+    // writer can still race it, degrading to one extra recompute, never a
+    // wrong result.
+    {
+      ScopedStoreLock lock(dir_);
+      struct stat cur;
+      if (haveStat && ::stat(path.c_str(), &cur) == 0 &&
+          cur.st_ino == st.st_ino && cur.st_dev == st.st_dev) {
+        ::unlink(path.c_str());
+      }
     }
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.corruptRejected;
@@ -211,10 +252,12 @@ int ArtifactStore::removeStaleTempFiles(long long maxAgeSeconds) {
 }
 
 void ArtifactStore::enforceSizeBudget() {
-  // Runs unlocked: the store already tolerates concurrent mutation of
-  // objects/ (removals racing with puts or other sweeps just fail softly),
-  // and holding mutex_ across a full directory walk would serialize the
-  // tail of every put() and stall counters() readers on large stores.
+  // Runs without mutex_ (holding it across a full directory walk would
+  // serialize the tail of every put() and stall counters() readers), but
+  // under the advisory store lock: the walk + removals become atomic
+  // against publication renames and other sweeps, in this process and in
+  // every other process sharing the directory.
+  ScopedStoreLock storeLock(dir_);
   std::error_code ec;
   std::vector<FileAge> files;
   std::uint64_t total = 0;

@@ -1,0 +1,155 @@
+// gcr-server — long-running multi-tenant optimization daemon.
+//
+// Wraps one shared gcr::Engine in the socket service of server/server.hpp:
+// every connected client shares the content-addressed caches, the in-flight
+// deduplication, and (with --cache-dir / GCR_CACHE_DIR) the persistent
+// artifact store, so identical work submitted by different tenants is
+// computed once.
+//
+//   gcr-server --socket /run/gcr.sock [options]
+//   gcr-server --tcp 7070 [options]
+//
+// Signals: SIGTERM/SIGINT begin a graceful drain — stop accepting, finish
+// every in-flight request (no admitted request loses its reply), reject new
+// work with ShuttingDown, then exit 0 printing the final counters.  A
+// second signal exits immediately.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+// Self-pipe: the handler only writes a byte; main() blocks on the read end
+// and runs the actual drain outside signal context.
+int gSignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  const char byte = 1;
+  (void)!::write(gSignalPipe[1], &byte, 1);
+  // Restore default disposition: a second signal kills the process rather
+  // than re-entering a drain that is already running.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gcr-server (--socket <path> | --tcp <port>) [options]\n"
+      "  --socket <path>        listen on a unix-domain socket\n"
+      "  --tcp <port>           listen on 127.0.0.1:<port> (0 = ephemeral)\n"
+      "  --threads <k>          engine worker threads (0 = GCR_THREADS)\n"
+      "  --cache-dir <dir>      persistent artifact store (default:\n"
+      "                         GCR_CACHE_DIR; empty = memory only)\n"
+      "  --max-connections <k>  concurrent sessions (default 64)\n"
+      "  --max-inflight <k>     concurrently executing requests (default 32)\n"
+      "  --max-per-tenant <k>   per-tenant in-flight limit (default 8)\n"
+      "  --max-frame-bytes <k>  per-frame payload ceiling (default 16 MiB)\n");
+}
+
+void printStats(const gcr::server::Server& server) {
+  const gcr::server::ServerCounters c = server.counters();
+  const gcr::Engine::Stats e = server.engineStats();
+  gcr::JsonWriter j;
+  j.beginObject();
+  j.field("connections_accepted", c.connectionsAccepted);
+  j.field("connections_rejected", c.connectionsRejected);
+  j.field("requests_admitted", c.requestsAdmitted);
+  j.field("requests_busy_rejected", c.requestsBusyRejected);
+  j.field("requests_errored", c.requestsErrored);
+  j.field("framing_errors", c.framingErrors);
+  j.field("replies_sent", c.repliesSent);
+  j.field("measurement_cache_hits", e.measurement.hits);
+  j.field("inflight_coalesced", e.inflightCoalesced);
+  j.field("store_hits", e.store.hits);
+  j.field("store_puts", e.store.puts);
+  j.endObject();
+  std::fprintf(stderr, "gcr-server: final counters %s\n", j.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gcr::server::ServerOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.unixSocketPath = value();
+    } else if (arg == "--tcp") {
+      opts.tcpPort = std::atoi(value());
+    } else if (arg == "--threads") {
+      opts.engine.threads = std::atoi(value());
+    } else if (arg == "--cache-dir") {
+      opts.engine.cacheDir = std::string(value());
+    } else if (arg == "--max-connections") {
+      opts.maxConnections = std::atoi(value());
+    } else if (arg == "--max-inflight") {
+      opts.maxRequestsInFlight = std::atoi(value());
+    } else if (arg == "--max-per-tenant") {
+      opts.maxInFlightPerTenant = std::atoi(value());
+    } else if (arg == "--max-frame-bytes") {
+      opts.maxPayloadBytes =
+          static_cast<std::uint64_t>(std::atoll(value()));
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (opts.unixSocketPath.empty() && opts.tcpPort < 0) {
+    usage();
+    return 2;
+  }
+
+  if (::pipe(gSignalPipe) != 0) {
+    std::perror("gcr-server: pipe");
+    return 1;
+  }
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // belt and braces; writes use MSG_NOSIGNAL
+
+  std::unique_ptr<gcr::server::Server> server =
+      gcr::server::Server::start(opts);
+  if (server == nullptr) {
+    std::fprintf(stderr, "gcr-server: cannot bind listener (%s%s%s)\n",
+                 opts.unixSocketPath.c_str(),
+                 opts.unixSocketPath.empty() ? "" : ", ",
+                 opts.tcpPort >= 0 ? "tcp" : "");
+    return 1;
+  }
+  if (!opts.unixSocketPath.empty())
+    std::fprintf(stderr, "gcr-server: listening on unix:%s\n",
+                 opts.unixSocketPath.c_str());
+  if (opts.tcpPort >= 0)
+    std::fprintf(stderr, "gcr-server: listening on tcp:127.0.0.1:%d\n",
+                 server->tcpPort());
+  const std::string dir = server->cacheDir();
+  std::fprintf(stderr, "gcr-server: persistent store: %s\n",
+               dir.empty() ? "(memory only)" : dir.c_str());
+
+  // Block until a signal arrives, then drain outside signal context.
+  char byte;
+  while (::read(gSignalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "gcr-server: draining (in-flight requests finish, "
+                       "new work is refused)\n");
+  server->drainAndStop();
+  printStats(*server);
+  std::fprintf(stderr, "gcr-server: drained, exiting\n");
+  return 0;
+}

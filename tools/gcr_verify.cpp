@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gcr/gcr.hpp"
+#include "server/client.hpp"
 #include "support/json.hpp"
 
 using namespace gcr;
@@ -44,7 +45,10 @@ void usage() {
       "16)\n"
       "  --notes <k>       print up to k per-pair dependence notes\n"
       "  --store-stats <dir>  dump a persistent artifact store's header and\n"
-      "                    entry inventory (full validation scan) as JSON\n");
+      "                    entry inventory (full validation scan) as JSON\n"
+      "  --server <addr>   ping a running gcr-server (unix:<path>,\n"
+      "                    tcp:<host>:<port>, or a bare socket path) and\n"
+      "                    print its engine/store/native counters as JSON\n");
 }
 
 struct Options {
@@ -187,6 +191,98 @@ int runStoreStats(const std::string& dir) {
   return 0;
 }
 
+void putCacheCounters(JsonWriter& j, const char* name,
+                      const CacheCounters& c) {
+  j.key(name).beginObject();
+  j.field("hits", c.hits);
+  j.field("misses", c.misses);
+  j.field("evictions", c.evictions);
+  j.field("entries", c.entries);
+  j.endObject();
+}
+
+/// --server: connect to a running daemon as tenant "gcr-verify", fetch its
+/// Stats reply, and print the counters as one JSON object — the operator's
+/// liveness + observability ping (served even while the server drains).
+int runServerPing(const std::string& address) {
+  std::string error;
+  const std::unique_ptr<server::Client> client =
+      server::Client::connect(address, "gcr-verify", &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "gcr-verify: %s\n", error.c_str());
+    return 2;
+  }
+  const server::Result<server::StatsReply> stats = client->stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "gcr-verify: stats request failed: %s\n",
+                 stats.message.c_str());
+    return 2;
+  }
+
+  JsonWriter j;
+  j.beginObject();
+  j.field("schema", "gcr-server-stats/1");
+  j.field("address", std::string_view(address));
+  j.field("server_name", std::string_view(client->serverName()));
+  j.field("cache_dir", std::string_view(stats->cacheDir));
+
+  j.key("server").beginObject();
+  const server::ServerCounters& s = stats->server;
+  j.field("connections_accepted", s.connectionsAccepted);
+  j.field("connections_rejected", s.connectionsRejected);
+  j.field("requests_admitted", s.requestsAdmitted);
+  j.field("requests_busy_rejected", s.requestsBusyRejected);
+  j.field("requests_errored", s.requestsErrored);
+  j.field("framing_errors", s.framingErrors);
+  j.field("replies_sent", s.repliesSent);
+  j.field("draining", s.draining);
+  j.endObject();
+
+  j.key("tenants").beginArray();
+  for (const server::TenantStats& t : stats->tenants) {
+    j.beginObject();
+    j.field("tenant", std::string_view(t.tenant));
+    j.field("admitted", t.admitted);
+    j.field("busy_rejected", t.busyRejected);
+    j.endObject();
+  }
+  j.endArray();
+
+  const Engine::Stats& e = stats->engine;
+  j.key("engine").beginObject();
+  putCacheCounters(j, "pipeline", e.pipeline);
+  putCacheCounters(j, "plan", e.plan);
+  putCacheCounters(j, "measurement", e.measurement);
+  putCacheCounters(j, "profile", e.profile);
+  j.field("inflight_coalesced", e.inflightCoalesced);
+  j.endObject();
+
+  j.key("store").beginObject();
+  j.field("hits", e.store.hits);
+  j.field("misses", e.store.misses);
+  j.field("puts", e.store.puts);
+  j.field("put_failures", e.store.putFailures);
+  j.field("corrupt_rejected", e.store.corruptRejected);
+  j.field("evictions", e.store.evictions);
+  j.field("bytes_loaded", e.store.bytesLoaded);
+  j.field("bytes_stored", e.store.bytesStored);
+  j.endObject();
+
+  j.key("native").beginObject();
+  j.field("native_runs", e.native.nativeRuns);
+  j.field("fallbacks", e.native.fallbacks);
+  j.field("module_cache_hits", e.native.moduleCacheHits);
+  j.field("store_hits", e.native.storeHits);
+  j.field("store_puts", e.native.storePuts);
+  j.field("compiles", e.native.compiles);
+  j.field("compile_failures", e.native.compileFailures);
+  j.endObject();
+
+  j.endObject();
+  std::printf("%s\n", j.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,6 +317,8 @@ int main(int argc, char** argv) {
       o.notes = std::atoi(value());
     } else if (arg == "--store-stats") {
       return runStoreStats(value());
+    } else if (arg == "--server") {
+      return runServerPing(value());
     } else {
       usage();
       return 2;
