@@ -55,6 +55,7 @@ class ResultWriter {
     cacheObject("plan", s.plan);
     cacheObject("measurement", s.measurement);
     cacheObject("profile", s.profile);
+    cacheObject("symbolic", s.symbolic);
     json_.field("inflight_coalesced", s.inflightCoalesced);
     json_.key("store").beginObject();
     json_.field("hits", s.store.hits);

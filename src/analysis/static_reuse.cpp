@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/symbolic_reuse.hpp"
+
 namespace gcr {
 
 namespace {
@@ -213,6 +215,14 @@ StaticReuseEstimate estimateReuseProfile(const Program& p,
     }
   }
 
+  // Closed-form degrees for the evadable decision, where the symbolic pass
+  // produced a formula.  Sampling the distance at n and 2n misclassifies a
+  // class that is constant-then-capped — e.g. min(256, 2N-3), linear until
+  // the constant branch takes over just past 2n — as growing; the degree of
+  // the symbolic min (site order matches ours) is immune to that seam.
+  const SymbolicReuseProfile sym =
+      analyzeSymbolicReuse(p, {.minN = opts.minN});
+
   // Fold the per-site classes into the aggregate profile.
   for (std::size_t i = 0; i < S; ++i) {
     SiteReuseEstimate& e = est.perSite[i];
@@ -224,10 +234,20 @@ StaticReuseEstimate estimateReuseProfile(const Program& p,
       est.cold += e.count;
       continue;
     }
-    e.evadable =
-        e.distance > 0 &&
-        static_cast<double>(e.distanceLarge) >
-            opts.evadableGrowth * static_cast<double>(e.distance);
+    const SymbolicSiteProfile* ss =
+        i < sym.perSite.size() ? &sym.perSite[i] : nullptr;
+    if (ss != nullptr && ss->bailout == SymbolicBailout::None &&
+        ss->degree.has_value()) {
+      e.distanceDegree = *ss->degree;
+    }
+    if (e.distanceDegree >= 0) {
+      e.evadable = e.distance > 0 && e.distanceDegree > 0;
+    } else {
+      e.evadable =
+          e.distance > 0 &&
+          static_cast<double>(e.distanceLarge) >
+              opts.evadableGrowth * static_cast<double>(e.distance);
+    }
     est.totalReuses += e.count;
     if (e.evadable) est.evadableReuses += e.count;
     est.histogram.add(e.distance, e.count);

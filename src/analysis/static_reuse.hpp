@@ -55,6 +55,9 @@ struct SiteReuseEstimate {
   std::uint64_t distance = 0;       ///< at n
   std::uint64_t distanceLarge = 0;  ///< at 2n
   std::uint64_t count = 0;          ///< dynamic accesses attributed
+  /// Asymptotic degree of the distance in N from the symbolic pass, when it
+  /// produced a formula for this site; -1 otherwise.
+  int distanceDegree = -1;
   bool evadable = false;
 };
 

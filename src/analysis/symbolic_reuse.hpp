@@ -1,0 +1,162 @@
+// Symbolic reuse profiles: PR 4's static estimator lifted to closed form.
+//
+// estimateReuseProfile() classifies every reference site and evaluates its
+// reuse distance at two concrete sizes (n and 2n).  analyzeSymbolicReuse()
+// runs the SAME candidate scan — the same dependence analysis, the same
+// volume model, the same min-over-candidates selection — but keeps every
+// quantity as a SymExpr in the symbolic problem size N (and time-step count
+// T).  The per-site distance is a Min node over candidate formulas, so
+// evaluating the profile at a concrete N reproduces the numeric estimator's
+// argmin-at-N selection exactly; a whole fig9/fig10 size sweep becomes one
+// analysis plus cheap formula evaluations, and miss-rate curves miss(C, N)
+// fall out of the reuse-distance CDF for any capacity C.
+//
+// Bail-outs.  Two (and only two) situations admit no single all-N formula:
+//
+//   sign-indeterminate-delta — a dependence delta changes sign (or crosses
+//       zero) within the analysis domain n >= minN: the nearest-source
+//       *selection* itself flips between problem sizes mid-level, which the
+//       per-site Min cannot express.  Both endpoint sites bail.
+//   incomparable-guard — a guard's bounds are incomparable with the
+//       enclosing range, so the collector over-approximated the site's
+//       active range (dependence.cpp) and every volume formula touching the
+//       site inherits an error of unknown direction.
+//
+// A bailed site keeps NO distance formula (never a silently wrong one); its
+// verdict carries the reason code, and evaluateHybridProfile() merges the
+// symbolic mass of clean sites with dynamically measured per-site mass for
+// the bailed ones (PR 1's exact or SHARDS-sampled tracker, attributed by
+// statement id and operand position).
+//
+// Dependences the analyzer answers Unknown (the common case for cross-nest
+// pairs) do NOT bail: the numeric estimator already models them through the
+// per-level deltaN constraints, and this pass mirrors it formula-for-formula;
+// such sites are merely counted `imprecise` for reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/static_reuse.hpp"
+#include "analysis/symexpr.hpp"
+#include "interp/layout.hpp"
+#include "ir/ir.hpp"
+#include "support/histogram.hpp"
+
+namespace gcr {
+
+enum class SymbolicBailout : std::uint8_t {
+  None = 0,
+  SignIndeterminateDelta = 1,
+  IncomparableGuard = 2,
+};
+
+const char* symbolicBailoutName(SymbolicBailout b);
+
+struct SymbolicReuseOptions {
+  std::int64_t minN = 16;  ///< formulas are valid for every n >= minN
+};
+
+/// Self-contained site descriptor (no pointers into the analyzed Program, so
+/// profiles survive the Engine cache and the persistent store).
+struct SymbolicSiteInfo {
+  int stmtId = -1;
+  ArrayId array = -1;
+  bool isWrite = false;
+  /// Operand position within the statement: 0..R-1 for the reads in order,
+  /// R for the write — the key the hybrid tracer attributes accesses by.
+  int operand = 0;
+  std::string loc;   ///< loop path, e.g. "i/j"
+  std::string text;  ///< printed reference, e.g. "A[i+1][j]"
+};
+
+struct SymbolicSiteProfile {
+  ReuseClass cls = ReuseClass::Cold;
+  int carryLevel = -1;
+  SymbolicBailout bailout = SymbolicBailout::None;
+  /// Reuse distance as min over candidate formulas; null when Cold or
+  /// bailed.  Valid for every n >= minN.
+  SymExpr distance;
+  /// Dynamic accesses of the site per time step (trip-count product).  For
+  /// a bailed site this is an accounting estimate only (its active range
+  /// may be over-approximated); hybrid evaluation measures it instead.
+  SymExpr count;
+  /// Asymptotic degree of `distance` in N; nullopt when indeterminate or
+  /// when there is no distance.
+  std::optional<int> degree;
+  /// Distance grows with N (Section 2.2): decided from `degree` when
+  /// available, else by numeric growth between minN and 2*minN.
+  bool evadable = false;
+  /// Some candidate came from a dependence the analyzer answered Unknown.
+  bool imprecise = false;
+};
+
+struct SymbolicReuseProfile {
+  std::int64_t minN = 16;
+  std::vector<SymbolicSiteInfo> sites;
+  std::vector<SymbolicSiteProfile> perSite;  ///< parallel to `sites`
+  /// Total distinct elements the program touches (sum of per-array max-
+  /// merged footprints) — the cross-time-step reuse distance for T > 1.
+  SymExpr footprint;
+
+  std::uint64_t bailedSites() const;
+  std::uint64_t impreciseSites() const;
+  bool fullySymbolic() const { return bailedSites() == 0; }
+  /// Named bail-out census, e.g. {"sign-indeterminate-delta": 2}.
+  std::map<std::string, std::uint64_t> bailoutCounts() const;
+};
+
+/// Run the symbolic candidate scan.  Site order matches collectRefSites()
+/// (textual, reads before the write), so index i corresponds to
+/// estimateReuseProfile(p).perSite[i].
+SymbolicReuseProfile analyzeSymbolicReuse(const Program& p,
+                                          const SymbolicReuseOptions& o = {});
+
+/// A profile materialized at one concrete (n, timeSteps).
+struct SymbolicEvaluation {
+  Log2Histogram histogram;  ///< finite reuse distances, log2-binned
+  std::uint64_t accesses = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t totalReuses = 0;
+  std::uint64_t evadableReuses = 0;
+  /// Mass belonging to bailed sites: excluded from the totals above by the
+  /// pure evaluation (estimated from trip counts), measured and *included*
+  /// by the hybrid evaluation.
+  std::uint64_t bailedAccesses = 0;
+};
+
+/// Evaluate every clean site's formulas at (n, timeSteps).  At timeSteps ==
+/// 1 a fully symbolic profile reproduces estimateReuseProfile(p, {n})'s
+/// histogram exactly; for timeSteps > 1 each per-step class repeats and a
+/// cold site's passes 2..T re-touch their elements at ~footprint distance.
+SymbolicEvaluation evaluateSymbolicProfile(const SymbolicReuseProfile& p,
+                                           std::int64_t n,
+                                           std::uint64_t timeSteps = 1);
+
+/// Miss rate of a perfect cache of `capacity` elements at size n: the
+/// fraction of (clean-site) reuses with distance >= capacity.  Exact on the
+/// formulas — no histogram binning.
+double symbolicMissRate(const SymbolicReuseProfile& p, std::uint64_t capacity,
+                        std::int64_t n, std::uint64_t timeSteps = 1);
+
+struct HybridOptions {
+  /// Sampling rate for the dynamic side (1.0 = exact tracking); see
+  /// locality/sampled_reuse.hpp.
+  double sampleRate = 1.0;
+};
+
+/// Symbolic evaluation with the bailed sites' mass measured dynamically:
+/// one execution of `p` at (n, timeSteps) under `layout` with a per-site
+/// attribution sink; the measured histograms of bailed sites merge with the
+/// symbolic mass of clean ones.  Falls back to pure evaluation when the
+/// profile is fully symbolic (no execution).
+SymbolicEvaluation evaluateHybridProfile(const SymbolicReuseProfile& p,
+                                         const Program& program,
+                                         const DataLayout& layout,
+                                         std::int64_t n,
+                                         std::uint64_t timeSteps = 1,
+                                         const HybridOptions& o = {});
+
+}  // namespace gcr

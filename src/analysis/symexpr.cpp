@@ -1,0 +1,441 @@
+#include "analysis/symexpr.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+
+namespace {
+
+using I128 = __int128;
+
+// Saturation bound for interval/eval arithmetic: large enough that any real
+// volume product stays exact, small enough that sums and 4-way products of
+// saturated values cannot overflow the 128-bit intermediate.
+constexpr I128 kSat = I128(1) << 100;
+
+constexpr I128 clampSat(I128 v) {
+  if (v > kSat) return kSat;
+  if (v < -kSat) return -kSat;
+  return v;
+}
+
+constexpr I128 satAdd(I128 a, I128 b) { return clampSat(a + b); }
+
+constexpr I128 satMul(I128 a, I128 b) {
+  // Operands are already clamped to +-2^100; the product fits 128 bits only
+  // when one side is small, so route through a magnitude check instead.
+  if (a == 0 || b == 0) return 0;
+  const bool neg = (a < 0) != (b < 0);
+  const I128 absA = a < 0 ? -a : a;
+  const I128 absB = b < 0 ? -b : b;
+  if (absA > kSat / absB) return neg ? -kSat : kSat;
+  return neg ? -(absA * absB) : absA * absB;
+}
+
+constexpr I128 floorDiv128(I128 a, I128 k) {
+  I128 q = a / k;
+  if (a % k != 0 && (a < 0) != (k < 0)) --q;
+  return q;
+}
+
+/// Value interval of an expression over the domain n in [minN, +inf),
+/// t in [1, +inf).  +-kSat acts as +-infinity.
+struct Range {
+  I128 lo = 0;
+  I128 hi = 0;
+};
+
+}  // namespace
+
+struct SymExprOps {  // private-access helper: Node is SymExpr-private
+  using Node = SymExpr::Node;
+  using Kind = SymExpr::Kind;
+
+  static Range range(const Node* n, std::int64_t minN) {
+    switch (n->kind) {
+      case Kind::Const: return {n->k, n->k};
+      case Kind::N: return {minN, kSat};
+      case Kind::T: return {1, kSat};
+      case Kind::Add: {
+        const Range a = range(n->a.get(), minN), b = range(n->b.get(), minN);
+        return {satAdd(a.lo, b.lo), satAdd(a.hi, b.hi)};
+      }
+      case Kind::Mul: {
+        const Range a = range(n->a.get(), minN), b = range(n->b.get(), minN);
+        const I128 p[4] = {satMul(a.lo, b.lo), satMul(a.lo, b.hi),
+                           satMul(a.hi, b.lo), satMul(a.hi, b.hi)};
+        Range r{p[0], p[0]};
+        for (const I128 v : p) {
+          if (v < r.lo) r.lo = v;
+          if (v > r.hi) r.hi = v;
+        }
+        return r;
+      }
+      case Kind::Min: {
+        const Range a = range(n->a.get(), minN), b = range(n->b.get(), minN);
+        return {a.lo < b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+      }
+      case Kind::Max: {
+        const Range a = range(n->a.get(), minN), b = range(n->b.get(), minN);
+        return {a.lo > b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+      }
+      case Kind::FloorDiv: {
+        const Range a = range(n->a.get(), minN);
+        return {clampSat(floorDiv128(a.lo, n->k)),
+                clampSat(floorDiv128(a.hi, n->k))};
+      }
+    }
+    return {0, 0};
+  }
+
+  static I128 eval(const Node* n, I128 vn, I128 vt) {
+    switch (n->kind) {
+      case Kind::Const: return n->k;
+      case Kind::N: return vn;
+      case Kind::T: return vt;
+      case Kind::Add:
+        return satAdd(eval(n->a.get(), vn, vt), eval(n->b.get(), vn, vt));
+      case Kind::Mul:
+        return satMul(eval(n->a.get(), vn, vt), eval(n->b.get(), vn, vt));
+      case Kind::Min: {
+        const I128 a = eval(n->a.get(), vn, vt), b = eval(n->b.get(), vn, vt);
+        return a < b ? a : b;
+      }
+      case Kind::Max: {
+        const I128 a = eval(n->a.get(), vn, vt), b = eval(n->b.get(), vn, vt);
+        return a > b ? a : b;
+      }
+      case Kind::FloorDiv:
+        return clampSat(floorDiv128(eval(n->a.get(), vn, vt), n->k));
+    }
+    return 0;
+  }
+
+  /// Asymptotic class as n -> inf (t fixed, treated as degree 0): the value
+  /// behaves like sign * n^deg.  sign == 0 means identically bounded at
+  /// zero-or-constant... specifically: the leading term vanished.  nullopt
+  /// = the lattice cannot decide.
+  struct Asym {
+    int deg = 0;
+    int sign = 0;  ///< -1, 0, +1 of the leading coefficient
+  };
+
+  /// Total asymptotic order: a < b iff a(n) < b(n) for all large n,
+  /// comparing classes only (constants of equal class compare equal).
+  static bool asymLess(const Asym& a, const Asym& b) {
+    if (a.sign != b.sign) return a.sign < b.sign;
+    // Same sign: positive — higher degree is larger; negative — higher
+    // degree is more negative, so smaller.
+    return a.sign > 0 ? a.deg < b.deg : (a.sign < 0 && a.deg > b.deg);
+  }
+
+  static std::optional<Asym> asym(const Node* n) {
+    switch (n->kind) {
+      case Kind::Const:
+        return Asym{0, n->k > 0 ? 1 : (n->k < 0 ? -1 : 0)};
+      case Kind::N: return Asym{1, 1};
+      case Kind::T: return Asym{0, 1};
+      case Kind::Add: {
+        const auto a = asym(n->a.get()), b = asym(n->b.get());
+        if (!a || !b) return std::nullopt;
+        if (a->sign == 0) return b;
+        if (b->sign == 0) return a;
+        if (a->deg != b->deg) return a->deg > b->deg ? a : b;
+        if (a->sign == b->sign) return a;
+        return std::nullopt;  // same-degree cancellation: indeterminate
+      }
+      case Kind::Mul: {
+        const auto a = asym(n->a.get()), b = asym(n->b.get());
+        if (!a || !b) return std::nullopt;
+        if (a->sign == 0 || b->sign == 0) return Asym{0, 0};
+        return Asym{a->deg + b->deg, a->sign * b->sign};
+      }
+      case Kind::Min: {
+        const auto a = asym(n->a.get()), b = asym(n->b.get());
+        if (!a || !b) return std::nullopt;
+        return asymLess(*a, *b) ? a : b;
+      }
+      case Kind::Max: {
+        const auto a = asym(n->a.get()), b = asym(n->b.get());
+        if (!a || !b) return std::nullopt;
+        return asymLess(*a, *b) ? b : a;
+      }
+      case Kind::FloorDiv:
+        // Dividing by a positive constant keeps the growth class (for a
+        // degree-0 child the floor may reach zero, but the degree — all
+        // this query feeds — is 0 either way).
+        return asym(n->a.get());
+    }
+    return std::nullopt;
+  }
+
+  static std::size_t size(const Node* n) {
+    std::size_t s = 1;
+    if (n->a) s += size(n->a.get());
+    if (n->b) s += size(n->b.get());
+    return s;
+  }
+
+  static void print(const Node* n, std::ostream& os) {
+    switch (n->kind) {
+      case Kind::Const: os << n->k; return;
+      case Kind::N: os << "N"; return;
+      case Kind::T: os << "T"; return;
+      case Kind::Add: {
+        os << "(";
+        print(n->a.get(), os);
+        if (n->b->kind == Kind::Const && n->b->k < 0)
+          os << " - " << -n->b->k;
+        else {
+          os << " + ";
+          print(n->b.get(), os);
+        }
+        os << ")";
+        return;
+      }
+      case Kind::Mul:
+        print(n->a.get(), os);
+        os << "*";
+        print(n->b.get(), os);
+        return;
+      case Kind::Min:
+      case Kind::Max:
+        os << (n->kind == Kind::Min ? "min(" : "max(");
+        print(n->a.get(), os);
+        os << ", ";
+        print(n->b.get(), os);
+        os << ")";
+        return;
+      case Kind::FloorDiv:
+        os << "floor(";
+        print(n->a.get(), os);
+        os << "/" << n->k << ")";
+        return;
+    }
+  }
+
+  static void encode(const Node* n, ByteWriter& w) {
+    w.u8(static_cast<std::uint8_t>(n->kind));
+    switch (n->kind) {
+      case Kind::Const: w.i64(n->k); return;
+      case Kind::N:
+      case Kind::T: return;
+      case Kind::FloorDiv:
+        w.i64(n->k);
+        encode(n->a.get(), w);
+        return;
+      default:
+        encode(n->a.get(), w);
+        encode(n->b.get(), w);
+        return;
+    }
+  }
+
+  static std::shared_ptr<const Node> decode(ByteReader& r, int depth) {
+    GCR_CHECK(depth < 512, "symbolic expression nested too deeply");
+    const std::uint8_t tag = r.u8();
+    GCR_CHECK(tag <= static_cast<std::uint8_t>(Kind::FloorDiv),
+              "unknown symbolic expression tag");
+    auto n = std::make_shared<Node>();
+    n->kind = static_cast<Kind>(tag);
+    switch (n->kind) {
+      case Kind::Const: n->k = r.i64(); return n;
+      case Kind::N:
+      case Kind::T: return n;
+      case Kind::FloorDiv:
+        n->k = r.i64();
+        GCR_CHECK(n->k > 0, "floor-div by non-positive constant");
+        n->a = decode(r, depth + 1);
+        return n;
+      default:
+        n->a = decode(r, depth + 1);
+        n->b = decode(r, depth + 1);
+        return n;
+    }
+  }
+
+  static bool equal(const Node* a, const Node* b) {
+    if (a == b) return true;
+    if (a->kind != b->kind || a->k != b->k) return false;
+    if ((a->a == nullptr) != (b->a == nullptr)) return false;
+    if ((a->b == nullptr) != (b->b == nullptr)) return false;
+    if (a->a && !equal(a->a.get(), b->a.get())) return false;
+    if (a->b && !equal(a->b.get(), b->b.get())) return false;
+    return true;
+  }
+
+  static std::shared_ptr<const Node> leaf(Kind k, std::int64_t c = 0) {
+    auto n = std::make_shared<Node>();
+    n->kind = k;
+    n->k = c;
+    return n;
+  }
+};
+
+// --- SymExpr methods --------------------------------------------------------
+
+SymExpr::Kind SymExpr::kind() const {
+  GCR_CHECK(valid(), "kind() on a null symbolic expression");
+  return node_->kind;
+}
+
+std::int64_t SymExpr::constant() const {
+  GCR_CHECK(valid(), "constant() on a null symbolic expression");
+  return node_->k;
+}
+
+SymExpr SymExpr::child(int i) const {
+  GCR_CHECK(valid(), "child() on a null symbolic expression");
+  return SymExpr(i == 0 ? node_->a : node_->b);
+}
+
+std::int64_t SymExpr::eval(std::int64_t n, std::int64_t t) const {
+  GCR_CHECK(valid(), "eval() on a null symbolic expression");
+  const I128 v = SymExprOps::eval(node_.get(), n, t);
+  if (v > std::numeric_limits<std::int64_t>::max())
+    return std::numeric_limits<std::int64_t>::max();
+  if (v < std::numeric_limits<std::int64_t>::min())
+    return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<int> SymExpr::degreeInN() const {
+  GCR_CHECK(valid(), "degreeInN() on a null symbolic expression");
+  const auto a = SymExprOps::asym(node_.get());
+  if (!a) return std::nullopt;
+  return a->sign == 0 ? 0 : a->deg;
+}
+
+std::size_t SymExpr::size() const {
+  return valid() ? SymExprOps::size(node_.get()) : 0;
+}
+
+std::string SymExpr::str() const {
+  if (!valid()) return "<null>";
+  std::ostringstream os;
+  SymExprOps::print(node_.get(), os);
+  return os.str();
+}
+
+void SymExpr::encode(ByteWriter& w) const {
+  GCR_CHECK(valid(), "encode() on a null symbolic expression");
+  SymExprOps::encode(node_.get(), w);
+}
+
+SymExpr SymExpr::decode(ByteReader& r) {
+  return SymExpr(SymExprOps::decode(r, 0));
+}
+
+bool operator==(const SymExpr& a, const SymExpr& b) {
+  if (a.node_ == nullptr || b.node_ == nullptr)
+    return a.node_ == nullptr && b.node_ == nullptr;
+  return SymExprOps::equal(a.node_.get(), b.node_.get());
+}
+
+// --- smart constructors -----------------------------------------------------
+
+namespace {
+
+std::int64_t satI64(I128 v) {
+  if (v > std::numeric_limits<std::int64_t>::max())
+    return std::numeric_limits<std::int64_t>::max();
+  if (v < std::numeric_limits<std::int64_t>::min())
+    return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+SymExpr symConst(std::int64_t c) {
+  return SymExpr(SymExprOps::leaf(SymExpr::Kind::Const, c));
+}
+
+SymExpr symN() { return SymExpr(SymExprOps::leaf(SymExpr::Kind::N)); }
+
+SymExpr symT() { return SymExpr(SymExprOps::leaf(SymExpr::Kind::T)); }
+
+SymExpr symAffine(AffineN a) {
+  if (a.s == 0) return symConst(a.c);
+  const SymExpr nTerm = a.s == 1 ? symN() : symMul(symConst(a.s), symN());
+  return a.c == 0 ? nTerm : symAdd(nTerm, symConst(a.c));
+}
+
+SymExpr symAdd(SymExpr x, SymExpr y) {
+  GCR_CHECK(x.valid() && y.valid(), "symAdd on a null expression");
+  const auto K = SymExpr::Kind::Const;
+  if (x.node_->kind == K && y.node_->kind == K)
+    return symConst(satI64(I128(x.node_->k) + I128(y.node_->k)));
+  if (x.node_->kind == K && x.node_->k == 0) return y;
+  if (y.node_->kind == K && y.node_->k == 0) return x;
+  auto n = std::make_shared<SymExpr::Node>();
+  n->kind = SymExpr::Kind::Add;
+  n->a = x.node_;
+  n->b = y.node_;
+  return SymExpr(std::move(n));
+}
+
+SymExpr symMul(SymExpr x, SymExpr y) {
+  GCR_CHECK(x.valid() && y.valid(), "symMul on a null expression");
+  const auto K = SymExpr::Kind::Const;
+  if (x.node_->kind == K && y.node_->kind == K)
+    return symConst(satI64(satMul(x.node_->k, y.node_->k)));
+  if (x.node_->kind == K) {
+    if (x.node_->k == 0) return symConst(0);
+    if (x.node_->k == 1) return y;
+  }
+  if (y.node_->kind == K) {
+    if (y.node_->k == 0) return symConst(0);
+    if (y.node_->k == 1) return x;
+  }
+  auto n = std::make_shared<SymExpr::Node>();
+  n->kind = SymExpr::Kind::Mul;
+  n->a = x.node_;
+  n->b = y.node_;
+  return SymExpr(std::move(n));
+}
+
+SymExpr symMin(SymExpr x, SymExpr y, std::int64_t minN) {
+  GCR_CHECK(x.valid() && y.valid(), "symMin on a null expression");
+  if (x == y) return x;
+  const Range rx = SymExprOps::range(x.node_.get(), minN);
+  const Range ry = SymExprOps::range(y.node_.get(), minN);
+  if (rx.hi <= ry.lo) return x;
+  if (ry.hi <= rx.lo) return y;
+  auto n = std::make_shared<SymExpr::Node>();
+  n->kind = SymExpr::Kind::Min;
+  n->a = x.node_;
+  n->b = y.node_;
+  return SymExpr(std::move(n));
+}
+
+SymExpr symMax(SymExpr x, SymExpr y, std::int64_t minN) {
+  GCR_CHECK(x.valid() && y.valid(), "symMax on a null expression");
+  if (x == y) return x;
+  const Range rx = SymExprOps::range(x.node_.get(), minN);
+  const Range ry = SymExprOps::range(y.node_.get(), minN);
+  if (rx.lo >= ry.hi) return x;
+  if (ry.lo >= rx.hi) return y;
+  auto n = std::make_shared<SymExpr::Node>();
+  n->kind = SymExpr::Kind::Max;
+  n->a = x.node_;
+  n->b = y.node_;
+  return SymExpr(std::move(n));
+}
+
+SymExpr symFloorDiv(SymExpr x, std::int64_t k) {
+  GCR_CHECK(x.valid(), "symFloorDiv on a null expression");
+  GCR_CHECK(k > 0, "symFloorDiv needs a positive divisor");
+  if (k == 1) return x;
+  if (x.node_->kind == SymExpr::Kind::Const)
+    return symConst(satI64(floorDiv128(x.node_->k, k)));
+  auto n = std::make_shared<SymExpr::Node>();
+  n->kind = SymExpr::Kind::FloorDiv;
+  n->k = k;
+  n->a = x.node_;
+  return SymExpr(std::move(n));
+}
+
+}  // namespace gcr

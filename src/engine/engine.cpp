@@ -26,6 +26,7 @@ constexpr std::uint64_t kPipelineDomain = 0xE1;
 constexpr std::uint64_t kPlanDomain = 0xE2;
 constexpr std::uint64_t kMeasureDomain = 0xE3;
 constexpr std::uint64_t kProfileDomain = 0xE4;
+constexpr std::uint64_t kSymbolicDomain = 0xE5;
 
 double secondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -81,6 +82,7 @@ struct Engine::Impl {
   LruCache<Signature, std::shared_ptr<const CachedPlan>, SignatureHash> plans;
   LruCache<Signature, Measurement, SignatureHash> measurements;
   LruCache<Signature, ReuseProfile, SignatureHash> profiles;
+  LruCache<Signature, SymbolicReuseProfile, SignatureHash> symbolics;
 
   std::unordered_map<Signature,
                      std::shared_future<std::shared_ptr<const PipelineResult>>,
@@ -95,6 +97,9 @@ struct Engine::Impl {
   std::unordered_map<Signature, std::shared_future<ReuseProfile>,
                      SignatureHash>
       inflightProfiles;
+  std::unordered_map<Signature, std::shared_future<SymbolicReuseProfile>,
+                     SignatureHash>
+      inflightSymbolics;
   std::uint64_t inflightCoalesced = 0;
 
   /// Signatures of plans compiled this session (plans stay in memory; see
@@ -119,6 +124,7 @@ struct Engine::Impl {
         plans(o.planCacheCapacity),
         measurements(o.measurementCacheCapacity),
         profiles(o.profileCacheCapacity),
+        symbolics(o.symbolicCacheCapacity),
         pool(o.threads) {}
 
   // Serve from `cache`, attach to an identical in-flight computation, or
@@ -213,6 +219,19 @@ struct Engine::Impl {
     return h.take();
   }
 
+  static Signature symbolicKey(const Program& p,
+                               const SymbolicReuseOptions& o) {
+    SigHasher h;
+    h.u64(kSymbolicDomain).sig(programSignature(p));
+    // The semantic signature excludes textual names, but the profile's site
+    // descriptors carry loc/text strings built from them.
+    h.str(p.name);
+    for (const ArrayDecl& a : p.arrays) h.str(a.name);
+    forEachLoop(p, [&](const Loop& l, int) { h.str(l.var); });
+    h.i64(o.minN);
+    return h.take();
+  }
+
   // --- persistent disk tier -----------------------------------------------
 
   /// Checksum-validated disk lookup.  An entry that passes the store's
@@ -299,6 +318,19 @@ struct Engine::Impl {
     return p;
   }
 
+  SymbolicReuseProfile symbolicFor(const Signature& key, const Program& p,
+                                   const SymbolicReuseOptions& o) {
+    if (std::optional<SymbolicReuseProfile> cached =
+            loadArtifact<SymbolicReuseProfile>(
+                store::ArtifactKind::SymbolicProfile, key,
+                store::decodeSymbolicProfile))
+      return *cached;
+    SymbolicReuseProfile sp = analyzeSymbolicReuse(p, o);
+    saveArtifact(store::ArtifactKind::SymbolicProfile, key,
+                 store::encodeSymbolicProfile(sp));
+    return sp;
+  }
+
   /// Run a compiled plan through the selected engine: the native tier when
   /// one is attached (it falls back to executePlan internally on any
   /// failure), the plan interpreter otherwise.  Bit-identical either way.
@@ -364,6 +396,25 @@ struct Engine::Impl {
   }
 
   // --- async job bodies (enqueue contract: must not throw) ----------------
+
+  void fulfillSymbolic(const SymbolicProfileRequest& req, const Signature& key,
+                       std::promise<SymbolicReuseProfile>& promise) {
+    try {
+      SymbolicReuseProfile sp = symbolicFor(key, req.program, req.options);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        symbolics.put(key, sp);
+        inflightSymbolics.erase(key);
+      }
+      promise.set_value(std::move(sp));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflightSymbolics.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
 
   void fulfillMeasurement(const MeasureTask& t, const DataLayout& layout,
                           const Signature& key,
@@ -447,6 +498,14 @@ ReuseProfile Engine::reuseProfile(const ProgramVersion& version,
       });
 }
 
+SymbolicReuseProfile Engine::symbolicProfile(const Program& p,
+                                             const SymbolicReuseOptions& opts) {
+  const Signature key = Impl::symbolicKey(p, opts);
+  return impl_->getOrCompute(
+      impl_->symbolics, impl_->inflightSymbolics, key,
+      [&] { return impl_->symbolicFor(key, p, opts); });
+}
+
 Future<Measurement> Engine::submit(MeasureTask task) {
   Impl& impl = *impl_;
   DataLayout layout = task.version.layoutAt(task.n);
@@ -526,6 +585,31 @@ Future<PipelineResult> Engine::submit(PipelineRequest request) {
   return Future<PipelineResult>(std::move(result));
 }
 
+Future<SymbolicReuseProfile> Engine::submit(SymbolicProfileRequest request) {
+  Impl& impl = *impl_;
+  const Signature key = Impl::symbolicKey(request.program, request.options);
+  std::shared_ptr<std::promise<SymbolicReuseProfile>> promise;
+  std::shared_future<SymbolicReuseProfile> result;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    if (const SymbolicReuseProfile* hit = impl.symbolics.get(key))
+      return makeReadyFuture(*hit);
+    auto it = impl.inflightSymbolics.find(key);
+    if (it != impl.inflightSymbolics.end()) {
+      ++impl.inflightCoalesced;
+      return Future<SymbolicReuseProfile>(it->second);
+    }
+    promise = std::make_shared<std::promise<SymbolicReuseProfile>>();
+    result = promise->get_future().share();
+    impl.inflightSymbolics.emplace(key, result);
+  }
+  auto reqPtr = std::make_shared<SymbolicProfileRequest>(std::move(request));
+  impl.pool.enqueue([&impl, reqPtr, promise, key] {
+    impl.fulfillSymbolic(*reqPtr, key, *promise);
+  });
+  return Future<SymbolicReuseProfile>(std::move(result));
+}
+
 std::vector<Measurement> Engine::measureAll(
     const std::vector<MeasureTask>& tasks) {
   std::vector<Future<Measurement>> futures;
@@ -559,7 +643,8 @@ Engine::Stats Engine::stats() const {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     s = Stats{impl_->pipelines.counters(), impl_->plans.counters(),
               impl_->measurements.counters(), impl_->profiles.counters(),
-              impl_->inflightCoalesced, store::StoreCounters{}};
+              impl_->symbolics.counters(), impl_->inflightCoalesced,
+              store::StoreCounters{}};
   }
   // The store and native runtime have their own locks; never hold both.
   if (impl_->diskStore) s.store = impl_->diskStore->counters();
@@ -582,6 +667,7 @@ void Engine::clearCaches() {
   impl_->plans.clear();
   impl_->measurements.clear();
   impl_->profiles.clear();
+  impl_->symbolics.clear();
 }
 
 }  // namespace gcr

@@ -62,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/symbolic_reuse.hpp"
 #include "codegen/native_exec.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
@@ -79,6 +80,14 @@ struct PipelineRequest {
   PipelineOptions options;
 };
 
+/// An asynchronous symbolic reuse analysis (analysis/symbolic_reuse.hpp).
+/// The result is size-independent, so one cached profile answers every
+/// problem size of the program — sweeps re-evaluate formulas, not traces.
+struct SymbolicProfileRequest {
+  Program program;
+  SymbolicReuseOptions options;
+};
+
 class Engine {
  public:
   struct Options {
@@ -87,6 +96,7 @@ class Engine {
     std::size_t planCacheCapacity = 64;
     std::size_t measurementCacheCapacity = 512;
     std::size_t profileCacheCapacity = 128;
+    std::size_t symbolicCacheCapacity = 64;
     /// Thread-pool size for submit()/batch APIs (including the calling
     /// thread).  0 selects GCR_THREADS / hardware_concurrency; 1 runs every
     /// submission inline (the determinism baseline).
@@ -113,6 +123,7 @@ class Engine {
     CacheCounters plan;
     CacheCounters measurement;
     CacheCounters profile;
+    CacheCounters symbolic;
     /// Submissions that attached to an identical in-flight computation
     /// instead of starting their own (in-flight deduplication).
     std::uint64_t inflightCoalesced = 0;
@@ -152,6 +163,12 @@ class Engine {
   ReuseProfile reuseProfile(const ProgramVersion& version, std::int64_t n,
                             std::uint64_t timeSteps = 1);
 
+  /// Memoized analyzeSymbolicReuse().  Keyed by program signature + names +
+  /// minN; persisted as ArtifactKind::SymbolicProfile, so a warm store
+  /// answers whole size sweeps without re-running the dependence scan.
+  SymbolicReuseProfile symbolicProfile(const Program& p,
+                                       const SymbolicReuseOptions& opts = {});
+
   // --- Async batch scheduler ----------------------------------------------
 
   /// Schedule one simulation; returns immediately.  A duplicate of a cached
@@ -164,6 +181,9 @@ class Engine {
 
   /// Schedule one pipeline run.
   Future<PipelineResult> submit(PipelineRequest request);
+
+  /// Schedule one symbolic reuse analysis.
+  Future<SymbolicReuseProfile> submit(SymbolicProfileRequest request);
 
   /// Batch measure with slot-per-task determinism: result i belongs to
   /// tasks[i] for any thread count.  Drop-in for the deprecated free

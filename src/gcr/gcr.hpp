@@ -23,6 +23,8 @@
 #include "analysis/dependence.hpp"
 #include "analysis/legality.hpp"
 #include "analysis/static_reuse.hpp"
+#include "analysis/symbolic_reuse.hpp"
+#include "analysis/symexpr.hpp"
 #include "apps/registry.hpp"
 #include "cachesim/cache.hpp"
 #include "cachesim/hierarchy.hpp"

@@ -19,7 +19,8 @@ namespace {
 
 // Every payload codec writes a leading version word, mirroring the store
 // codecs: payload encodings can evolve independently of the frame format.
-constexpr std::uint32_t kCodecVersion = 1;
+// v2: StatsReply gained the symbolic-profile cache counters.
+constexpr std::uint32_t kCodecVersion = 2;
 
 /// Decode wrapper: version word, body, exact-length check, gcr::Error →
 /// nullopt.  The ByteReader bounds-checks every access, so arbitrary byte
@@ -373,6 +374,7 @@ std::vector<std::uint8_t> encodeStatsReply(const StatsReply& r) {
   putCacheCounters(w, r.engine.plan);
   putCacheCounters(w, r.engine.measurement);
   putCacheCounters(w, r.engine.profile);
+  putCacheCounters(w, r.engine.symbolic);
   w.u64(r.engine.inflightCoalesced);
   const store::StoreCounters& s = r.engine.store;
   w.u64(s.hits).u64(s.misses).u64(s.puts).u64(s.putFailures);
@@ -410,6 +412,7 @@ std::optional<StatsReply> decodeStatsReply(
     out.engine.plan = getCacheCounters(r);
     out.engine.measurement = getCacheCounters(r);
     out.engine.profile = getCacheCounters(r);
+    out.engine.symbolic = getCacheCounters(r);
     out.engine.inflightCoalesced = r.u64();
     store::StoreCounters& s = out.engine.store;
     s.hits = r.u64();

@@ -15,6 +15,7 @@ constexpr std::uint32_t kMeasurementCodec = 1;
 constexpr std::uint32_t kProfileCodec = 1;
 constexpr std::uint32_t kPipelineCodec = 1;
 constexpr std::uint32_t kCompiledPlanCodec = 1;
+constexpr std::uint32_t kSymbolicProfileCodec = 1;
 
 // Nesting bound for the recursive Program decoder.  Real pipelines produce
 // single-digit depths; the cap only guards the stack against a
@@ -443,6 +444,91 @@ std::optional<CompiledPlanArtifact> decodeCompiledPlan(
         const auto view = r.bytes(n);
         a.soBytes.assign(view.begin(), view.end());
         return a;
+      });
+}
+
+// --- SymbolicReuseProfile --------------------------------------------------
+
+namespace {
+
+void putOptExpr(ByteWriter& w, const SymExpr& e) {
+  w.b(e.valid());
+  if (e.valid()) e.encode(w);
+}
+
+SymExpr getOptExpr(ByteReader& r) {
+  if (!r.b()) return {};
+  return SymExpr::decode(r);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeSymbolicProfile(
+    const SymbolicReuseProfile& p) {
+  ByteWriter w;
+  w.u32(kSymbolicProfileCodec);
+  w.i64(p.minN);
+  putOptExpr(w, p.footprint);
+  GCR_ASSERT(p.sites.size() == p.perSite.size());
+  w.u64(p.sites.size());
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    const SymbolicSiteInfo& s = p.sites[i];
+    w.i64(s.stmtId);
+    w.i64(s.array);
+    w.b(s.isWrite);
+    w.i64(s.operand);
+    w.str(s.loc);
+    w.str(s.text);
+    const SymbolicSiteProfile& e = p.perSite[i];
+    w.u8(static_cast<std::uint8_t>(e.cls));
+    w.i64(e.carryLevel);
+    w.u8(static_cast<std::uint8_t>(e.bailout));
+    putOptExpr(w, e.distance);
+    putOptExpr(w, e.count);
+    w.b(e.degree.has_value());
+    if (e.degree.has_value()) w.i64(*e.degree);
+    w.b(e.evadable);
+    w.b(e.imprecise);
+  }
+  return w.take();
+}
+
+std::optional<SymbolicReuseProfile> decodeSymbolicProfile(
+    std::span<const std::uint8_t> bytes) {
+  return decodeOrNull<SymbolicReuseProfile>(
+      bytes, kSymbolicProfileCodec, [](ByteReader& r) {
+        SymbolicReuseProfile p;
+        p.minN = r.i64();
+        GCR_CHECK(p.minN >= 1, "symbolic profile minN out of range");
+        p.footprint = getOptExpr(r);
+        const std::size_t n = r.seqLen(32);
+        p.sites.reserve(n);
+        p.perSite.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          SymbolicSiteInfo s;
+          s.stmtId = static_cast<int>(r.i64());
+          s.array = static_cast<ArrayId>(r.i64());
+          s.isWrite = r.b();
+          s.operand = static_cast<int>(r.i64());
+          s.loc = r.str();
+          s.text = r.str();
+          p.sites.push_back(std::move(s));
+          SymbolicSiteProfile e;
+          const std::uint8_t cls = r.u8();
+          GCR_CHECK(cls <= 3, "symbolic profile class out of range");
+          e.cls = static_cast<ReuseClass>(cls);
+          e.carryLevel = static_cast<int>(r.i64());
+          const std::uint8_t bail = r.u8();
+          GCR_CHECK(bail <= 2, "symbolic profile bailout out of range");
+          e.bailout = static_cast<SymbolicBailout>(bail);
+          e.distance = getOptExpr(r);
+          e.count = getOptExpr(r);
+          if (r.b()) e.degree = static_cast<int>(r.i64());
+          e.evadable = r.b();
+          e.imprecise = r.b();
+          p.perSite.push_back(std::move(e));
+        }
+        return p;
       });
 }
 

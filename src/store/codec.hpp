@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/symbolic_reuse.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "locality/reuse_distance.hpp"
@@ -57,6 +58,13 @@ struct CompiledPlanArtifact {
 
 std::vector<std::uint8_t> encodeCompiledPlan(const CompiledPlanArtifact& a);
 std::optional<CompiledPlanArtifact> decodeCompiledPlan(
+    std::span<const std::uint8_t> bytes);
+
+/// Symbolic reuse profiles (ArtifactKind::SymbolicProfile): per-site
+/// formulas with their SymExpr trees serialized via SymExpr::encode, which
+/// shares this codec's contracts (canonical bytes, defensive decode).
+std::vector<std::uint8_t> encodeSymbolicProfile(const SymbolicReuseProfile& p);
+std::optional<SymbolicReuseProfile> decodeSymbolicProfile(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace gcr::store

@@ -12,6 +12,7 @@ const char* artifactKindName(ArtifactKind k) {
     case ArtifactKind::Measurement: return "measurement";
     case ArtifactKind::ReuseProfile: return "profile";
     case ArtifactKind::CompiledPlan: return "compiled_plan";
+    case ArtifactKind::SymbolicProfile: return "symbolic_profile";
   }
   return "unknown";
 }

@@ -53,6 +53,11 @@ enum class ArtifactKind : std::uint32_t {
   /// fingerprint + codegen ABI), not the per-size plan key, so one artifact
   /// serves every problem size of the same plan structure.
   CompiledPlan = 4,
+  /// A symbolic reuse profile (analysis/symbolic_reuse.hpp): closed-form
+  /// per-site distance/count formulas in N.  Tiny and size-independent —
+  /// one artifact answers every problem size of the program it was
+  /// analyzed from.
+  SymbolicProfile = 5,
 };
 
 const char* artifactKindName(ArtifactKind k);

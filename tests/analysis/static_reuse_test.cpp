@@ -60,6 +60,40 @@ TEST(StaticReuse, CrossLoopReuseGrowsWithN) {
   EXPECT_GT(est.evadableFraction(), 0.0);
 }
 
+TEST(StaticReuse, EvadableSeamClassifiedFromSymbolicDegree) {
+  // A read whose distance is min(256, 2N-3): the loop-carried candidate
+  // (~2N) wins until N crosses ~130, then the same-iteration constant 256
+  // caps it.  Sampling at n=64 and 2n=128 lands on the growing branch both
+  // times (125 -> 253, growth 2.02 > 1.5), so the n/2n test misclassified
+  // this bounded class as evadable; the symbolic degree of the min is 0.
+  ProgramBuilder b("seam");
+  const ArrayId A = b.array("A", {AffineN::N(), AffineN::N()});
+  const ArrayId C = b.array("C", {AffineN::N()});
+  const ArrayId E = b.array("E", {AffineN::N(), AffineN::N()});
+  b.loop2("i", 1, AffineN::N() - 2, "j", 1, AffineN::N() - 2,
+          [&](IxVar i, IxVar j) {
+            b.assign(b.ref(A, {i, j}), {b.ref(A, {i - 1, j})});
+            for (int k = 0; k < 63; ++k)  // 126 sites between the two reads
+              b.assign(b.ref(C, {i}), {b.ref(C, {i})});
+            b.assign(b.ref(E, {i, j}), {b.ref(A, {i - 1, j})});
+          });
+  const Program p = b.take();
+  const StaticReuseEstimate est = estimateReuseProfile(p);
+  int idx = -1;  // the LAST read of A is the capped site
+  for (std::size_t k = 0; k < est.sites.size(); ++k)
+    if (est.sites[k].array == A && !est.sites[k].isWrite)
+      idx = static_cast<int>(k);
+  ASSERT_GE(idx, 0);
+  const SiteReuseEstimate& e = est.perSite[static_cast<std::size_t>(idx)];
+  EXPECT_EQ(e.cls, ReuseClass::LoopCarried);
+  EXPECT_EQ(e.distance, 125u);       // 2*64 - 3
+  EXPECT_EQ(e.distanceLarge, 253u);  // the n/2n samples straddle the seam...
+  EXPECT_GT(static_cast<double>(e.distanceLarge),
+            1.5 * static_cast<double>(e.distance));
+  EXPECT_EQ(e.distanceDegree, 0);  // ...but the formula min(256, 2N-3) is
+  EXPECT_FALSE(e.evadable);        // bounded: not evadable
+}
+
 TEST(StaticReuse, AccountingIsConsistent) {
   for (const char* name : {"ADI", "Swim", "Tomcatv", "SP"}) {
     const Program p = apps::buildApp(name);

@@ -1,0 +1,147 @@
+// The symbolic expression IR: smart-constructor folding, interval discharge
+// of min/max over the analysis domain, saturating evaluation, asymptotic
+// degrees, and the store serialization contract (canonical encode, defensive
+// decode).
+#include "analysis/symexpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace gcr {
+namespace {
+
+TEST(SymExpr, ConstantFolding) {
+  const SymExpr e = symAdd(symConst(3), symConst(4));
+  EXPECT_EQ(e.kind(), SymExpr::Kind::Const);
+  EXPECT_EQ(e.constant(), 7);
+  EXPECT_EQ(symMul(symConst(6), symConst(7)).constant(), 42);
+  EXPECT_EQ(symFloorDiv(symConst(7), 2).constant(), 3);
+  EXPECT_EQ(symFloorDiv(symConst(-7), 2).constant(), -4);  // floor, not trunc
+  // Identity elements disappear.
+  EXPECT_EQ(symAdd(symN(), symConst(0)), symN());
+  EXPECT_EQ(symMul(symN(), symConst(1)), symN());
+  EXPECT_EQ(symMul(symN(), symConst(0)).constant(), 0);
+  EXPECT_EQ(symFloorDiv(symN(), 1), symN());
+}
+
+TEST(SymExpr, AffineAndEval) {
+  const SymExpr e = symAffine(AffineN::N() + AffineN(59));  // N + 59
+  EXPECT_EQ(e.eval(64), 123);
+  EXPECT_EQ(e.eval(128), 187);
+  EXPECT_EQ(symAffine(AffineN{5}).constant(), 5);
+  const SymExpr q = symMul(symN(), symN());
+  EXPECT_EQ(q.eval(100), 10000);
+  EXPECT_EQ(symT().eval(10, 7), 7);
+}
+
+TEST(SymExpr, MinMaxIntervalDischarge) {
+  const std::int64_t minN = 16;
+  // N >= 16, so max(N, 3) is just N and min(N, 3) is just 3.
+  EXPECT_EQ(symMax(symN(), symConst(3), minN), symN());
+  EXPECT_EQ(symMin(symN(), symConst(3), minN).constant(), 3);
+  // Overlapping ranges survive as genuine piecewise nodes.
+  const SymExpr m = symMin(symConst(124),
+                           symAdd(symN(), symConst(59)), minN);
+  EXPECT_EQ(m.kind(), SymExpr::Kind::Min);
+  EXPECT_EQ(m.eval(32), 91);    // N + 59 wins below the crossover
+  EXPECT_EQ(m.eval(128), 124);  // the constant wins above it
+  EXPECT_EQ(symMin(symN(), symN(), minN), symN());  // structural identity
+}
+
+TEST(SymExpr, DegreeInN) {
+  EXPECT_EQ(symConst(5).degreeInN().value_or(-1), 0);
+  EXPECT_EQ(symN().degreeInN().value_or(-1), 1);
+  EXPECT_EQ(symT().degreeInN().value_or(-1), 0);
+  EXPECT_EQ(symMul(symN(), symN()).degreeInN().value_or(-1), 2);
+  EXPECT_EQ(symAdd(symMul(symN(), symN()), symN()).degreeInN().value_or(-1),
+            2);
+  EXPECT_EQ(symFloorDiv(symMul(symN(), symN()), 2).degreeInN().value_or(-1),
+            2);
+  const SymExpr m =
+      symMin(symConst(124), symAdd(symN(), symConst(59)), 16);
+  EXPECT_EQ(m.degreeInN().value_or(-1), 0);  // min with a constant is bounded
+  // Same-degree opposite-sign addition is indeterminate on the lattice.
+  const SymExpr cancel = symAdd(symN(), symMul(symConst(-1), symN()));
+  if (cancel.kind() != SymExpr::Kind::Const) {
+    EXPECT_FALSE(cancel.degreeInN().has_value());
+  }
+}
+
+TEST(SymExpr, SaturatingEvalClampsToInt64) {
+  // N^8 at n = 2^20 overflows int64 by far; eval must clamp, not wrap.
+  SymExpr e = symN();
+  for (int i = 0; i < 7; ++i) e = symMul(e, symN());
+  const std::int64_t v = e.eval(std::int64_t{1} << 20);
+  EXPECT_EQ(v, std::numeric_limits<std::int64_t>::max());
+  SymExpr neg = symMul(symConst(-1), e);
+  EXPECT_EQ(neg.eval(std::int64_t{1} << 20),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(SymExpr, RoundTripSerialization) {
+  const SymExpr e = symMin(
+      symMax(symConst(1),
+             symMul(symAffine(AffineN::N() - AffineN(2)), symT()), 16),
+      symFloorDiv(symAdd(symN(), symConst(31)), 2), 16);
+  ByteWriter w;
+  e.encode(w);
+  const std::vector<std::uint8_t> bytes = w.data();
+  ByteReader r(bytes);
+  const SymExpr back = SymExpr::decode(r);
+  EXPECT_TRUE(r.atEnd());
+  EXPECT_EQ(back, e);
+  for (const std::int64_t n : {16, 33, 100})
+    EXPECT_EQ(back.eval(n, 3), e.eval(n, 3));
+  // Canonical: re-encoding is byte identical.
+  ByteWriter w2;
+  back.encode(w2);
+  EXPECT_EQ(w2.data(), bytes);
+}
+
+TEST(SymExpr, DecodeRejectsMalformedInput) {
+  const SymExpr e = symAdd(symN(), symConst(7));
+  ByteWriter w;
+  e.encode(w);
+  std::vector<std::uint8_t> bytes = w.data();
+  // Truncations at every prefix length must throw, never crash.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(std::span(bytes.data(), len));
+    EXPECT_THROW((void)SymExpr::decode(r), Error) << "len=" << len;
+  }
+  // Unknown tag byte.
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] = 0xEE;
+  ByteReader r1(bad);
+  EXPECT_THROW((void)SymExpr::decode(r1), Error);
+  // Non-positive FloorDiv divisor.
+  ByteWriter wd;
+  symFloorDiv(symN(), 4).encode(wd);
+  std::vector<std::uint8_t> divBytes = wd.take();
+  // Tag byte, then the i64 divisor: zero it out.
+  for (std::size_t i = divBytes.size() - 8; i < divBytes.size(); ++i)
+    divBytes[i] = 0;
+  ByteReader r2(divBytes);
+  EXPECT_THROW((void)SymExpr::decode(r2), Error);
+}
+
+TEST(SymExpr, Printing) {
+  EXPECT_EQ(symN().str(), "N");
+  EXPECT_EQ(symAdd(symN(), symConst(59)).str(), "(N + 59)");
+  EXPECT_EQ(symAdd(symN(), symConst(-3)).str(), "(N - 3)");
+  EXPECT_EQ(symMin(symConst(124), symAdd(symN(), symConst(59)), 16).str(),
+            "min(124, (N + 59))");
+}
+
+TEST(SymExpr, NullExpressionIsDistinct) {
+  const SymExpr null;
+  EXPECT_FALSE(null.valid());
+  EXPECT_TRUE(symConst(0).valid());
+  EXPECT_TRUE(null == SymExpr{});
+  EXPECT_FALSE(null == symConst(0));
+}
+
+}  // namespace
+}  // namespace gcr

@@ -5,9 +5,11 @@
 
 #include <cstring>
 
+#include "analysis/symbolic_reuse.hpp"
 #include "apps/registry.hpp"
 #include "engine/engine.hpp"
 #include "ir/print.hpp"
+#include "store/codec.hpp"
 
 namespace gcr {
 namespace {
@@ -131,6 +133,39 @@ TEST(EngineCache, DistinctMachinesAreDistinctKeys) {
   (void)engine.measure(v, 32, MachineConfig::octane());
   EXPECT_EQ(engine.stats().measurement.misses, 2u);
   EXPECT_EQ(engine.stats().measurement.hits, 0u);
+}
+
+TEST(EngineCache, SymbolicProfileIsMemoized) {
+  Engine engine;
+  Program p = apps::buildApp("Swim");
+  const SymbolicReuseProfile a = engine.symbolicProfile(p);
+  const SymbolicReuseProfile b = engine.symbolicProfile(p);
+  Engine::Stats s = engine.stats();
+  EXPECT_EQ(s.symbolic.misses, 1u);
+  EXPECT_EQ(s.symbolic.hits, 1u);
+  // The cached value is the analysis verbatim (byte-identical encoding).
+  EXPECT_EQ(store::encodeSymbolicProfile(a),
+            store::encodeSymbolicProfile(analyzeSymbolicReuse(p)));
+  EXPECT_EQ(store::encodeSymbolicProfile(a), store::encodeSymbolicProfile(b));
+  // A different analysis domain is a different key.
+  (void)engine.symbolicProfile(p, {.minN = 32});
+  s = engine.stats();
+  EXPECT_EQ(s.symbolic.misses, 2u);
+  EXPECT_EQ(s.symbolic.hits, 1u);
+}
+
+TEST(EngineCache, SymbolicSubmitResolvesToSyncResult) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  Future<SymbolicReuseProfile> f =
+      engine.submit(SymbolicProfileRequest{p.clone(), {}});
+  const SymbolicReuseProfile async = f.get();
+  const SymbolicReuseProfile sync = engine.symbolicProfile(p);
+  EXPECT_EQ(store::encodeSymbolicProfile(async),
+            store::encodeSymbolicProfile(sync));
+  // The async and sync paths share one cache: one miss, then a hit.
+  EXPECT_EQ(engine.stats().symbolic.misses, 1u);
+  EXPECT_EQ(engine.stats().symbolic.hits, 1u);
 }
 
 }  // namespace

@@ -142,6 +142,8 @@ TEST(Protocol, StatsReplyRoundTrip) {
   r.server.draining = true;
   r.tenants = {{"a", 30, 2}, {"b", 10, 0}};
   r.engine.measurement.hits = 17;
+  r.engine.symbolic.hits = 6;
+  r.engine.symbolic.misses = 1;
   r.engine.inflightCoalesced = 4;
   r.engine.store.puts = 9;
   r.engine.native.compiles = 2;
@@ -154,6 +156,8 @@ TEST(Protocol, StatsReplyRoundTrip) {
   EXPECT_EQ(back->tenants[0].tenant, "a");
   EXPECT_EQ(back->tenants[0].admitted, 30u);
   EXPECT_EQ(back->engine.measurement.hits, 17u);
+  EXPECT_EQ(back->engine.symbolic.hits, 6u);
+  EXPECT_EQ(back->engine.symbolic.misses, 1u);
   EXPECT_EQ(back->engine.inflightCoalesced, 4u);
   EXPECT_EQ(back->engine.store.puts, 9u);
   EXPECT_EQ(back->engine.native.compiles, 2u);

@@ -303,7 +303,111 @@ TEST(StoreCodec, DecodeRejectsRandomGarbage) {
     EXPECT_FALSE(decodeMeasurement(soup).has_value());
     EXPECT_FALSE(decodeReuseProfile(soup).has_value());
     EXPECT_FALSE(decodePipelineResult(soup).has_value());
+    EXPECT_FALSE(decodeSymbolicProfile(soup).has_value());
   }
+}
+
+// --- symbolic_profile artifacts ---------------------------------------------
+
+bool sameSymbolicProfile(const SymbolicReuseProfile& a,
+                         const SymbolicReuseProfile& b) {
+  if (a.minN != b.minN || !(a.footprint == b.footprint)) return false;
+  if (a.sites.size() != b.sites.size()) return false;
+  if (a.perSite.size() != b.perSite.size()) return false;
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    const SymbolicSiteInfo& sa = a.sites[i];
+    const SymbolicSiteInfo& sb = b.sites[i];
+    if (sa.stmtId != sb.stmtId || sa.array != sb.array ||
+        sa.isWrite != sb.isWrite || sa.operand != sb.operand ||
+        sa.loc != sb.loc || sa.text != sb.text)
+      return false;
+    const SymbolicSiteProfile& ea = a.perSite[i];
+    const SymbolicSiteProfile& eb = b.perSite[i];
+    if (ea.cls != eb.cls || ea.carryLevel != eb.carryLevel ||
+        ea.bailout != eb.bailout || !(ea.distance == eb.distance) ||
+        !(ea.count == eb.count) || ea.degree != eb.degree ||
+        ea.evadable != eb.evadable || ea.imprecise != eb.imprecise)
+      return false;
+  }
+  return true;
+}
+
+/// Every codec feature in one hand-built profile: a cold site (no
+/// formulas), a carried site with min/floor-div expressions and a degree,
+/// and a bailed site (reason code, no distance, indeterminate degree).
+SymbolicReuseProfile oddballSymbolicProfile() {
+  SymbolicReuseProfile p;
+  p.minN = 16;
+  p.footprint = symAdd(symMul(symN(), symN()), symConst(7));
+  p.sites.push_back({0, 0, true, 1, "i/j", "A[i][j]"});
+  p.perSite.push_back({ReuseClass::Cold, -1, SymbolicBailout::None, SymExpr{},
+                       symMul(symN(), symN()), std::nullopt, false, false});
+  p.sites.push_back({1, 1, false, 0, "i", "B[i-1]"});
+  p.perSite.push_back(
+      {ReuseClass::LoopCarried, 0, SymbolicBailout::None,
+       symMin(symConst(256), symFloorDiv(symAdd(symN(), symConst(3)), 2), 16),
+       symAffine(AffineN::N() - 2), 0, false, true});
+  p.sites.push_back({2, 1, false, 1, "i", "B[i+(N-20)]"});
+  p.perSite.push_back({ReuseClass::LoopCarried, 0,
+                       SymbolicBailout::SignIndeterminateDelta, SymExpr{},
+                       symAffine(AffineN::N() - 2), std::nullopt, false,
+                       false});
+  return p;
+}
+
+TEST(StoreCodec, SymbolicProfileRoundTripIsExact) {
+  const SymbolicReuseProfile p = oddballSymbolicProfile();
+  const auto bytes = encodeSymbolicProfile(p);
+  const auto back = decodeSymbolicProfile(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(sameSymbolicProfile(p, *back));
+  EXPECT_EQ(encodeSymbolicProfile(*back), bytes);  // canonical
+}
+
+TEST(StoreCodec, SymbolicProfileRoundTripOnAnalyzedCorpus) {
+  // Real analyzer output (deep Min chains, cross-unit sums, imprecise
+  // flags) must survive serialize → decode → re-encode byte-identically.
+  testing::RandomProgramOptions opts;
+  opts.allowTwoDim = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Program p = testing::randomProgram(seed, opts);
+    const SymbolicReuseProfile sym = analyzeSymbolicReuse(p);
+    const auto bytes = encodeSymbolicProfile(sym);
+    const auto back = decodeSymbolicProfile(bytes);
+    ASSERT_TRUE(back.has_value()) << "seed " << seed;
+    EXPECT_TRUE(sameSymbolicProfile(sym, *back)) << "seed " << seed;
+    EXPECT_EQ(encodeSymbolicProfile(*back), bytes) << "seed " << seed;
+  }
+}
+
+TEST(StoreCodec, SymbolicProfileDecodeRejectsTruncationAndTrailingBytes) {
+  const auto bytes = encodeSymbolicProfile(oddballSymbolicProfile());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.begin() + cut);
+    EXPECT_FALSE(decodeSymbolicProfile(shorter).has_value()) << "cut " << cut;
+  }
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_FALSE(decodeSymbolicProfile(longer).has_value());
+
+  auto wrongVersion = bytes;
+  wrongVersion[0] = 0x7F;  // codec version is the leading u32
+  EXPECT_FALSE(decodeSymbolicProfile(wrongVersion).has_value());
+}
+
+TEST(StoreCodec, SymbolicProfileDecodeNeverCrashesOnBitFlips) {
+  // Same bounds-safety contract as the other codecs: a flipped byte may
+  // decode, may reject — it must never crash, hang, or over-allocate.
+  const auto bytes = encodeSymbolicProfile(oddballSymbolicProfile());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto mutated = bytes;
+      mutated[i] ^= bit;
+      (void)decodeSymbolicProfile(mutated);
+    }
+  }
+  SUCCEED();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "../common/temp_dir.hpp"
 #include "apps/registry.hpp"
 #include "engine/engine.hpp"
+#include "store/codec.hpp"
 
 namespace gcr {
 namespace {
@@ -216,6 +217,36 @@ TEST(StoreEngine, AsyncBatchPathUsesTheDiskTier) {
   for (std::size_t i = 0; i < first.size(); ++i)
     EXPECT_TRUE(bitIdentical(first[i], replay[i])) << "task " << i;
   EXPECT_GE(cold.stats().store.hits, tasks.size());
+}
+
+TEST(StoreEngine, SymbolicProfilePersistsAcrossEngines) {
+  // Symbolic profiles are tiny, pure analysis values — the ideal disk-tier
+  // artifact.  A cold process with a warm disk must replay the analysis
+  // byte-identically without re-running the dependence scan.
+  testing::ScopedTempDir dir("gcr-engine-store");
+  const Program p = apps::buildApp("Tomcatv");
+
+  std::vector<std::uint8_t> first;
+  {
+    Engine warm(optionsWithDir(dir.path()));
+    first = store::encodeSymbolicProfile(warm.symbolicProfile(p));
+    EXPECT_GT(warm.stats().store.puts, 0u);
+  }
+
+  Engine cold(optionsWithDir(dir.path()));
+  const std::vector<std::uint8_t> replay =
+      store::encodeSymbolicProfile(cold.symbolicProfile(p));
+  EXPECT_EQ(replay, first);
+  const Engine::Stats s = cold.stats();
+  EXPECT_EQ(s.symbolic.misses, 1u);  // in-memory miss, served from disk
+  EXPECT_GT(s.store.hits, 0u);
+  EXPECT_EQ(s.store.corruptRejected, 0u);
+
+  // A second lookup in the same process comes from memory, not disk.
+  const std::uint64_t diskHits = cold.stats().store.hits;
+  (void)cold.symbolicProfile(p);
+  EXPECT_EQ(cold.stats().symbolic.hits, 1u);
+  EXPECT_EQ(cold.stats().store.hits, diskHits);
 }
 
 }  // namespace

@@ -13,13 +13,19 @@
 //   gcr-verify --adversarial      # self-test: every known-illegal case in
 //                                 # the corpus must be refused with the
 //                                 # documented (pass, rule) citation
+//   gcr-verify --symbolic         # closed-form reuse profiles: per-site
+//                                 # formulas, bail-out reasons, and the
+//                                 # symbolic-vs-dynamic agreement report
 //
 // Exit status: 0 clean; 1 legality violation (errors, or warnings under
-// --werror, or a missed adversarial refusal); 2 usage error.
+// --werror, or a missed adversarial refusal, or — under --symbolic --werror —
+// a symbolic/dynamic geomean CDF error above 0.10); 2 usage error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,6 +44,9 @@ void usage() {
       "  --all             verify every bundled application (default)\n"
       "  --app <name>      verify one app (ADI|Swim|Tomcatv|SP|Sweep3D)\n"
       "  --adversarial     self-test against the known-illegal corpus\n"
+      "  --symbolic        closed-form reuse formulas + symbolic-vs-dynamic\n"
+      "                    agreement report (with --werror: gate geomean CDF\n"
+      "                    error <= 0.10)\n"
       "  --pipeline        also optimize and re-verify the result\n"
       "  --werror          treat warnings as errors\n"
       "  --json            machine-readable output (one JSON array)\n"
@@ -90,10 +99,21 @@ void printText(const std::vector<Diagnostic>& diags) {
 }
 
 void printJson(const std::vector<Diagnostic>& diags) {
-  std::printf("[");
+  // Versioned envelope (satellite of the symbolic-engine PR): schema
+  // "gcr-verify/2".  /1 was the bare diagnostic array, which consumers could
+  // not distinguish from any other JSON list.
+  int notes = 0, warnings = 0, errors = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::Error) ++errors;
+    else if (d.severity == Severity::Warning) ++warnings;
+    else ++notes;
+  }
+  std::printf("{\n \"schema\": \"gcr-verify/2\",\n \"diagnostics\": [");
   for (std::size_t i = 0; i < diags.size(); ++i)
-    std::printf("%s%s", i ? ",\n " : "\n ", diags[i].json().c_str());
-  std::printf("%s]\n", diags.empty() ? "" : "\n");
+    std::printf("%s%s", i ? ",\n  " : "\n  ", diags[i].json().c_str());
+  std::printf("%s],\n", diags.empty() ? "" : "\n ");
+  std::printf(" \"notes\": %d,\n \"warnings\": %d,\n \"errors\": %d\n}\n",
+              notes, warnings, errors);
 }
 
 int runVerify(const std::vector<std::string>& names, const Options& o) {
@@ -140,6 +160,152 @@ int runAdversarial(const Options& o) {
     std::printf("gcr-verify: adversarial corpus %s\n",
                 missed ? "FAILED" : "clean");
   return missed ? 1 : 0;
+}
+
+/// --symbolic: run the closed-form locality analysis over each program,
+/// print every site's formula (or its bail-out reason), and score the
+/// symbolic histograms against exact dynamic profiles at a few sizes.
+/// Under --werror the geomean CDF error across all (program, size) pairs
+/// must stay within the documented 0.10 gate — the same bound PR 4's
+/// numeric estimator is held to.
+int runSymbolic(const std::vector<std::string>& names, const Options& o) {
+  constexpr double kGate = 0.10;
+  Engine& engine = sessionEngine();
+
+  double logSum = 0.0;
+  int pairs = 0;
+  std::uint64_t totalBailed = 0;
+  std::map<std::string, std::uint64_t> reasons;
+
+  JsonWriter j;
+  if (o.json) {
+    j.beginObject();
+    j.field("schema", "gcr-verify-symbolic/1");
+    j.field("min_n", o.minN);
+    j.key("programs").beginArray();
+  }
+
+  for (const std::string& name : names) {
+    const Program p = apps::buildApp(name);
+    const SymbolicReuseProfile sym =
+        engine.symbolicProfile(p, {.minN = o.minN});
+    totalBailed += sym.bailedSites();
+    for (const auto& [reason, n] : sym.bailoutCounts()) reasons[reason] += n;
+
+    if (o.json) {
+      j.beginObject();
+      j.field("program", std::string_view(name));
+      j.field("fully_symbolic", sym.fullySymbolic());
+      j.field("bailed_sites", sym.bailedSites());
+      j.field("imprecise_sites", sym.impreciseSites());
+      if (sym.footprint.valid())
+        j.field("footprint", std::string_view(sym.footprint.str()));
+      j.key("sites").beginArray();
+    } else {
+      std::printf("%s: %zu site(s), %llu bailed, %llu imprecise, "
+                  "footprint = %s\n",
+                  name.c_str(), sym.sites.size(),
+                  static_cast<unsigned long long>(sym.bailedSites()),
+                  static_cast<unsigned long long>(sym.impreciseSites()),
+                  sym.footprint.valid() ? sym.footprint.str().c_str() : "-");
+    }
+    for (std::size_t i = 0; i < sym.sites.size(); ++i) {
+      const SymbolicSiteInfo& s = sym.sites[i];
+      const SymbolicSiteProfile& e = sym.perSite[i];
+      if (o.json) {
+        j.beginObject();
+        j.field("loc", std::string_view(s.loc));
+        j.field("ref", std::string_view(s.text));
+        j.field("class", reuseClassName(e.cls));
+        if (e.bailout != SymbolicBailout::None)
+          j.field("bailout", symbolicBailoutName(e.bailout));
+        if (e.distance.valid())
+          j.field("distance", std::string_view(e.distance.str()));
+        if (e.count.valid())
+          j.field("count", std::string_view(e.count.str()));
+        if (e.degree.has_value()) j.field("degree", *e.degree);
+        j.field("evadable", e.evadable);
+        j.endObject();
+      } else if (e.bailout != SymbolicBailout::None) {
+        std::printf("  %s:%s:%s  BAILED (%s)\n", name.c_str(), s.loc.c_str(),
+                    s.text.c_str(), symbolicBailoutName(e.bailout));
+      } else {
+        std::printf("  %s:%s:%s  %s  distance=%s  count=%s%s%s\n",
+                    name.c_str(), s.loc.c_str(), s.text.c_str(),
+                    reuseClassName(e.cls),
+                    e.distance.valid() ? e.distance.str().c_str() : "-",
+                    e.count.valid() ? e.count.str().c_str() : "-",
+                    e.evadable ? "  evadable" : "",
+                    e.imprecise ? "  imprecise" : "");
+      }
+    }
+    if (o.json) {
+      j.endArray();
+      j.key("agreement").beginArray();
+    }
+
+    // Agreement: symbolic (hybrid when sites bailed) vs the exact dynamic
+    // profile at each probe size.  Probe sizes scale with nesting depth —
+    // the exact referee's cost grows with n^depth, so a 3D nest is probed
+    // at NAS-class sizes just like the fig9 suite runs it.
+    const bool deepNest = computeStats(p).maxLevel >= 3;
+    const std::vector<std::int64_t> probeSizes =
+        deepNest ? std::vector<std::int64_t>{16, 24, 32}
+                 : std::vector<std::int64_t>{48, 64, 96};
+    for (const std::int64_t n : probeSizes) {
+      const DataLayout layout = contiguousLayout(p, n);
+      const SymbolicEvaluation ev =
+          sym.fullySymbolic()
+              ? evaluateSymbolicProfile(sym, n)
+              : evaluateHybridProfile(sym, p, layout, n);
+      ReuseDistanceSink sink(8);
+      execute(p, layout, {.n = n}, &sink);
+      const ReuseProfile measured = sink.takeProfile();
+      const ProfileComparison c =
+          compareHistograms(ev.histogram, measured.histogram);
+      logSum += std::log(std::max(c.avgCdfError, 1e-6));
+      ++pairs;
+      if (o.json) {
+        j.beginObject();
+        j.field("n", n);
+        j.field("hybrid", !sym.fullySymbolic());
+        j.field("symbolic_accesses", ev.accesses);
+        j.field("measured_accesses", measured.accesses);
+        j.field("avg_cdf_error", c.avgCdfError, 4);
+        j.endObject();
+      } else {
+        std::printf("  n=%-4lld avg CDF error %.4f%s\n",
+                    static_cast<long long>(n), c.avgCdfError,
+                    sym.fullySymbolic() ? "" : "  (hybrid)");
+      }
+    }
+    if (o.json) {
+      j.endArray();
+      j.endObject();
+    }
+  }
+
+  const double geomean = pairs ? std::exp(logSum / pairs) : 0.0;
+  const bool gateOk = geomean <= kGate;
+  const bool bad = o.werror && !gateOk;
+  if (o.json) {
+    j.endArray();
+    j.key("bailout_counts").beginObject();
+    for (const auto& [reason, n] : reasons)
+      j.field(std::string_view(reason), n);
+    j.endObject();
+    j.field("geomean_cdf_error", geomean, 4);
+    j.field("gate", kGate, 2);
+    j.field("gate_ok", gateOk);
+    j.endObject();
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("gcr-verify: %zu program(s), %llu bailed site(s), geomean "
+                "CDF error %.4f (gate %.2f)%s\n",
+                names.size(), static_cast<unsigned long long>(totalBailed),
+                geomean, kGate, bad ? " -- FAILED" : "");
+  }
+  return bad ? 1 : 0;
 }
 
 /// --store-stats: validate every entry of an on-disk artifact store and
@@ -254,6 +420,7 @@ int runServerPing(const std::string& address) {
   putCacheCounters(j, "plan", e.plan);
   putCacheCounters(j, "measurement", e.measurement);
   putCacheCounters(j, "profile", e.profile);
+  putCacheCounters(j, "symbolic", e.symbolic);
   j.field("inflight_coalesced", e.inflightCoalesced);
   j.endObject();
 
@@ -288,6 +455,7 @@ int runServerPing(const std::string& address) {
 int main(int argc, char** argv) {
   Options o;
   bool adversarial = false;
+  bool symbolic = false;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -305,6 +473,8 @@ int main(int argc, char** argv) {
       names.push_back(value());
     } else if (arg == "--adversarial") {
       adversarial = true;
+    } else if (arg == "--symbolic") {
+      symbolic = true;
     } else if (arg == "--pipeline") {
       o.pipeline = true;
     } else if (arg == "--werror") {
@@ -330,6 +500,7 @@ int main(int argc, char** argv) {
     if (names.empty())
       for (const apps::AppInfo& a : apps::evaluationApps())
         names.push_back(a.name);
+    if (symbolic) return runSymbolic(names, o);
     return runVerify(names, o);
   } catch (const Error& e) {
     std::fprintf(stderr, "gcr-verify: %s\n", e.what());
