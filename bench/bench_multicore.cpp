@@ -1,0 +1,289 @@
+// Multicore scaling study: program restructuring vs affinity scheduling.
+//
+// Two contenders analyze identically-sized problems at 1/2/4/8 cores
+// through the multicore locality engine (Engine::multicoreProfile):
+//
+//   * "affinity"      — the ORIGINAL program under the static Block
+//                       schedule: every core owns one contiguous block of
+//                       each parallel loop, so it revisits its own block of
+//                       every array loop after loop (classic affinity
+//                       scheduling — the data stays in the owner's private
+//                       caches as long as it fits);
+//   * "restructured"  — the FusedRegrouped pipeline output under the same
+//                       schedule: global fusion shortens cross-loop reuse
+//                       distances, grouping densifies lines.
+//
+// The crossover the paper's multicore reading predicts, gated here for CI:
+//
+//   1. EXCEED window — when a core's share of the data has washed out of
+//      its private L1+L2 (share > 2x private capacity) but still fits its
+//      slice of the shared LLC, restructuring wins outright at every core
+//      count: fusion is the only thing keeping cross-loop reuses short.
+//   2. FIT regime — when the share sits deep inside the private levels
+//      (share <= private/2) the advantage collapses (capped well below the
+//      exceed-window wins, and strictly below them for every app x cores
+//      pair that spans both regimes): affinity scheduling already captures
+//      the cross-loop reuse.
+//   3. On the multi-array apps (Swim, Tomcatv) at 4 and 8 cores, affinity
+//      WINS the fit regime outright: grouping shares lines between arrays
+//      that small per-core slices do not co-access, so the restructured
+//      version pays extra cold misses that buy it nothing.
+//
+// Cells beyond the LLC slice (both contenders streaming from memory) are
+// reported but not gated — there the comparison measures bandwidth, not
+// locality.  The binary exits non-zero when any gate fails, so it doubles
+// as the CI smoke test; results land in BENCH_multicore.json.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_util.hpp"
+#include "cachesim/topology.hpp"
+#include "locality/multicore.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace gcr;
+
+// One (app, cores, n) cell of the sweep.
+struct Cell {
+  std::string app;
+  int cores = 1;
+  std::int64_t n = 0;
+  std::int64_t perCoreBytes = 0;
+  bool fits = false;       // per-core share <= private L1+L2
+  bool deepFit = false;    // share <= private/2 (gate 2)
+  bool exceedWindow = false;  // 2x private < share <= LLC slice (gate 1)
+  double affinityCycles = 0;
+  double restructuredCycles = 0;
+  double affinityLlcMissFrac = 0;
+  double restructuredLlcMissFrac = 0;
+  double speedup() const {
+    return restructuredCycles > 0 ? affinityCycles / restructuredCycles : 0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace gcr;
+  bench::printHeader(
+      "Multicore scaling: restructuring vs affinity scheduling",
+      "global fusion + grouping at 1/2/4/8 cores (DESIGN.md s10; "
+      "Sections 3-5 in the chip-multiprocessor setting)");
+
+  // Reduced-size study: geometry scaled 1/16 (2KB L1 + 16KB L2 per core,
+  // 512KB shared LLC) so the fit/exceed regimes both appear at sizes the
+  // exact per-core simulations cover in seconds.  GCR_FULL_SIZE runs the
+  // same sweep against the full Nehalem-style geometry at 4x the sizes.
+  const int kScale = bench::fullSize() ? 1 : 16;
+  const std::vector<int> coreCounts = {1, 2, 4, 8};
+  std::vector<std::int64_t> sizes = {16, 24, 32, 48, 64, 96, 128};
+  if (bench::fullSize())
+    for (std::int64_t& n : sizes) n *= 4;
+  const std::vector<std::string> appNames = {"ADI", "Swim", "Tomcatv"};
+  const std::vector<std::string> multiArrayApps = {"Swim", "Tomcatv"};
+  // Restructuring may keep a small edge even in the fit regime (fusion
+  // still shortens sub-L1 distances; ADI's co-accessed arrays even share
+  // grouped lines cold) — but it must stay under this cap, far below the
+  // exceed-window wins.
+  constexpr double kFitCap = 1.25;
+
+  Engine& engine = bench::sessionEngine();
+  std::vector<Cell> cells;
+
+  for (const std::string& app : appNames) {
+    const Program p = apps::buildApp(app);
+    const ProgramVersion affinity = engine.version(p, Strategy::NoOpt);
+    const ProgramVersion restructured =
+        engine.version(p, Strategy::FusedRegrouped);
+
+    for (const int cores : coreCounts) {
+      const CacheTopology topo =
+          CacheTopology::symmetric(cores).scaledDown(kScale);
+      const std::int64_t privateBytes = topo.l1.sizeBytes + topo.l2.sizeBytes;
+      const std::int64_t llcSlice = topo.llc.sizeBytes / cores;
+
+      for (const std::int64_t n : sizes) {
+        Cell c;
+        c.app = app;
+        c.cores = cores;
+        c.n = n;
+        c.perCoreBytes = affinity.layoutAt(n).totalBytes() / cores;
+        c.fits = c.perCoreBytes <= privateBytes;
+        c.deepFit = 2 * c.perCoreBytes <= privateBytes;
+        c.exceedWindow =
+            c.perCoreBytes > 2 * privateBytes && c.perCoreBytes <= llcSlice;
+
+        const MulticoreProfile a = engine.multicoreProfile(affinity, n, topo);
+        const MulticoreProfile r =
+            engine.multicoreProfile(restructured, n, topo);
+        c.affinityCycles = a.cycles;
+        c.restructuredCycles = r.cycles;
+        c.affinityLlcMissFrac = a.llcMissFraction;
+        c.restructuredLlcMissFrac = r.llcMissFraction;
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Per-app tables: one row per (cores, n), cycles normalized to affinity.
+  for (const std::string& app : appNames) {
+    std::printf("\n-- %s (geometry 1/%d) --\n", app.c_str(), kScale);
+    TextTable t({"cores", "n", "KB/core", "regime", "affinity cyc",
+                 "restruct cyc", "speedup", "LLC miss a/r"});
+    for (const Cell& c : cells) {
+      if (c.app != app) continue;
+      t.addRow({std::to_string(c.cores), std::to_string(c.n),
+                TextTable::fmt(static_cast<double>(c.perCoreBytes) / 1024, 1),
+                c.deepFit ? "fit"
+                          : (c.exceedWindow ? "exceed"
+                                            : (c.fits ? "fit~" : "beyond")),
+                TextTable::fmt(c.affinityCycles, 0),
+                TextTable::fmt(c.restructuredCycles, 0),
+                TextTable::fmt(c.speedup(), 3),
+                TextTable::fmtPercent(c.affinityLlcMissFrac, 1) + "/" +
+                    TextTable::fmtPercent(c.restructuredLlcMissFrac, 1)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+
+  // --- Gate 1: restructuring wins every exceed-window cell ----------------
+  bool exceedOk = true;
+  int exceedCells = 0, fitCells = 0, ungated = 0;
+  for (const Cell& c : cells) {
+    if (c.exceedWindow) {
+      ++exceedCells;
+      if (c.speedup() <= 1.0) {
+        exceedOk = false;
+        std::printf("EXCEED VIOLATION: %s n=%lld cores=%d (%.3fx <= 1x)\n",
+                    c.app.c_str(), static_cast<long long>(c.n), c.cores,
+                    c.speedup());
+      }
+    } else if (c.deepFit) {
+      ++fitCells;
+    } else {
+      ++ungated;  // boundary or beyond-LLC: reported, not gated
+    }
+  }
+
+  // --- Gate 2: the fit regime caps the advantage, strictly below the ------
+  // exceed window for every pair spanning both.
+  bool fitOk = true;
+  for (const Cell& c : cells) {
+    if (c.deepFit && c.speedup() > kFitCap) {
+      fitOk = false;
+      std::printf("FIT VIOLATION: %s n=%lld cores=%d (%.3fx > %.2fx cap)\n",
+                  c.app.c_str(), static_cast<long long>(c.n), c.cores,
+                  c.speedup(), kFitCap);
+    }
+  }
+  bool crossoverOk = true;
+  for (const std::string& app : appNames) {
+    for (const int cores : coreCounts) {
+      double maxFit = 0, minExceed = 0;
+      bool haveFit = false, haveExceed = false;
+      for (const Cell& c : cells) {
+        if (c.app != app || c.cores != cores) continue;
+        if (c.deepFit) {
+          maxFit = haveFit ? std::max(maxFit, c.speedup()) : c.speedup();
+          haveFit = true;
+        } else if (c.exceedWindow) {
+          minExceed =
+              haveExceed ? std::min(minExceed, c.speedup()) : c.speedup();
+          haveExceed = true;
+        }
+      }
+      if (haveFit && haveExceed && maxFit >= minExceed) {
+        crossoverOk = false;
+        std::printf("CROSSOVER VIOLATION: %s cores=%d (fit max %.3fx >= "
+                    "exceed min %.3fx)\n",
+                    app.c_str(), cores, maxFit, minExceed);
+      }
+    }
+  }
+
+  // --- Gate 3: affinity wins the fit regime outright on the multi-array ---
+  // apps at 4 and 8 cores.
+  bool affinityWinsOk = true;
+  for (const std::string& app : multiArrayApps) {
+    for (const int cores : {4, 8}) {
+      double best = 2.0;
+      bool any = false;
+      for (const Cell& c : cells) {
+        if (c.app != app || c.cores != cores || !c.fits) continue;
+        best = std::min(best, c.speedup());
+        any = true;
+      }
+      if (!any || best >= 1.0) {
+        affinityWinsOk = false;
+        std::printf("AFFINITY VIOLATION: %s cores=%d (best fit-regime "
+                    "speedup %.3fx, expected < 1x)\n",
+                    app.c_str(), cores, any ? best : 0.0);
+      }
+    }
+  }
+
+  const bool ok = exceedOk && fitOk && crossoverOk && affinityWinsOk &&
+                  exceedCells > 0 && fitCells > 0;
+  std::printf("\nexceed window (%d cells): restructuring wins — %s\n",
+              exceedCells, exceedOk ? "ok" : "FAIL");
+  std::printf("fit regime (%d cells): advantage capped at %.2fx — %s\n",
+              fitCells, kFitCap, fitOk ? "ok" : "FAIL");
+  std::printf("fit < exceed for every spanning app x cores pair — %s\n",
+              crossoverOk ? "ok" : "FAIL");
+  std::printf("affinity wins fit regime on multi-array apps at 4/8 cores — "
+              "%s\n",
+              affinityWinsOk ? "ok" : "FAIL");
+  std::printf("ungated boundary/beyond-LLC cells: %d of %zu\n", ungated,
+              cells.size());
+  bench::printEngineStats();
+
+  {
+    bench::ResultWriter out("multicore");
+    JsonWriter& j = out.json();
+    j.field("geometry_scale", std::int64_t{kScale});
+    j.key("core_counts").beginArray();
+    for (const int c : coreCounts) j.value(std::int64_t{c});
+    j.endArray();
+    j.key("sizes").beginArray();
+    for (const std::int64_t n : sizes) j.value(n);
+    j.endArray();
+    j.field("fit_cap", kFitCap, 2);
+    j.key("cells").beginArray();
+    for (const Cell& c : cells) {
+      j.beginObject();
+      j.field("app", std::string_view(c.app));
+      j.field("cores", std::int64_t{c.cores});
+      j.field("n", c.n);
+      j.field("per_core_bytes", c.perCoreBytes);
+      j.field("regime", c.deepFit ? "fit"
+                                  : (c.exceedWindow
+                                         ? "exceed"
+                                         : (c.fits ? "boundary" : "beyond")));
+      j.field("affinity_cycles", c.affinityCycles, 1);
+      j.field("restructured_cycles", c.restructuredCycles, 1);
+      j.field("speedup", c.speedup(), 4);
+      j.field("affinity_llc_miss_fraction", c.affinityLlcMissFrac, 4);
+      j.field("restructured_llc_miss_fraction", c.restructuredLlcMissFrac, 4);
+      j.endObject();
+    }
+    j.endArray();
+    j.field("fit_cells", std::int64_t{fitCells});
+    j.field("exceed_cells", std::int64_t{exceedCells});
+    j.field("ungated_cells", std::int64_t{ungated});
+    j.field("exceed_regime_ok", exceedOk);
+    j.field("fit_regime_ok", fitOk && crossoverOk);
+    j.field("affinity_wins_ok", affinityWinsOk);
+    j.field("crossover_gate_ok", ok);
+    out.addEngineStats(engine.stats());
+    out.finish();
+  }
+
+  std::printf("multicore crossover verdict: %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

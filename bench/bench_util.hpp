@@ -82,9 +82,9 @@ inline void printThroughput(const std::vector<VersionRow>& rows) {
 /// Session-Engine cache counters of a finished sweep.  Like the throughput
 /// line, the counts may depend on scheduling (in-flight coalescing vs cache
 /// hit), so this is printed outside the byte-compared result tables.  All
-/// three lines ("engine cache", "engine store", "engine native") are
-/// excluded by CI's determinism greps — keep those patterns in sync when
-/// renaming.
+/// four lines ("engine cache", "engine store", "engine native", "engine
+/// multicore") are excluded by CI's determinism greps — keep those patterns
+/// in sync when renaming.
 inline void printEngineStats() {
   const Engine::Stats s = sessionEngine().stats();
   auto hm = [](const CacheCounters& c) {
@@ -95,6 +95,9 @@ inline void printEngineStats() {
               hm(s.pipeline).c_str(), hm(s.plan).c_str(),
               hm(s.measurement).c_str(), hm(s.profile).c_str(),
               static_cast<unsigned long long>(s.inflightCoalesced));
+  if (s.multicore.hits != 0 || s.multicore.misses != 0)
+    std::printf("engine multicore (hits/misses): %s\n",
+                hm(s.multicore).c_str());
   const std::string dir = sessionEngine().cacheDirInUse();
   if (!dir.empty()) {
     const store::StoreCounters& d = s.store;

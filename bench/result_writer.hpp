@@ -56,6 +56,7 @@ class ResultWriter {
     cacheObject("measurement", s.measurement);
     cacheObject("profile", s.profile);
     cacheObject("symbolic", s.symbolic);
+    cacheObject("multicore", s.multicore);
     json_.field("inflight_coalesced", s.inflightCoalesced);
     json_.key("store").beginObject();
     json_.field("hits", s.store.hits);

@@ -39,8 +39,8 @@ Measurement measure(const ProgramVersion& version, std::int64_t n,
 }
 
 std::vector<Measurement> detail::measureAllUncached(
-    const std::vector<MeasureTask>& tasks, const MeasureOptions& opts) {
-  ThreadPool pool(opts.threads);
+    const std::vector<MeasureTask>& tasks, int threads) {
+  ThreadPool pool(threads);
   std::vector<Measurement> out(tasks.size());
   pool.parallelFor(tasks.size(), [&](std::size_t i) {
     const MeasureTask& t = tasks[i];
@@ -50,32 +50,31 @@ std::vector<Measurement> detail::measureAllUncached(
 }
 
 ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
-                            std::uint64_t timeSteps,
-                            const MeasureOptions& opts) {
+                            std::uint64_t timeSteps, double sampleRate) {
   DataLayout layout = version.layoutAt(n);
   const std::uint64_t expectedRefs =
       estimateDynamicRefs(version.program, n, timeSteps);
   const std::uint64_t dataBytes =
       static_cast<std::uint64_t>(layout.totalBytes());
-  if (opts.sampleRate >= 1.0) {
+  if (sampleRate >= 1.0) {
     ReuseDistanceSink sink(8);
     sink.reserve(expectedRefs, dataBytes);
     execute(version.program, layout, {.n = n, .timeSteps = timeSteps}, &sink);
     return sink.takeProfile();
   }
-  SampledReuseSink sink(8, opts.sampleRate);
+  SampledReuseSink sink(8, sampleRate);
   sink.reserve(expectedRefs, dataBytes);
   execute(version.program, layout, {.n = n, .timeSteps = timeSteps}, &sink);
   return sink.takeProfile();
 }
 
 std::vector<ReuseProfile> detail::reuseProfilesOfUncached(
-    const std::vector<ReuseTask>& tasks, const MeasureOptions& opts) {
-  ThreadPool pool(opts.threads);
+    const std::vector<ReuseTask>& tasks, int threads, double sampleRate) {
+  ThreadPool pool(threads);
   std::vector<ReuseProfile> out(tasks.size());
   pool.parallelFor(tasks.size(), [&](std::size_t i) {
     const ReuseTask& t = tasks[i];
-    out[i] = reuseProfileOf(t.version, t.n, t.timeSteps, opts);
+    out[i] = reuseProfileOf(t.version, t.n, t.timeSteps, sampleRate);
   });
   return out;
 }

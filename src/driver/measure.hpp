@@ -12,8 +12,10 @@
 // The batch entry point is Engine::measureAll / Engine::submit
 // (engine/engine.hpp), which adds content-addressed memoization and
 // in-flight deduplication on top.  The raw, cache-free batch runners live in
-// gcr::detail and back both the Engine (as its compute functions) and the
-// deprecated free-function shims.
+// gcr::detail and back the Engine as its compute functions.  Knobs that
+// used to ride in a MeasureOptions struct (threads, sampleRate) are plain
+// parameters here; sessions configure them once via EngineConfig
+// (engine/config.hpp).
 #pragma once
 
 #include <cmath>
@@ -27,18 +29,6 @@
 #include "locality/reuse_distance.hpp"
 
 namespace gcr {
-
-/// Knobs of the measurement engine.
-struct MeasureOptions {
-  /// Workers for batch APIs (including the calling thread).  0 selects
-  /// GCR_THREADS / hardware_concurrency; 1 is strictly sequential.
-  int threads = 0;
-  /// Reuse-distance sampling rate in (0, 1].  1.0 (default) is the exact
-  /// tracker; smaller rates switch reuseProfileOf() to the SHARDS-style
-  /// SampledReuseTracker with distances and counts scaled by 1/rate.  All
-  /// published tables are generated at rate 1.
-  double sampleRate = 1.0;
-};
 
 struct Measurement {
   MissCounts counts;
@@ -77,12 +67,13 @@ struct MeasureTask {
 };
 
 /// Element-granularity reuse-distance profile of a version.  With
-/// opts.sampleRate < 1 the profile is the sampled estimate (see
-/// locality/sampled_reuse.hpp); at rate 1 it is exact and bit-identical to
-/// the historical output.
+/// sampleRate < 1 the profile is the sampled estimate (see
+/// locality/sampled_reuse.hpp); at rate 1 (default) it is exact and
+/// bit-identical to the historical output.  All published tables are
+/// generated at rate 1.
 ReuseProfile reuseProfileOf(const ProgramVersion& version, std::int64_t n,
                             std::uint64_t timeSteps = 1,
-                            const MeasureOptions& opts = {});
+                            double sampleRate = 1.0);
 
 /// One reuse-profile task of a parallel sweep.
 struct ReuseTask {
@@ -99,31 +90,22 @@ void collectPairwise(const ProgramVersion& version, std::int64_t n,
 namespace detail {
 
 /// Raw batch runner: every task simulated fresh, no memoization.  Result i
-/// belongs to tasks[i] regardless of thread count.  The Engine uses this
-/// slot-per-task discipline with per-task cache lookups layered on top.
+/// belongs to tasks[i] regardless of thread count (`threads` as
+/// ThreadPool: 0 = GCR_THREADS / hardware_concurrency, 1 = sequential).
+/// The Engine uses this slot-per-task discipline with per-task cache
+/// lookups layered on top.
 std::vector<Measurement> measureAllUncached(
-    const std::vector<MeasureTask>& tasks, const MeasureOptions& opts = {});
+    const std::vector<MeasureTask>& tasks, int threads = 0);
 
 /// Raw batch reuse profiling, same slot-per-task determinism.
 std::vector<ReuseProfile> reuseProfilesOfUncached(
-    const std::vector<ReuseTask>& tasks, const MeasureOptions& opts = {});
+    const std::vector<ReuseTask>& tasks, int threads = 0,
+    double sampleRate = 1.0);
 
 }  // namespace detail
 
-// --- Deprecated pre-Engine batch API ---------------------------------------
-// Migration: Engine::measureAll / Engine::submit (cached, deduplicated), or
-// detail::measureAllUncached for the raw parallel runner.
-
-[[deprecated("use Engine::measureAll() or detail::measureAllUncached()")]] inline std::vector<Measurement>
-measureAll(const std::vector<MeasureTask>& tasks,
-           const MeasureOptions& opts = {}) {
-  return detail::measureAllUncached(tasks, opts);
-}
-
-[[deprecated("use Engine::reuseProfilesOf() or detail::reuseProfilesOfUncached()")]] inline std::vector<ReuseProfile>
-reuseProfilesOf(const std::vector<ReuseTask>& tasks,
-                const MeasureOptions& opts = {}) {
-  return detail::reuseProfilesOfUncached(tasks, opts);
-}
+// The pre-Engine free measureAll()/reuseProfilesOf() shims are gone
+// (PR 10); use Engine::measureAll / Engine::submit, or the detail::
+// *Uncached runners for the raw parallel path.
 
 }  // namespace gcr

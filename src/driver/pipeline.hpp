@@ -13,8 +13,7 @@
 // API shape: a version is requested as (Strategy, VersionSpec) — see
 // makeVersion() — or, preferably, through a gcr::Engine
 // (engine/engine.hpp), which memoizes the pipeline runs behind
-// content-addressed signatures.  The historical one-function-per-version
-// free functions (makeNoOpt, makeFused, ...) remain as deprecated shims.
+// content-addressed signatures.
 #pragma once
 
 #include <cstdint>
@@ -132,58 +131,9 @@ ProgramVersion assembleVersion(PipelineResult result, Strategy strategy,
 ProgramVersion makeVersion(const Program& in, Strategy strategy,
                            const VersionSpec& spec = {});
 
-// --- Deprecated pre-Engine API ---------------------------------------------
-// One free function per version, kept as thin shims for out-of-tree callers.
-// Migration: optimize() → Engine::pipeline() or runPipeline();
-// make<X>() → Engine::version(app, Strategy::<X>) or makeVersion().
-
-[[deprecated("use Engine::pipeline() or gcr::runPipeline()")]] inline PipelineResult
-optimize(const Program& in, const PipelineOptions& opts = {}) {
-  return runPipeline(in, opts);
-}
-
-[[deprecated("use Engine::version(app, Strategy::NoOpt) or gcr::makeVersion()")]] inline ProgramVersion
-makeNoOpt(const Program& in) {
-  return makeVersion(in, Strategy::NoOpt);
-}
-
-/// The "SGI -Ofast"-like baseline: local optimization only — fusion of
-/// loops *within* each top-level nest (no cross-nest/global fusion) plus
-/// inter-array padding against cache-set conflicts; no regrouping.
-[[deprecated("use Engine::version(app, Strategy::SgiLike) or gcr::makeVersion()")]] inline ProgramVersion
-makeSgiLike(const Program& in, std::int64_t padBytes = 1056) {
-  VersionSpec spec;
-  spec.padBytes = padBytes;
-  return makeVersion(in, Strategy::SgiLike, spec);
-}
-
-/// Pre-passes + fusion of the given number of levels; contiguous layout.
-[[deprecated("use Engine::version(app, Strategy::Fused) or gcr::makeVersion()")]] inline ProgramVersion
-makeFused(const Program& in, int levels = 8, FusionOptions fopts = {}) {
-  VersionSpec spec;
-  spec.fusionLevels = levels;
-  spec.fusionOptions = fopts;
-  return makeVersion(in, Strategy::Fused, spec);
-}
-
-/// Full strategy: pre-passes + fusion + multi-level regrouping.
-[[deprecated("use Engine::version(app, Strategy::FusedRegrouped) or gcr::makeVersion()")]] inline ProgramVersion
-makeFusedRegrouped(const Program& in, int levels = 8, FusionOptions fopts = {},
-                   RegroupOptions ropts = {}) {
-  VersionSpec spec;
-  spec.fusionLevels = levels;
-  spec.fusionOptions = fopts;
-  spec.regroupOptions = ropts;
-  return makeVersion(in, Strategy::FusedRegrouped, spec);
-}
-
-/// Regrouping without fusion (ablation: "grouping may see little
-/// opportunity without fusion").
-[[deprecated("use Engine::version(app, Strategy::RegroupedOnly) or gcr::makeVersion()")]] inline ProgramVersion
-makeRegroupedOnly(const Program& in, RegroupOptions ropts = {}) {
-  VersionSpec spec;
-  spec.regroupOptions = ropts;
-  return makeVersion(in, Strategy::RegroupedOnly, spec);
-}
+// The historical one-function-per-version free functions (optimize,
+// makeNoOpt, makeFused, ...) were removed in PR 10 after a deprecation
+// cycle; use Engine::version(app, Strategy::<X>) / makeVersion() (CI greps
+// for reintroductions).
 
 }  // namespace gcr

@@ -1,0 +1,105 @@
+// EngineConfig — the one configuration record of a gcr::Engine session.
+//
+// Replaces the grown MeasureOptions / Engine::Options / environment-variable
+// trio.  Every knob lives here, each with a builder-style setter, and every
+// environment override resolves through gcr::env (support/env.hpp) with one
+// precedence rule, applied uniformly:
+//
+//     explicit config field  >  environment variable  >  built-in default
+//
+//   threads   — threads > 0 wins; else GCR_THREADS; else
+//               hardware_concurrency (resolveThreads()).
+//   cacheDir  — cacheDir set wins ("" disables the disk tier even when the
+//               variable is set); else GCR_CACHE_DIR; else "" = no disk tier
+//               (resolveCacheDir()).
+//   engine    — engine set wins; else GCR_ENGINE ("walk"/"tree", "plan",
+//               "native"); else Auto (resolveEngine()).
+//
+// The resolve*() helpers are the only place this precedence is encoded;
+// Engine reads the environment exactly once, at construction, through them
+// (pinned by tests/engine/engine_config_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "interp/interp.hpp"
+
+namespace gcr {
+
+struct EngineConfig {
+  /// Per-cache entry bounds; 0 disables that cache.
+  std::size_t pipelineCacheCapacity = 64;
+  std::size_t planCacheCapacity = 64;
+  std::size_t measurementCacheCapacity = 512;
+  std::size_t profileCacheCapacity = 128;
+  std::size_t symbolicCacheCapacity = 64;
+  std::size_t multicoreCacheCapacity = 64;
+  /// Thread-pool size for submit()/batch APIs (including the calling
+  /// thread).  0 defers to GCR_THREADS / hardware_concurrency; 1 runs every
+  /// submission inline (the determinism baseline).
+  int threads = 0;
+  /// Reuse-distance sampling rate in (0, 1].  1.0 (default) is the exact
+  /// tracker; smaller rates switch profiles to the SHARDS-style sampled
+  /// tracker with distances and counts scaled by 1/rate.
+  double sampleRate = 1.0;
+  /// Execution engine.  nullopt (default) defers to GCR_ENGINE; see
+  /// ExecEngine (interp/interp.hpp) for the alternatives.
+  std::optional<ExecEngine> engine;
+  /// Directory of the persistent artifact store (the disk cache tier).
+  /// nullopt (default) defers to GCR_CACHE_DIR; an empty string disables
+  /// the disk tier even when the variable is set.  Created on demand; if it
+  /// cannot be opened the Engine silently runs memory-only.
+  std::optional<std::string> cacheDir;
+  /// fsync artifacts during publication (crash durability).  Disable only
+  /// for throwaway store directories; publication stays atomic.
+  bool storeFsync = true;
+  /// Disk-store size budget in bytes (0 = unbounded); oldest entries are
+  /// evicted after a publication pushes the store past the budget.
+  std::uint64_t storeMaxBytes = 0;
+
+  // --- builder ------------------------------------------------------------
+
+  EngineConfig& withThreads(int t) {
+    threads = t;
+    return *this;
+  }
+  EngineConfig& withSampleRate(double rate) {
+    sampleRate = rate;
+    return *this;
+  }
+  EngineConfig& withEngine(ExecEngine e) {
+    engine = e;
+    return *this;
+  }
+  EngineConfig& withCacheDir(std::string dir) {
+    cacheDir = std::move(dir);
+    return *this;
+  }
+  EngineConfig& withStoreFsync(bool fsync) {
+    storeFsync = fsync;
+    return *this;
+  }
+  EngineConfig& withStoreMaxBytes(std::uint64_t bytes) {
+    storeMaxBytes = bytes;
+    return *this;
+  }
+
+  // --- environment resolution (the single precedence site) ----------------
+
+  /// Final worker count: threads > 0, else GCR_THREADS, else
+  /// hardware_concurrency (never less than 1).
+  int resolveThreads() const;
+
+  /// Final store directory: the explicit field when set (may be "" =
+  /// disabled), else GCR_CACHE_DIR, else "" (no disk tier).
+  std::string resolveCacheDir() const;
+
+  /// Final execution engine: the explicit field when set, else the
+  /// GCR_ENGINE token, else Auto.
+  ExecEngine resolveEngine() const;
+};
+
+}  // namespace gcr

@@ -1,7 +1,6 @@
 #include "engine/engine.hpp"
 
 #include <chrono>
-#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <string>
@@ -27,29 +26,11 @@ constexpr std::uint64_t kPlanDomain = 0xE2;
 constexpr std::uint64_t kMeasureDomain = 0xE3;
 constexpr std::uint64_t kProfileDomain = 0xE4;
 constexpr std::uint64_t kSymbolicDomain = 0xE5;
+constexpr std::uint64_t kMulticoreDomain = 0xE6;
 
 double secondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-bool engineForcedToWalk() {
-  const char* env = std::getenv("GCR_ENGINE");
-  if (env == nullptr) return false;
-  const std::string v(env);
-  return v == "walk" || v == "tree";
-}
-
-bool engineNativeRequested() {
-  const char* env = std::getenv("GCR_ENGINE");
-  return env != nullptr && std::string(env) == "native";
-}
-
-/// Options::cacheDir wins; nullopt defers to GCR_CACHE_DIR; "" disables.
-std::string resolveCacheDir(const Engine::Options& o) {
-  if (o.cacheDir.has_value()) return *o.cacheDir;
-  const char* env = std::getenv("GCR_CACHE_DIR");
-  return env != nullptr ? std::string(env) : std::string();
 }
 
 /// A compiled plan together with the Program clone and DataLayout copy it
@@ -65,15 +46,19 @@ struct CachedPlan {
 }  // namespace
 
 struct Engine::Impl {
-  const Options options;
+  const EngineConfig config;
+  /// Execution engine, resolved once at construction (explicit config field
+  /// wins over GCR_ENGINE; see EngineConfig::resolveEngine).
+  const ExecEngine engineKind;
   const bool forceWalk;
   /// Persistent disk tier; nullptr = memory-only.  Thread-safe internally,
   /// so it is consulted from compute lambdas outside `mutex`.
   const std::unique_ptr<store::ArtifactStore> diskStore;
-  /// Native codegen tier; non-null only under GCR_ENGINE=native.  Shares the
-  /// disk store, so compiled-plan artifacts persist across sessions under
-  /// the plans' structural keys.  Thread-safe internally; any native failure
-  /// falls back to executePlan, so results are engine-independent.
+  /// Native codegen tier; non-null only when the native engine is selected.
+  /// Shares the disk store, so compiled-plan artifacts persist across
+  /// sessions under the plans' structural keys.  Thread-safe internally; any
+  /// native failure falls back to executePlan, so results are
+  /// engine-independent.
   const std::unique_ptr<NativeRuntime> native;
 
   mutable std::mutex mutex;
@@ -83,7 +68,10 @@ struct Engine::Impl {
   LruCache<Signature, Measurement, SignatureHash> measurements;
   LruCache<Signature, ReuseProfile, SignatureHash> profiles;
   LruCache<Signature, SymbolicReuseProfile, SignatureHash> symbolics;
+  LruCache<Signature, MulticoreProfile, SignatureHash> multicores;
 
+  // Internal dependency stages keep typed in-flight maps (their values are
+  // shared_ptrs, not Reply alternatives) ...
   std::unordered_map<Signature,
                      std::shared_future<std::shared_ptr<const PipelineResult>>,
                      SignatureHash>
@@ -92,14 +80,11 @@ struct Engine::Impl {
                      std::shared_future<std::shared_ptr<const CachedPlan>>,
                      SignatureHash>
       inflightPlans;
-  std::unordered_map<Signature, std::shared_future<Measurement>, SignatureHash>
-      inflightMeasurements;
-  std::unordered_map<Signature, std::shared_future<ReuseProfile>,
-                     SignatureHash>
-      inflightProfiles;
-  std::unordered_map<Signature, std::shared_future<SymbolicReuseProfile>,
-                     SignatureHash>
-      inflightSymbolics;
+  // ... while every submit()-visible artifact shares ONE in-flight map of
+  // Reply futures, so the async path and the synchronous façade coalesce
+  // onto each other.  Domain tags keep keys of different kinds distinct.
+  std::unordered_map<Signature, std::shared_future<Reply>, SignatureHash>
+      inflightReplies;
   std::uint64_t inflightCoalesced = 0;
 
   /// Signatures of plans compiled this session (plans stay in memory; see
@@ -110,26 +95,29 @@ struct Engine::Impl {
   // jobs, which still touch the caches and maps above.
   ThreadPool pool;
 
-  explicit Impl(const Options& o)
-      : options(o),
-        forceWalk(engineForcedToWalk()),
-        diskStore(store::ArtifactStore::open({.dir = resolveCacheDir(o),
-                                              .fsync = o.storeFsync,
-                                              .maxBytes = o.storeMaxBytes})),
-        native(engineNativeRequested()
+  explicit Impl(const EngineConfig& c)
+      : config(c),
+        engineKind(c.resolveEngine()),
+        forceWalk(engineKind == ExecEngine::TreeWalk),
+        diskStore(store::ArtifactStore::open({.dir = c.resolveCacheDir(),
+                                              .fsync = c.storeFsync,
+                                              .maxBytes = c.storeMaxBytes})),
+        native(engineKind == ExecEngine::Native
                    ? std::make_unique<NativeRuntime>(
                          NativeRuntime::Options{.store = diskStore.get()})
                    : nullptr),
-        pipelines(o.pipelineCacheCapacity),
-        plans(o.planCacheCapacity),
-        measurements(o.measurementCacheCapacity),
-        profiles(o.profileCacheCapacity),
-        symbolics(o.symbolicCacheCapacity),
-        pool(o.threads) {}
+        pipelines(c.pipelineCacheCapacity),
+        plans(c.planCacheCapacity),
+        measurements(c.measurementCacheCapacity),
+        profiles(c.profileCacheCapacity),
+        symbolics(c.symbolicCacheCapacity),
+        multicores(c.multicoreCacheCapacity),
+        pool(c.resolveThreads()) {}
 
   // Serve from `cache`, attach to an identical in-flight computation, or
   // run `compute` (outside the lock) and publish the result to both the
-  // cache and every attached waiter.
+  // cache and every attached waiter.  Used by the typed dependency stages
+  // (pipelines, plans).
   template <typename V, typename Compute>
   V getOrCompute(
       LruCache<Signature, V, SignatureHash>& cache,
@@ -166,6 +154,87 @@ struct Engine::Impl {
       promise.set_exception(std::current_exception());
       throw;
     }
+  }
+
+  // Synchronous path of a submit()-visible artifact: serve from the typed
+  // cache, coalesce onto the unified Reply in-flight map (which the async
+  // path feeds too), or compute on the calling thread and publish to both.
+  template <typename V, typename Compute>
+  V syncArtifact(LruCache<Signature, V, SignatureHash>& cache,
+                 const Signature& key, Compute&& compute) {
+    std::promise<Reply> promise;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (const V* hit = cache.get(key)) return *hit;
+      auto it = inflightReplies.find(key);
+      if (it != inflightReplies.end()) {
+        std::shared_future<Reply> f = it->second;
+        ++inflightCoalesced;
+        lock.unlock();
+        return replyAs<V>(f.get());
+      }
+      inflightReplies.emplace(key, promise.get_future().share());
+    }
+    try {
+      V value = compute();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        cache.put(key, value);
+        inflightReplies.erase(key);
+      }
+      promise.set_value(Reply(value));
+      return value;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflightReplies.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  // Async path: cache hit resolves instantly, in-flight duplicate attaches,
+  // otherwise `compute` is enqueued on the pool.  `compute` must be
+  // copyable (own its inputs via shared_ptr) and is run exactly once.
+  template <typename V, typename Compute>
+  Future<Reply> asyncArtifact(LruCache<Signature, V, SignatureHash>& cache,
+                              const Signature& key, Compute compute) {
+    std::shared_ptr<std::promise<Reply>> promise;
+    std::shared_future<Reply> result;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (const V* hit = cache.get(key)) return makeReadyFuture(Reply(*hit));
+      auto it = inflightReplies.find(key);
+      if (it != inflightReplies.end()) {
+        ++inflightCoalesced;
+        return Future<Reply>(it->second);
+      }
+      promise = std::make_shared<std::promise<Reply>>();
+      result = promise->get_future().share();
+      inflightReplies.emplace(key, result);
+    }
+    // Enqueue strictly outside the lock: with threads == 1 (or from inside a
+    // pool task) the job runs inline before enqueue() returns, and it takes
+    // the same mutex.  The job must not throw (enqueue contract).
+    pool.enqueue([this, &cache, key, promise, compute = std::move(compute)] {
+      try {
+        V value = compute();
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          cache.put(key, value);
+          inflightReplies.erase(key);
+        }
+        promise->set_value(Reply(std::move(value)));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          inflightReplies.erase(key);
+        }
+        promise->set_exception(std::current_exception());
+      }
+    });
+    return Future<Reply>(std::move(result));
   }
 
   // --- keys ---------------------------------------------------------------
@@ -215,7 +284,7 @@ struct Engine::Impl {
         .sig(layoutSignature(layout))
         .i64(n)
         .u64(timeSteps)
-        .f64(options.sampleRate);
+        .f64(config.sampleRate);
     return h.take();
   }
 
@@ -229,6 +298,21 @@ struct Engine::Impl {
     for (const ArrayDecl& a : p.arrays) h.str(a.name);
     forEachLoop(p, [&](const Loop& l, int) { h.str(l.var); });
     h.i64(o.minN);
+    return h.take();
+  }
+
+  static Signature multicoreKey(const Program& p, const DataLayout& layout,
+                                std::int64_t n, std::uint64_t timeSteps,
+                                const CacheTopology& topo,
+                                const MulticoreCostModel& cost) {
+    SigHasher h;
+    h.u64(kMulticoreDomain)
+        .sig(programSignature(p))
+        .sig(layoutSignature(layout))
+        .i64(n)
+        .u64(timeSteps)
+        .sig(topologySignature(topo))
+        .sig(multicoreCostSignature(cost));
     return h.take();
   }
 
@@ -331,6 +415,24 @@ struct Engine::Impl {
     return sp;
   }
 
+  MulticoreProfile multicoreFor(const Signature& key,
+                                const ProgramVersion& version,
+                                const DataLayout& layout, std::int64_t n,
+                                std::uint64_t timeSteps,
+                                const CacheTopology& topo,
+                                const MulticoreCostModel& cost) {
+    if (std::optional<MulticoreProfile> cached =
+            loadArtifact<MulticoreProfile>(
+                store::ArtifactKind::MulticoreProfile, key,
+                store::decodeMulticoreProfile))
+      return *cached;
+    MulticoreProfile mp =
+        computeMulticore(version, layout, n, timeSteps, topo, cost);
+    saveArtifact(store::ArtifactKind::MulticoreProfile, key,
+                 store::encodeMulticoreProfile(mp));
+    return mp;
+  }
+
   /// Run a compiled plan through the selected engine: the native tier when
   /// one is attached (it falls back to executePlan internally on any
   /// failure), the plan interpreter otherwise.  Bit-identical either way.
@@ -373,94 +475,125 @@ struct Engine::Impl {
   ReuseProfile computeProfile(const ProgramVersion& version,
                               const DataLayout& layout, std::int64_t n,
                               std::uint64_t timeSteps) {
-    MeasureOptions mo;
-    mo.sampleRate = options.sampleRate;
-    if (forceWalk) return reuseProfileOf(version, n, timeSteps, mo);
+    if (forceWalk)
+      return reuseProfileOf(version, n, timeSteps, config.sampleRate);
     std::shared_ptr<const CachedPlan> plan =
         planFor(version.program, layout, n, timeSteps);
-    if (!plan->compiled.ok()) return reuseProfileOf(version, n, timeSteps, mo);
+    if (!plan->compiled.ok())
+      return reuseProfileOf(version, n, timeSteps, config.sampleRate);
     const std::uint64_t expectedRefs =
         estimateDynamicRefs(plan->program, n, timeSteps);
     const std::uint64_t dataBytes =
         static_cast<std::uint64_t>(plan->layout.totalBytes());
-    if (options.sampleRate >= 1.0) {
+    if (config.sampleRate >= 1.0) {
       ReuseDistanceSink sink(8);
       sink.reserve(expectedRefs, dataBytes);
       runPlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
       return sink.takeProfile();
     }
-    SampledReuseSink sink(8, options.sampleRate);
+    SampledReuseSink sink(8, config.sampleRate);
     sink.reserve(expectedRefs, dataBytes);
     runPlan(*plan->compiled.plan, {.n = n, .timeSteps = timeSteps}, &sink);
     return sink.takeProfile();
   }
 
-  // --- async job bodies (enqueue contract: must not throw) ----------------
-
-  void fulfillSymbolic(const SymbolicProfileRequest& req, const Signature& key,
-                       std::promise<SymbolicReuseProfile>& promise) {
-    try {
-      SymbolicReuseProfile sp = symbolicFor(key, req.program, req.options);
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        symbolics.put(key, sp);
-        inflightSymbolics.erase(key);
-      }
-      promise.set_value(std::move(sp));
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        inflightSymbolics.erase(key);
-      }
-      promise.set_exception(std::current_exception());
-    }
+  MulticoreProfile computeMulticore(const ProgramVersion& version,
+                                    const DataLayout& layout, std::int64_t n,
+                                    std::uint64_t timeSteps,
+                                    const CacheTopology& topo,
+                                    const MulticoreCostModel& cost) {
+    // The schedule slicer works on compiled plans only: slicing needs the
+    // plan's flat loop structure, and the walker has no equivalent.  Every
+    // registry app qualifies; a declined program is a hard error rather
+    // than a silently serial fallback.
+    std::shared_ptr<const CachedPlan> plan =
+        planFor(version.program, layout, n, timeSteps);
+    GCR_CHECK(plan->compiled.ok(),
+              "multicore analysis requires the plan engine: " +
+                  plan->compiled.reason);
+    // From an async job this runs on a pool thread, so the nested
+    // parallelFor inside analyzeMulticore runs its per-core simulations
+    // inline — correct either way (results are thread-count independent).
+    return analyzeMulticore(*plan->compiled.plan, topo, cost, &pool);
   }
 
-  void fulfillMeasurement(const MeasureTask& t, const DataLayout& layout,
-                          const Signature& key,
-                          std::promise<Measurement>& promise) {
-    try {
-      Measurement m = measurementFor(key, t.version, layout, t.n, t.timeSteps,
-                                     t.machine, t.cost);
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        measurements.put(key, m);
-        inflightMeasurements.erase(key);
+  // --- submit() alternatives ----------------------------------------------
+
+  Future<Reply> submitOne(PipelineRequest request) {
+    auto reqPtr = std::make_shared<PipelineRequest>(std::move(request));
+    auto promise = std::make_shared<std::promise<Reply>>();
+    std::shared_future<Reply> result = promise->get_future().share();
+    // Pipeline runs are cheap relative to simulations, and the reply needs
+    // its own PipelineResult copy anyway (the type is move-only and the
+    // cache keeps the original); pipelineFor() still dedupes and memoizes.
+    pool.enqueue([this, reqPtr, promise] {
+      try {
+        promise->set_value(
+            Reply(pipelineFor(reqPtr->program, reqPtr->options)->clone()));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
       }
-      promise.set_value(std::move(m));
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        inflightMeasurements.erase(key);
-      }
-      promise.set_exception(std::current_exception());
-    }
+    });
+    return Future<Reply>(std::move(result));
   }
 
-  void fulfillProfile(const ReuseTask& t, const DataLayout& layout,
-                      const Signature& key,
-                      std::promise<ReuseProfile>& promise) {
-    try {
-      ReuseProfile p = profileFor(key, t.version, layout, t.n, t.timeSteps);
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        profiles.put(key, p);
-        inflightProfiles.erase(key);
-      }
-      promise.set_value(std::move(p));
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        inflightProfiles.erase(key);
-      }
-      promise.set_exception(std::current_exception());
-    }
+  Future<Reply> submitOne(MeasureTask task) {
+    DataLayout layout = task.version.layoutAt(task.n);
+    const Signature key =
+        measurementKey(task.version.program, layout, task.n, task.timeSteps,
+                       task.machine, task.cost);
+    auto taskPtr = std::make_shared<MeasureTask>(std::move(task));
+    auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
+    return asyncArtifact(measurements, key, [this, taskPtr, layoutPtr, key] {
+      return measurementFor(key, taskPtr->version, *layoutPtr, taskPtr->n,
+                            taskPtr->timeSteps, taskPtr->machine,
+                            taskPtr->cost);
+    });
+  }
+
+  Future<Reply> submitOne(ReuseTask task) {
+    DataLayout layout = task.version.layoutAt(task.n);
+    const Signature key =
+        profileKey(task.version.program, layout, task.n, task.timeSteps);
+    auto taskPtr = std::make_shared<ReuseTask>(std::move(task));
+    auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
+    return asyncArtifact(profiles, key, [this, taskPtr, layoutPtr, key] {
+      return profileFor(key, taskPtr->version, *layoutPtr, taskPtr->n,
+                        taskPtr->timeSteps);
+    });
+  }
+
+  Future<Reply> submitOne(SymbolicProfileRequest request) {
+    const Signature key = symbolicKey(request.program, request.options);
+    auto reqPtr = std::make_shared<SymbolicProfileRequest>(std::move(request));
+    return asyncArtifact(symbolics, key, [this, reqPtr, key] {
+      return symbolicFor(key, reqPtr->program, reqPtr->options);
+    });
+  }
+
+  Future<Reply> submitOne(MulticoreTask task) {
+    DataLayout layout = task.version.layoutAt(task.n);
+    const Signature key =
+        multicoreKey(task.version.program, layout, task.n, task.timeSteps,
+                     task.topology, task.cost);
+    auto taskPtr = std::make_shared<MulticoreTask>(std::move(task));
+    auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
+    return asyncArtifact(multicores, key, [this, taskPtr, layoutPtr, key] {
+      return computeOrLoadMulticore(key, *taskPtr, *layoutPtr);
+    });
+  }
+
+  MulticoreProfile computeOrLoadMulticore(const Signature& key,
+                                          const MulticoreTask& t,
+                                          const DataLayout& layout) {
+    return multicoreFor(key, t.version, layout, t.n, t.timeSteps, t.topology,
+                        t.cost);
   }
 };
 
-Engine::Engine() : Engine(Options()) {}
+Engine::Engine() : Engine(EngineConfig()) {}
 
-Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
+Engine::Engine(EngineConfig config) : impl_(std::make_unique<Impl>(config)) {}
 
 Engine::~Engine() = default;
 
@@ -480,11 +613,10 @@ Measurement Engine::measure(const ProgramVersion& version, std::int64_t n,
   const DataLayout layout = version.layoutAt(n);
   const Signature key = Impl::measurementKey(version.program, layout, n,
                                              timeSteps, machine, cost);
-  return impl_->getOrCompute(
-      impl_->measurements, impl_->inflightMeasurements, key, [&] {
-        return impl_->measurementFor(key, version, layout, n, timeSteps,
-                                     machine, cost);
-      });
+  return impl_->syncArtifact(impl_->measurements, key, [&] {
+    return impl_->measurementFor(key, version, layout, n, timeSteps, machine,
+                                 cost);
+  });
 }
 
 ReuseProfile Engine::reuseProfile(const ProgramVersion& version,
@@ -492,148 +624,65 @@ ReuseProfile Engine::reuseProfile(const ProgramVersion& version,
   const DataLayout layout = version.layoutAt(n);
   const Signature key =
       impl_->profileKey(version.program, layout, n, timeSteps);
-  return impl_->getOrCompute(
-      impl_->profiles, impl_->inflightProfiles, key, [&] {
-        return impl_->profileFor(key, version, layout, n, timeSteps);
-      });
+  return impl_->syncArtifact(impl_->profiles, key, [&] {
+    return impl_->profileFor(key, version, layout, n, timeSteps);
+  });
 }
 
 SymbolicReuseProfile Engine::symbolicProfile(const Program& p,
                                              const SymbolicReuseOptions& opts) {
   const Signature key = Impl::symbolicKey(p, opts);
-  return impl_->getOrCompute(
-      impl_->symbolics, impl_->inflightSymbolics, key,
-      [&] { return impl_->symbolicFor(key, p, opts); });
+  return impl_->syncArtifact(impl_->symbolics, key,
+                             [&] { return impl_->symbolicFor(key, p, opts); });
 }
 
-Future<Measurement> Engine::submit(MeasureTask task) {
-  Impl& impl = *impl_;
-  DataLayout layout = task.version.layoutAt(task.n);
-  const Signature key = Impl::measurementKey(
-      task.version.program, layout, task.n, task.timeSteps, task.machine,
-      task.cost);
-  std::shared_ptr<std::promise<Measurement>> promise;
-  std::shared_future<Measurement> result;
-  {
-    std::unique_lock<std::mutex> lock(impl.mutex);
-    if (const Measurement* hit = impl.measurements.get(key))
-      return makeReadyFuture(*hit);
-    auto it = impl.inflightMeasurements.find(key);
-    if (it != impl.inflightMeasurements.end()) {
-      ++impl.inflightCoalesced;
-      return Future<Measurement>(it->second);
-    }
-    promise = std::make_shared<std::promise<Measurement>>();
-    result = promise->get_future().share();
-    impl.inflightMeasurements.emplace(key, result);
-  }
-  // Enqueue strictly outside the lock: with threads == 1 (or from inside a
-  // pool task) the job runs inline before enqueue() returns, and it takes
-  // the same mutex.
-  auto taskPtr = std::make_shared<MeasureTask>(std::move(task));
-  auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
-  impl.pool.enqueue([&impl, taskPtr, layoutPtr, promise, key] {
-    impl.fulfillMeasurement(*taskPtr, *layoutPtr, key, *promise);
+MulticoreProfile Engine::multicoreProfile(const ProgramVersion& version,
+                                          std::int64_t n,
+                                          const CacheTopology& topology,
+                                          std::uint64_t timeSteps,
+                                          const MulticoreCostModel& cost) {
+  const DataLayout layout = version.layoutAt(n);
+  const Signature key = Impl::multicoreKey(version.program, layout, n,
+                                           timeSteps, topology, cost);
+  return impl_->syncArtifact(impl_->multicores, key, [&] {
+    return impl_->multicoreFor(key, version, layout, n, timeSteps, topology,
+                               cost);
   });
-  return Future<Measurement>(std::move(result));
 }
 
-Future<ReuseProfile> Engine::submit(ReuseTask task) {
+Future<Reply> Engine::submit(Request request) {
   Impl& impl = *impl_;
-  DataLayout layout = task.version.layoutAt(task.n);
-  const Signature key =
-      impl.profileKey(task.version.program, layout, task.n, task.timeSteps);
-  std::shared_ptr<std::promise<ReuseProfile>> promise;
-  std::shared_future<ReuseProfile> result;
-  {
-    std::unique_lock<std::mutex> lock(impl.mutex);
-    if (const ReuseProfile* hit = impl.profiles.get(key))
-      return makeReadyFuture(*hit);
-    auto it = impl.inflightProfiles.find(key);
-    if (it != impl.inflightProfiles.end()) {
-      ++impl.inflightCoalesced;
-      return Future<ReuseProfile>(it->second);
-    }
-    promise = std::make_shared<std::promise<ReuseProfile>>();
-    result = promise->get_future().share();
-    impl.inflightProfiles.emplace(key, result);
-  }
-  auto taskPtr = std::make_shared<ReuseTask>(std::move(task));
-  auto layoutPtr = std::make_shared<DataLayout>(std::move(layout));
-  impl.pool.enqueue([&impl, taskPtr, layoutPtr, promise, key] {
-    impl.fulfillProfile(*taskPtr, *layoutPtr, key, *promise);
-  });
-  return Future<ReuseProfile>(std::move(result));
-}
-
-Future<PipelineResult> Engine::submit(PipelineRequest request) {
-  Impl& impl = *impl_;
-  auto reqPtr = std::make_shared<PipelineRequest>(std::move(request));
-  auto promise = std::make_shared<std::promise<PipelineResult>>();
-  std::shared_future<PipelineResult> result = promise->get_future().share();
-  // Pipeline runs are cheap relative to simulations, and the future needs
-  // its own PipelineResult copy anyway (the type is move-only and the cache
-  // keeps the original); pipelineFor() still dedupes and memoizes.
-  impl.pool.enqueue([&impl, reqPtr, promise] {
-    try {
-      promise->set_value(
-          impl.pipelineFor(reqPtr->program, reqPtr->options)->clone());
-    } catch (...) {
-      promise->set_exception(std::current_exception());
-    }
-  });
-  return Future<PipelineResult>(std::move(result));
-}
-
-Future<SymbolicReuseProfile> Engine::submit(SymbolicProfileRequest request) {
-  Impl& impl = *impl_;
-  const Signature key = Impl::symbolicKey(request.program, request.options);
-  std::shared_ptr<std::promise<SymbolicReuseProfile>> promise;
-  std::shared_future<SymbolicReuseProfile> result;
-  {
-    std::unique_lock<std::mutex> lock(impl.mutex);
-    if (const SymbolicReuseProfile* hit = impl.symbolics.get(key))
-      return makeReadyFuture(*hit);
-    auto it = impl.inflightSymbolics.find(key);
-    if (it != impl.inflightSymbolics.end()) {
-      ++impl.inflightCoalesced;
-      return Future<SymbolicReuseProfile>(it->second);
-    }
-    promise = std::make_shared<std::promise<SymbolicReuseProfile>>();
-    result = promise->get_future().share();
-    impl.inflightSymbolics.emplace(key, result);
-  }
-  auto reqPtr = std::make_shared<SymbolicProfileRequest>(std::move(request));
-  impl.pool.enqueue([&impl, reqPtr, promise, key] {
-    impl.fulfillSymbolic(*reqPtr, key, *promise);
-  });
-  return Future<SymbolicReuseProfile>(std::move(result));
+  return std::visit(
+      [&impl](auto&& alternative) {
+        return impl.submitOne(std::move(alternative));
+      },
+      std::move(request));
 }
 
 std::vector<Measurement> Engine::measureAll(
     const std::vector<MeasureTask>& tasks) {
-  std::vector<Future<Measurement>> futures;
+  std::vector<Future<Reply>> futures;
   futures.reserve(tasks.size());
   for (const MeasureTask& t : tasks)
-    futures.push_back(
-        submit(MeasureTask{t.version.clone(), t.n, t.machine, t.timeSteps,
-                           t.cost}));
+    futures.push_back(submit(MeasureTask{t.version.clone(), t.n, t.machine,
+                                         t.timeSteps, t.cost}));
   std::vector<Measurement> out;
   out.reserve(tasks.size());
-  for (const Future<Measurement>& f : futures) out.push_back(f.get());
+  for (const Future<Reply>& f : futures)
+    out.push_back(replyAs<Measurement>(f.get()));
   return out;
 }
 
 std::vector<ReuseProfile> Engine::reuseProfilesOf(
     const std::vector<ReuseTask>& tasks) {
-  std::vector<Future<ReuseProfile>> futures;
+  std::vector<Future<Reply>> futures;
   futures.reserve(tasks.size());
   for (const ReuseTask& t : tasks)
-    futures.push_back(
-        submit(ReuseTask{t.version.clone(), t.n, t.timeSteps}));
+    futures.push_back(submit(ReuseTask{t.version.clone(), t.n, t.timeSteps}));
   std::vector<ReuseProfile> out;
   out.reserve(tasks.size());
-  for (const Future<ReuseProfile>& f : futures) out.push_back(f.get());
+  for (const Future<Reply>& f : futures)
+    out.push_back(replyAs<ReuseProfile>(f.get()));
   return out;
 }
 
@@ -641,10 +690,10 @@ Engine::Stats Engine::stats() const {
   Stats s;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    s = Stats{impl_->pipelines.counters(), impl_->plans.counters(),
+    s = Stats{impl_->pipelines.counters(),    impl_->plans.counters(),
               impl_->measurements.counters(), impl_->profiles.counters(),
-              impl_->symbolics.counters(), impl_->inflightCoalesced,
-              store::StoreCounters{}};
+              impl_->symbolics.counters(),    impl_->multicores.counters(),
+              impl_->inflightCoalesced,       store::StoreCounters{}};
   }
   // The store and native runtime have their own locks; never hold both.
   if (impl_->diskStore) s.store = impl_->diskStore->counters();
@@ -668,6 +717,7 @@ void Engine::clearCaches() {
   impl_->measurements.clear();
   impl_->profiles.clear();
   impl_->symbolics.clear();
+  impl_->multicores.clear();
 }
 
 }  // namespace gcr

@@ -12,37 +12,46 @@
 //        measurement   (program, layout, n, timeSteps,
 //                       machine, cost)                       → Measurement
 //        reuse profile (program, layout, n, timeSteps, rate) → ReuseProfile
+//        multicore     (program, layout, n, timeSteps,
+//                       topology, cost)                      → MulticoreProfile
 //      Each cache is LRU-bounded with hit/miss/eviction counters (stats()).
 //      Cached results are returned verbatim, so a warm lookup is
 //      byte-identical to the cold computation that populated it — enforced
 //      by tests, and the basis of the cache-amortized sweep speedups
 //      reported in EXPERIMENTS.md.
 //
-//   2. An async batch scheduler.  submit() returns immediately with a
-//      Future; the work runs on the session's thread pool.  Identical
-//      in-flight work is deduplicated (two submissions of the same
-//      signature share one computation), and each task resolves its
-//      dependencies through the caches stage by stage — pipeline, then
-//      compiled plan, then simulation — so a sweep over sizes and machines
-//      compiles each plan once and runs each distinct simulation once.
-//      measureAll()/reuseProfilesOf() keep PR 1's slot-per-task contract:
-//      result i belongs to tasks[i], bit-identical for any GCR_THREADS.
+//   2. An async batch scheduler behind ONE entry point: submit(Request)
+//      returns immediately with a Future<Reply>; the work runs on the
+//      session's thread pool.  Request is the tagged variant of every work
+//      kind (engine/request.hpp) — its tag doubles as the store's
+//      ArtifactKind and the server's wire message kind, so adding an
+//      artifact extends one enum, not three APIs.  Identical in-flight work
+//      is deduplicated across the async and synchronous paths (two
+//      submissions of the same signature share one computation), and each
+//      task resolves its dependencies through the caches stage by stage —
+//      pipeline, then compiled plan, then simulation — so a sweep over
+//      sizes and machines compiles each plan once and runs each distinct
+//      simulation once.  measureAll()/reuseProfilesOf() keep PR 1's
+//      slot-per-task contract: result i belongs to tasks[i], bit-identical
+//      for any GCR_THREADS.
 //
 // Determinism: simulated fields never depend on thread count, submission
 // order, or cache state; only the wall-clock observability fields
-// (Measurement::wallSeconds/accessesPerSecond) vary run to run, and a cache
-// hit reproduces even those verbatim from the original computation.
+// (Measurement::wallSeconds/accessesPerSecond, MulticoreProfile::
+// wallSeconds) vary run to run, and a cache hit reproduces even those
+// verbatim from the original computation.
 //
-// GCR_ENGINE (read at Engine construction) selects the execution engine:
-// "walk" bypasses the plan cache entirely and routes measurement through
-// the tree-walking oracle, exactly as the free-standing measure() does;
-// "native" attaches a NativeRuntime (codegen/native_exec.hpp) that lowers
-// each compiled plan to a shared object — cached in the persistent store
-// under the plan's structural signature — and dispatches trace generation
-// through it, falling back to the plan interpreter on any failure.  All
-// engines produce bit-identical simulated fields.
+// Configuration is one record, EngineConfig (engine/config.hpp), with one
+// environment-precedence rule: explicit field > GCR_* variable > default.
+// The resolved engine ("walk" bypasses the plan cache and routes
+// measurement through the tree-walking oracle; "native" attaches a
+// NativeRuntime (codegen/native_exec.hpp) that lowers each compiled plan to
+// a shared object — cached in the persistent store under the plan's
+// structural signature — and dispatches trace generation through it,
+// falling back to the plan interpreter on any failure) is fixed at Engine
+// construction.  All engines produce bit-identical simulated fields.
 //
-// Persistent disk tier: with Options::cacheDir (or the GCR_CACHE_DIR
+// Persistent disk tier: with EngineConfig::cacheDir (or the GCR_CACHE_DIR
 // environment variable) set, the in-memory caches are backed by an on-disk
 // content-addressed artifact store (store/store.hpp).  A miss in memory
 // consults the disk before computing; a fresh computation is published to
@@ -57,65 +66,26 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
-#include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
-#include "analysis/symbolic_reuse.hpp"
 #include "codegen/native_exec.hpp"
-#include "driver/measure.hpp"
-#include "driver/pipeline.hpp"
+#include "engine/config.hpp"
 #include "engine/future.hpp"
 #include "engine/lru_cache.hpp"
+#include "engine/request.hpp"
 #include "engine/signature.hpp"
 #include "store/store.hpp"
 
 namespace gcr {
 
-/// An asynchronous pipeline run: the program to optimize plus the pass
-/// configuration (Program is move-only; clone() into the request).
-struct PipelineRequest {
-  Program program;
-  PipelineOptions options;
-};
-
-/// An asynchronous symbolic reuse analysis (analysis/symbolic_reuse.hpp).
-/// The result is size-independent, so one cached profile answers every
-/// problem size of the program — sweeps re-evaluate formulas, not traces.
-struct SymbolicProfileRequest {
-  Program program;
-  SymbolicReuseOptions options;
-};
-
 class Engine {
  public:
-  struct Options {
-    /// Per-cache entry bounds; 0 disables that cache.
-    std::size_t pipelineCacheCapacity = 64;
-    std::size_t planCacheCapacity = 64;
-    std::size_t measurementCacheCapacity = 512;
-    std::size_t profileCacheCapacity = 128;
-    std::size_t symbolicCacheCapacity = 64;
-    /// Thread-pool size for submit()/batch APIs (including the calling
-    /// thread).  0 selects GCR_THREADS / hardware_concurrency; 1 runs every
-    /// submission inline (the determinism baseline).
-    int threads = 0;
-    /// Reuse-distance sampling rate, as MeasureOptions::sampleRate.
-    double sampleRate = 1.0;
-    /// Directory of the persistent artifact store (the disk cache tier).
-    /// nullopt (default) defers to the GCR_CACHE_DIR environment variable;
-    /// an empty string disables the disk tier even when the variable is
-    /// set.  The directory is created on demand; if it cannot be opened the
-    /// Engine silently runs memory-only.
-    std::optional<std::string> cacheDir;
-    /// fsync artifacts during publication (crash durability).  Disable only
-    /// for throwaway store directories; publication stays atomic.
-    bool storeFsync = true;
-    /// Disk-store size budget in bytes (0 = unbounded); oldest entries are
-    /// evicted after a publication pushes the store past the budget.
-    std::uint64_t storeMaxBytes = 0;
-  };
+  /// Historical name of the configuration record; see engine/config.hpp.
+  using Options = EngineConfig;
 
   /// Aggregated cache observability; see LruCache::counters().
   struct Stats {
@@ -124,17 +94,18 @@ class Engine {
     CacheCounters measurement;
     CacheCounters profile;
     CacheCounters symbolic;
+    CacheCounters multicore;
     /// Submissions that attached to an identical in-flight computation
     /// instead of starting their own (in-flight deduplication).
     std::uint64_t inflightCoalesced = 0;
     /// Disk-tier counters (all zero when no persistent store is attached).
     store::StoreCounters store;
-    /// Native-tier counters (all zero unless GCR_ENGINE=native).
+    /// Native-tier counters (all zero unless the native engine is selected).
     NativeCounters native;
   };
 
   Engine();
-  explicit Engine(Options opts);
+  explicit Engine(EngineConfig config);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -169,25 +140,30 @@ class Engine {
   SymbolicReuseProfile symbolicProfile(const Program& p,
                                        const SymbolicReuseOptions& opts = {});
 
+  /// Memoized analyzeMulticore(): per-core private L1/L2 simulation (run
+  /// concurrently on the session pool) plus the composed shared-LLC
+  /// prediction for `version` at size n under `topology`'s static schedule.
+  /// Persisted as ArtifactKind::MulticoreProfile.  Throws when the plan
+  /// compiler declines the program (every shipped app qualifies).
+  MulticoreProfile multicoreProfile(const ProgramVersion& version,
+                                    std::int64_t n,
+                                    const CacheTopology& topology,
+                                    std::uint64_t timeSteps = 1,
+                                    const MulticoreCostModel& cost = {});
+
   // --- Async batch scheduler ----------------------------------------------
 
-  /// Schedule one simulation; returns immediately.  A duplicate of a cached
-  /// result resolves instantly; a duplicate of an in-flight submission
-  /// shares its computation.
-  Future<Measurement> submit(MeasureTask task);
-
-  /// Schedule one reuse-distance profile.
-  Future<ReuseProfile> submit(ReuseTask task);
-
-  /// Schedule one pipeline run.
-  Future<PipelineResult> submit(PipelineRequest request);
-
-  /// Schedule one symbolic reuse analysis.
-  Future<SymbolicReuseProfile> submit(SymbolicProfileRequest request);
+  /// Schedule one unit of work; returns immediately.  The single submission
+  /// entry point: every work kind is one alternative of Request
+  /// (engine/request.hpp), and the reply holds the same-index alternative —
+  /// read it with replyAs<T>().  A duplicate of a cached result resolves
+  /// instantly; a duplicate of an in-flight submission (async or
+  /// synchronous) shares its computation.
+  Future<Reply> submit(Request request);
 
   /// Batch measure with slot-per-task determinism: result i belongs to
-  /// tasks[i] for any thread count.  Drop-in for the deprecated free
-  /// measureAll(), plus memoization and in-flight deduplication.
+  /// tasks[i] for any thread count; adds memoization and in-flight
+  /// deduplication over detail::measureAllUncached().
   std::vector<Measurement> measureAll(const std::vector<MeasureTask>& tasks);
 
   /// Batch reuse profiling, same contract.
@@ -216,5 +192,47 @@ class Engine {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+namespace detail {
+
+/// Adapt a Future<Reply> to the typed future the pre-redesign submit()
+/// overloads returned.  Lazy (deferred): the copy/clone out of the shared
+/// reply happens on first get().
+template <typename T>
+Future<T> typedFuture(Future<Reply> f) {
+  return Future<T>(std::async(std::launch::deferred, [f = std::move(f)] {
+                     if constexpr (std::is_same_v<T, PipelineResult>)
+                       return replyAs<T>(f.get()).clone();
+                     else
+                       return T(replyAs<T>(f.get()));
+                   }).share());
+}
+
+}  // namespace detail
+
+// --- Deprecated pre-redesign typed submit API ------------------------------
+// Migration: engine.submit(Request(std::move(task))) and
+// replyAs<T>(future.get()); see engine/request.hpp.
+
+[[deprecated("use Engine::submit(Request) + replyAs<Measurement>()")]] inline Future<Measurement>
+submitMeasure(Engine& engine, MeasureTask task) {
+  return detail::typedFuture<Measurement>(engine.submit(std::move(task)));
+}
+
+[[deprecated("use Engine::submit(Request) + replyAs<ReuseProfile>()")]] inline Future<ReuseProfile>
+submitReuse(Engine& engine, ReuseTask task) {
+  return detail::typedFuture<ReuseProfile>(engine.submit(std::move(task)));
+}
+
+[[deprecated("use Engine::submit(Request) + replyAs<PipelineResult>()")]] inline Future<PipelineResult>
+submitPipeline(Engine& engine, PipelineRequest request) {
+  return detail::typedFuture<PipelineResult>(engine.submit(std::move(request)));
+}
+
+[[deprecated("use Engine::submit(Request) + replyAs<SymbolicReuseProfile>()")]] inline Future<SymbolicReuseProfile>
+submitSymbolic(Engine& engine, SymbolicProfileRequest request) {
+  return detail::typedFuture<SymbolicReuseProfile>(
+      engine.submit(std::move(request)));
+}
 
 }  // namespace gcr

@@ -184,6 +184,23 @@ Signature costSignature(const CostModel& cost) {
   return h.take();
 }
 
+Signature topologySignature(const CacheTopology& topo) {
+  SigHasher h;
+  h.i64(topo.cores);
+  hashCacheConfig(h, topo.l1);
+  hashCacheConfig(h, topo.l2);
+  hashCacheConfig(h, topo.llc);
+  h.u64(static_cast<std::uint64_t>(topo.schedule));
+  return h.take();
+}
+
+Signature multicoreCostSignature(const MulticoreCostModel& cost) {
+  SigHasher h;
+  h.f64(cost.refCost).f64(cost.l2HitCost).f64(cost.llcHitCost).f64(
+      cost.memoryCost);
+  return h.take();
+}
+
 Signature combineSignatures(std::initializer_list<Signature> parts) {
   SigHasher h;
   for (const Signature& s : parts) h.sig(s);

@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "cachesim/hierarchy.hpp"
+#include "cachesim/topology.hpp"
 #include "driver/pipeline.hpp"
 #include "interp/layout.hpp"
 #include "ir/ir.hpp"
@@ -89,6 +90,13 @@ Signature machineSignature(const MachineConfig& machine);
 
 /// Signature of the latency cost model.
 Signature costSignature(const CostModel& cost);
+
+/// Signature of a multicore cache topology (core count, private/shared
+/// geometry, parallel schedule; the name is presentation only).
+Signature topologySignature(const CacheTopology& topo);
+
+/// Signature of the multicore latency model.
+Signature multicoreCostSignature(const MulticoreCostModel& cost);
 
 /// Order-dependent composition of component signatures.
 Signature combineSignatures(std::initializer_list<Signature> parts);

@@ -28,6 +28,7 @@
 #include "apps/registry.hpp"
 #include "cachesim/cache.hpp"
 #include "cachesim/hierarchy.hpp"
+#include "cachesim/topology.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
 #include "engine/engine.hpp"
@@ -47,7 +48,10 @@
 #include "ir/print.hpp"
 #include "ir/stats.hpp"
 #include "ir/validate.hpp"
+#include "interp/plan.hpp"
+#include "interp/schedule.hpp"
 #include "locality/evadable.hpp"
+#include "locality/multicore.hpp"
 #include "locality/reuse_distance.hpp"
 #include "regroup/regroup.hpp"
 #include "reuse_driven/reuse_driven.hpp"

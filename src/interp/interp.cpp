@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "interp/plan.hpp"
+#include "support/env.hpp"
 #include "support/prng.hpp"
 
 namespace gcr {
@@ -127,21 +128,21 @@ class Executor {
 // GCR_ENGINE environment override, consulted only when opts.engine is Auto:
 // "walk"/"tree" forces the tree walker, "plan" requires the plan engine,
 // "native" selects the codegen tier where one is attached (gcr::Engine) and
-// behaves like Auto here.
+// behaves like Auto here.  Cached once per process: execute() is on the hot
+// measurement path and the answer must not change mid-run.
 ExecEngine envEngine() {
-  static const ExecEngine cached = [] {
-    const char* env = std::getenv("GCR_ENGINE");
-    if (env == nullptr) return ExecEngine::Auto;
-    const std::string v(env);
-    if (v == "walk" || v == "tree") return ExecEngine::TreeWalk;
-    if (v == "plan") return ExecEngine::Plan;
-    if (v == "native") return ExecEngine::Native;
-    return ExecEngine::Auto;
-  }();
+  static const ExecEngine cached = execEngineFromToken(env::engineToken());
   return cached;
 }
 
 }  // namespace
+
+ExecEngine execEngineFromToken(const std::string& token) {
+  if (token == "walk" || token == "tree") return ExecEngine::TreeWalk;
+  if (token == "plan") return ExecEngine::Plan;
+  if (token == "native") return ExecEngine::Native;
+  return ExecEngine::Auto;
+}
 
 // Initial contents are a function of (array, logical index) — never of the
 // address — so executions under different layouts start from the same

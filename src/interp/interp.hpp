@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "interp/layout.hpp"
@@ -33,6 +34,13 @@ namespace gcr {
 /// execute() entry point treats Native like Auto (the interp layer stays
 /// independent of the codegen layer, which links against it).
 enum class ExecEngine { Auto, TreeWalk, Plan, Native };
+
+/// Map a GCR_ENGINE token to an engine: "walk"/"tree" force the oracle,
+/// "plan" requires the plan engine, "native" selects the codegen tier where
+/// one is attached.  Anything else (including "") is Auto.  The single place
+/// the token syntax is defined; callers obtain the raw token from
+/// gcr::env::engineToken() (support/env.hpp).
+ExecEngine execEngineFromToken(const std::string& token);
 
 struct ExecOptions {
   std::int64_t n = 16;           ///< problem size (value of the parameter N)

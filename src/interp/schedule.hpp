@@ -1,0 +1,62 @@
+// Schedule-aware replay of compiled access plans: the address streams a
+// static parallel schedule assigns to each core.
+//
+// Parallelization model (the OpenMP shared-cache reuse-distance setting, see
+// DESIGN.md §10): every *top-level* loop of the program is a parallel loop —
+// its iterations are distributed over `cores` worker cores by a static
+// schedule, and an implicit barrier separates consecutive top-level loops
+// (and time steps).  Inner loops always run whole on whichever core owns the
+// enclosing top-level iteration; bare top-level statements run on core 0.
+//
+// Two static schedules, matching `schedule(static)` semantics:
+//   * Block  — the iteration sequence (in execution order, so a reversed
+//     loop distributes its reversed order) splits into `cores` contiguous
+//     chunks; the first (trips mod cores) chunks take the extra iteration.
+//   * Cyclic — position p of the sequence goes to core (p mod cores).
+//
+// Replay is address-only: a statement instance's addresses are affine in the
+// iteration variables and never depend on memory contents, so a core's
+// sub-stream is exactly computable without value semantics.  The emitted
+// stream preserves the serial plan order restricted to the slice —
+// replaySlice with cores == 1 reproduces executePlan's sink stream
+// instruction for instruction (pinned by tests/interp/schedule_test.cpp).
+//
+// replayInterleaved() is the exact-trace referee for the shared-LLC model:
+// it materializes every core's sub-stream of a parallel region and merges
+// them round-robin at statement-instance granularity (core 0 first), with
+// barriers between regions.  O(region footprint) memory — intended for the
+// small-n referee, not for full-size runs.
+#pragma once
+
+#include <string>
+
+#include "interp/plan.hpp"
+
+namespace gcr {
+
+/// Static distribution of a parallel loop's iterations over cores.
+enum class ParallelSchedule { Block, Cyclic };
+
+const char* parallelScheduleName(ParallelSchedule s);
+
+/// One core's share of a static parallel execution.
+struct ScheduleSlice {
+  int cores = 1;                                      ///< total worker cores
+  int core = 0;                                       ///< this core, [0, cores)
+  ParallelSchedule schedule = ParallelSchedule::Block;
+};
+
+/// Emit core `slice.core`'s address stream of the plan under the static
+/// schedule, in serial plan order restricted to the slice.  Delivery is
+/// batched through InstrSink::onBlock like executePlan's.
+void replaySlice(const AccessPlan& plan, const ScheduleSlice& slice,
+                 InstrSink* sink);
+
+/// Emit the exact interleaved `cores`-core stream: per parallel region the
+/// per-core sub-streams merge round-robin one statement instance at a time
+/// (each instance's reads and write stay adjacent), with a barrier after
+/// every region.  cores == 1 likewise reproduces the serial stream.
+void replayInterleaved(const AccessPlan& plan, int cores,
+                       ParallelSchedule schedule, InstrSink* sink);
+
+}  // namespace gcr

@@ -108,6 +108,12 @@ Result<ReuseProfile> Client::profile(const ProfileRequest& req) {
                                        store::decodeReuseProfile);
 }
 
+Result<MulticoreProfile> Client::multicore(const MulticoreRequest& req) {
+  return impl_->exchange<MulticoreProfile>(
+      MsgKind::Multicore, encodeMulticoreRequest(req), MsgKind::ReplyMulticore,
+      store::decodeMulticoreProfile);
+}
+
 Result<VerifyReply> Client::verify(const VerifyRequest& req) {
   return impl_->exchange<VerifyReply>(MsgKind::Verify,
                                       encodeVerifyRequest(req),

@@ -60,6 +60,9 @@ class Client {
   /// Optimize + reuse-distance profile.
   Result<ReuseProfile> profile(const ProfileRequest& req);
 
+  /// Optimize + multicore locality analysis under a CMP topology.
+  Result<MulticoreProfile> multicore(const MulticoreRequest& req);
+
   /// Static legality lint of a bundled app.
   Result<VerifyReply> verify(const VerifyRequest& req);
 

@@ -20,7 +20,9 @@ namespace {
 // Every payload codec writes a leading version word, mirroring the store
 // codecs: payload encodings can evolve independently of the frame format.
 // v2: StatsReply gained the symbolic-profile cache counters.
-constexpr std::uint32_t kCodecVersion = 2;
+// v3: MulticoreRequest added; StatsReply gained the multicore cache
+//     counters.
+constexpr std::uint32_t kCodecVersion = 3;
 
 /// Decode wrapper: version word, body, exact-length check, gcr::Error →
 /// nullopt.  The ByteReader bounds-checks every access, so arbitrary byte
@@ -102,6 +104,29 @@ std::optional<WorkSpec> getWorkSpec(ByteReader& r) {
   s.fusionLevels = static_cast<std::int32_t>(r.u32());
   s.padBytes = r.i64();
   return s;
+}
+
+void putTopology(ByteWriter& w, const CacheTopology& t) {
+  w.u32(static_cast<std::uint32_t>(t.cores));
+  w.u32(static_cast<std::uint32_t>(t.schedule));
+  putCacheConfig(w, t.l1);
+  putCacheConfig(w, t.l2);
+  putCacheConfig(w, t.llc);
+  w.str(t.name);
+}
+
+std::optional<CacheTopology> getTopology(ByteReader& r) {
+  CacheTopology t;
+  t.cores = static_cast<int>(r.u32());
+  const std::uint32_t sched = r.u32();
+  if (sched > static_cast<std::uint32_t>(ParallelSchedule::Cyclic))
+    return std::nullopt;
+  t.schedule = static_cast<ParallelSchedule>(sched);
+  t.l1 = getCacheConfig(r);
+  t.l2 = getCacheConfig(r);
+  t.llc = getCacheConfig(r);
+  t.name = r.str();
+  return t;
 }
 
 void putCacheCounters(ByteWriter& w, const CacheCounters& c) {
@@ -284,6 +309,36 @@ std::optional<ProfileRequest> decodeProfileRequest(
   }
 }
 
+std::vector<std::uint8_t> encodeMulticoreRequest(const MulticoreRequest& r) {
+  ByteWriter w;
+  w.u32(kCodecVersion);
+  putWorkSpec(w, r.spec);
+  w.i64(r.n).u64(r.timeSteps);
+  putTopology(w, r.topology);
+  return w.take();
+}
+
+std::optional<MulticoreRequest> decodeMulticoreRequest(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.u32() != kCodecVersion) return std::nullopt;
+    MulticoreRequest m;
+    std::optional<WorkSpec> spec = getWorkSpec(r);
+    if (!spec) return std::nullopt;
+    m.spec = std::move(*spec);
+    m.n = r.i64();
+    m.timeSteps = r.u64();
+    std::optional<CacheTopology> topo = getTopology(r);
+    if (!topo) return std::nullopt;
+    m.topology = std::move(*topo);
+    if (!r.atEnd()) return std::nullopt;
+    return m;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 std::vector<std::uint8_t> encodeVerifyRequest(const VerifyRequest& r) {
   ByteWriter w;
   w.u32(kCodecVersion).str(r.app).i64(r.minN);
@@ -375,6 +430,7 @@ std::vector<std::uint8_t> encodeStatsReply(const StatsReply& r) {
   putCacheCounters(w, r.engine.measurement);
   putCacheCounters(w, r.engine.profile);
   putCacheCounters(w, r.engine.symbolic);
+  putCacheCounters(w, r.engine.multicore);
   w.u64(r.engine.inflightCoalesced);
   const store::StoreCounters& s = r.engine.store;
   w.u64(s.hits).u64(s.misses).u64(s.puts).u64(s.putFailures);
@@ -413,6 +469,7 @@ std::optional<StatsReply> decodeStatsReply(
     out.engine.measurement = getCacheCounters(r);
     out.engine.profile = getCacheCounters(r);
     out.engine.symbolic = getCacheCounters(r);
+    out.engine.multicore = getCacheCounters(r);
     out.engine.inflightCoalesced = r.u64();
     store::StoreCounters& s = out.engine.store;
     s.hits = r.u64();

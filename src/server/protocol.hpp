@@ -61,6 +61,8 @@ enum class MsgKind : std::uint32_t {
   Profile = 4,   ///< optimize + reuse profile; reply carries a ReuseProfile
   Verify = 5,    ///< static legality lint; reply carries diagnostics
   Stats = 6,     ///< engine/store/native/server counters snapshot
+  Multicore = 7, ///< optimize + multicore locality analysis; reply carries
+                 ///< a MulticoreProfile (ArtifactKind::MulticoreProfile)
 
   ReplyHello = 101,
   ReplyOptimize = 102,
@@ -68,6 +70,7 @@ enum class MsgKind : std::uint32_t {
   ReplyProfile = 104,
   ReplyVerify = 105,
   ReplyStats = 106,
+  ReplyMulticore = 107,
   ReplyError = 199,
 };
 
@@ -148,6 +151,15 @@ struct VerifyRequest {
   std::int64_t minN = 16;
 };
 
+/// Optimize + multicore locality analysis under a CMP topology (private
+/// L1/L2 per core, shared LLC; see locality/multicore.hpp).
+struct MulticoreRequest {
+  WorkSpec spec;
+  std::int64_t n = 16;
+  std::uint64_t timeSteps = 1;
+  CacheTopology topology = CacheTopology::symmetric(2);
+};
+
 // Stats and Hello replies carry no request payload beyond the above.
 
 // --- reply payloads ---------------------------------------------------------
@@ -219,6 +231,10 @@ std::vector<std::uint8_t> encodeVerifyRequest(const VerifyRequest& r);
 std::optional<VerifyRequest> decodeVerifyRequest(
     std::span<const std::uint8_t> bytes);
 
+std::vector<std::uint8_t> encodeMulticoreRequest(const MulticoreRequest& r);
+std::optional<MulticoreRequest> decodeMulticoreRequest(
+    std::span<const std::uint8_t> bytes);
+
 std::vector<std::uint8_t> encodeHelloReply(const HelloReply& r);
 std::optional<HelloReply> decodeHelloReply(
     std::span<const std::uint8_t> bytes);
@@ -235,9 +251,9 @@ std::vector<std::uint8_t> encodeStatsReply(const StatsReply& r);
 std::optional<StatsReply> decodeStatsReply(
     std::span<const std::uint8_t> bytes);
 
-// Measure/Profile/Optimize replies are exactly the store codecs
+// Measure/Profile/Optimize/Multicore replies are exactly the store codecs
 // (store/codec.hpp): encodeMeasurement / encodeReuseProfile /
-// encodePipelineResult.
+// encodePipelineResult / encodeMulticoreProfile.
 
 // --- socket transport -------------------------------------------------------
 // Thin POSIX helpers shared by the server, the client library, and the

@@ -176,6 +176,26 @@ struct Server::Impl {
     return reply(fd, MsgKind::ReplyProfile, store::encodeReuseProfile(p));
   }
 
+  bool handleMulticore(int fd, std::span<const std::uint8_t> payload) {
+    const std::optional<MulticoreRequest> req =
+        decodeMulticoreRequest(payload);
+    if (!req)
+      return replyError(fd, ErrorCode::MalformedFrame,
+                        "undecodable multicore request");
+    const CacheTopology& t = req->topology;
+    if (req->n <= 0 || t.cores < 1 || t.l1.sizeBytes <= 0 ||
+        t.l1.lineSize <= 0 || t.l1.ways <= 0 || t.l2.sizeBytes <= 0 ||
+        t.l2.lineSize <= 0 || t.l2.ways <= 0 || t.llc.sizeBytes <= 0 ||
+        t.llc.lineSize <= 0 || t.llc.ways <= 0)
+      return replyError(fd, ErrorCode::BadRequest,
+                        "non-positive problem size or topology geometry");
+    const ProgramVersion v = versionFor(req->spec);
+    const MulticoreProfile mp =
+        engine.multicoreProfile(v, req->n, t, req->timeSteps);
+    return reply(fd, MsgKind::ReplyMulticore,
+                 store::encodeMulticoreProfile(mp));
+  }
+
   bool handleVerify(int fd, std::span<const std::uint8_t> payload) {
     const std::optional<VerifyRequest> req = decodeVerifyRequest(payload);
     if (!req)
@@ -236,7 +256,8 @@ struct Server::Impl {
 
     const bool isWork =
         h.kind == MsgKind::Optimize || h.kind == MsgKind::Measure ||
-        h.kind == MsgKind::Profile || h.kind == MsgKind::Verify;
+        h.kind == MsgKind::Profile || h.kind == MsgKind::Verify ||
+        h.kind == MsgKind::Multicore;
     if (!isWork)
       return replyError(fd, ErrorCode::UnknownKind, "unrecognized frame kind");
     if (draining.load())
@@ -251,6 +272,7 @@ struct Server::Impl {
         case MsgKind::Measure: return handleMeasure(fd, payload);
         case MsgKind::Profile: return handleProfile(fd, payload);
         case MsgKind::Verify: return handleVerify(fd, payload);
+        case MsgKind::Multicore: return handleMulticore(fd, payload);
         default: break;  // unreachable; isWork filtered above
       }
     } catch (const Error& e) {

@@ -16,6 +16,7 @@ constexpr std::uint32_t kProfileCodec = 1;
 constexpr std::uint32_t kPipelineCodec = 1;
 constexpr std::uint32_t kCompiledPlanCodec = 1;
 constexpr std::uint32_t kSymbolicProfileCodec = 1;
+constexpr std::uint32_t kMulticoreProfileCodec = 1;
 
 // Nesting bound for the recursive Program decoder.  Real pipelines produce
 // single-digit depths; the cap only guards the stack against a
@@ -528,6 +529,67 @@ std::optional<SymbolicReuseProfile> decodeSymbolicProfile(
           e.imprecise = r.b();
           p.perSite.push_back(std::move(e));
         }
+        return p;
+      });
+}
+
+// --- MulticoreProfile -------------------------------------------------------
+
+std::vector<std::uint8_t> encodeMulticoreProfile(const MulticoreProfile& p) {
+  ByteWriter w;
+  w.u32(kMulticoreProfileCodec);
+  w.u32(static_cast<std::uint32_t>(p.cores));
+  w.u8(static_cast<std::uint8_t>(p.schedule));
+  w.u64(p.llcCapacityLines);
+  w.u64(p.perCore.size());
+  for (const CoreCacheStats& c : p.perCore) {
+    w.u64(c.refs);
+    w.u64(c.l1Misses);
+    w.u64(c.l2Misses);
+    w.u64(c.l2Writebacks);
+    w.u64(c.lineAccesses);
+    w.u64(c.coldLines);
+  }
+  putHistogram(w, p.shared);
+  w.u64(p.sharedAccesses);
+  w.u64(p.sharedColdLines);
+  w.f64(p.llcMissFraction);
+  w.f64(p.cycles);
+  w.f64(p.wallSeconds);
+  return w.take();
+}
+
+std::optional<MulticoreProfile> decodeMulticoreProfile(
+    std::span<const std::uint8_t> bytes) {
+  return decodeOrNull<MulticoreProfile>(
+      bytes, kMulticoreProfileCodec, [](ByteReader& r) {
+        MulticoreProfile p;
+        p.cores = static_cast<int>(r.u32());
+        GCR_CHECK(p.cores >= 1, "multicore profile core count out of range");
+        const std::uint8_t sched = r.u8();
+        GCR_CHECK(sched <= 1, "multicore profile schedule out of range");
+        p.schedule = static_cast<ParallelSchedule>(sched);
+        p.llcCapacityLines = r.u64();
+        const std::size_t n = r.seqLen(48);
+        GCR_CHECK(n == static_cast<std::size_t>(p.cores),
+                  "multicore profile per-core count mismatch");
+        p.perCore.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          CoreCacheStats c;
+          c.refs = r.u64();
+          c.l1Misses = r.u64();
+          c.l2Misses = r.u64();
+          c.l2Writebacks = r.u64();
+          c.lineAccesses = r.u64();
+          c.coldLines = r.u64();
+          p.perCore.push_back(c);
+        }
+        p.shared = getHistogram(r);
+        p.sharedAccesses = r.u64();
+        p.sharedColdLines = r.u64();
+        p.llcMissFraction = r.f64();
+        p.cycles = r.f64();
+        p.wallSeconds = r.f64();
         return p;
       });
 }

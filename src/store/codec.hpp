@@ -27,6 +27,7 @@
 #include "analysis/symbolic_reuse.hpp"
 #include "driver/measure.hpp"
 #include "driver/pipeline.hpp"
+#include "locality/multicore.hpp"
 #include "locality/reuse_distance.hpp"
 
 namespace gcr::store {
@@ -65,6 +66,12 @@ std::optional<CompiledPlanArtifact> decodeCompiledPlan(
 /// shares this codec's contracts (canonical bytes, defensive decode).
 std::vector<std::uint8_t> encodeSymbolicProfile(const SymbolicReuseProfile& p);
 std::optional<SymbolicReuseProfile> decodeSymbolicProfile(
+    std::span<const std::uint8_t> bytes);
+
+/// Multicore locality profiles (ArtifactKind::MulticoreProfile): per-core
+/// private-level counts plus the composed shared-LLC histogram.
+std::vector<std::uint8_t> encodeMulticoreProfile(const MulticoreProfile& p);
+std::optional<MulticoreProfile> decodeMulticoreProfile(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace gcr::store

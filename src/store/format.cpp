@@ -13,6 +13,7 @@ const char* artifactKindName(ArtifactKind k) {
     case ArtifactKind::ReuseProfile: return "profile";
     case ArtifactKind::CompiledPlan: return "compiled_plan";
     case ArtifactKind::SymbolicProfile: return "symbolic_profile";
+    case ArtifactKind::MulticoreProfile: return "multicore_profile";
   }
   return "unknown";
 }

@@ -58,6 +58,10 @@ enum class ArtifactKind : std::uint32_t {
   /// one artifact answers every problem size of the program it was
   /// analyzed from.
   SymbolicProfile = 5,
+  /// A multicore locality profile (locality/multicore.hpp): exact per-core
+  /// private-level counts plus the composed shared-LLC prediction for one
+  /// (version, size, topology, timeSteps, cost) request.
+  MulticoreProfile = 6,
 };
 
 const char* artifactKindName(ArtifactKind k);

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include "support/env.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -118,10 +120,7 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::defaultThreadCount() {
-  if (const char* env = std::getenv("GCR_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
-  }
+  if (const int v = env::threads(); v >= 1) return v;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -1,13 +1,19 @@
-// The pre-Engine free functions survive as [[deprecated]] shims with a
-// named migration path; this TU (and only this TU) silences the warning and
-// pins the shims to their replacements so the compatibility surface cannot
-// rot while it exists.
+// The pre-redesign typed submit functions survive as [[deprecated]] shims
+// over the unified Engine::submit(Request); this TU (and only this TU)
+// silences the warning and pins each shim to its replacement so the
+// compatibility surface cannot rot while it exists.
+//
+// The PR 5 free-function shims (optimize, makeNoOpt, makeFused, measureAll,
+// reuseProfilesOf, ...) completed their deprecation cycle and were DELETED
+// in PR 10 — CI greps for reintroductions instead of testing them here.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "apps/registry.hpp"
-#include "driver/measure.hpp"
-#include "driver/pipeline.hpp"
+#include "engine/engine.hpp"
 #include "ir/print.hpp"
+#include "store/codec.hpp"
 
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
@@ -15,56 +21,81 @@
 namespace gcr {
 namespace {
 
-TEST(DeprecatedShims, OptimizeForwardsToRunPipeline) {
-  Program p = apps::buildApp("ADI");
-  const PipelineResult oldApi = optimize(p);
-  const PipelineResult newApi = runPipeline(p);
-  EXPECT_EQ(toString(oldApi.program), toString(newApi.program));
-  EXPECT_EQ(oldApi.diagnostics.size(), newApi.diagnostics.size());
+bool sameSimulatedFields(const Measurement& a, const Measurement& b) {
+  return std::memcmp(&a.counts, &b.counts, sizeof a.counts) == 0 &&
+         a.cycles == b.cycles &&
+         a.memoryTrafficBytes == b.memoryTrafficBytes &&
+         a.effectiveBandwidth == b.effectiveBandwidth;
 }
 
-TEST(DeprecatedShims, VersionFactoriesForwardToMakeVersion) {
+TEST(DeprecatedShims, SubmitMeasureForwardsToUnifiedSubmit) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::Fused);
+  const MachineConfig m = MachineConfig::origin2000();
+
+  Future<Measurement> oldApi =
+      submitMeasure(engine, MeasureTask{v.clone(), 24, m, 1, CostModel{}});
+  Future<Reply> newApi =
+      engine.submit(MeasureTask{v.clone(), 24, m, 1, CostModel{}});
+  EXPECT_TRUE(sameSimulatedFields(oldApi.get(),
+                                  replyAs<Measurement>(newApi.get())));
+}
+
+TEST(DeprecatedShims, SubmitReuseForwardsToUnifiedSubmit) {
+  Engine engine;
   Program p = apps::buildApp("Swim");
-  struct Case {
-    ProgramVersion oldApi;
-    ProgramVersion newApi;
-  };
-  const Case cases[] = {
-      {makeNoOpt(p), makeVersion(p, Strategy::NoOpt)},
-      {makeSgiLike(p), makeVersion(p, Strategy::SgiLike)},
-      {makeFused(p, 2), makeVersion(p, Strategy::Fused,
-                                    VersionSpec{.fusionLevels = 2})},
-      {makeFusedRegrouped(p), makeVersion(p, Strategy::FusedRegrouped)},
-      {makeRegroupedOnly(p), makeVersion(p, Strategy::RegroupedOnly)},
-  };
-  for (const Case& c : cases) {
-    EXPECT_EQ(c.oldApi.name, c.newApi.name);
-    EXPECT_EQ(toString(c.oldApi.program), toString(c.newApi.program));
-  }
+  ProgramVersion v = engine.version(p, Strategy::NoOpt);
+
+  Future<ReuseProfile> oldApi = submitReuse(engine, ReuseTask{v.clone(), 24, 1});
+  Future<Reply> newApi = engine.submit(ReuseTask{v.clone(), 24, 1});
+  const ReuseProfile& a = oldApi.get();
+  const ReuseProfile& b = replyAs<ReuseProfile>(newApi.get());
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.distinctData, b.distinctData);
+  EXPECT_EQ(store::encodeReuseProfile(a), store::encodeReuseProfile(b));
 }
 
-TEST(DeprecatedShims, BatchShimsForwardToUncachedRunners) {
-  Program p = apps::buildApp("ADI");
-  std::vector<MeasureTask> tasks;
-  tasks.push_back({makeVersion(p, Strategy::NoOpt), 24,
-                   MachineConfig::origin2000(), 1, CostModel{}});
-  const std::vector<Measurement> oldApi = measureAll(tasks);
-  const std::vector<Measurement> newApi = detail::measureAllUncached(tasks);
-  ASSERT_EQ(oldApi.size(), 1u);
-  ASSERT_EQ(newApi.size(), 1u);
-  EXPECT_EQ(oldApi[0].counts.refs, newApi[0].counts.refs);
-  EXPECT_EQ(oldApi[0].counts.l2Misses, newApi[0].counts.l2Misses);
-  EXPECT_EQ(oldApi[0].cycles, newApi[0].cycles);
+TEST(DeprecatedShims, SubmitPipelineForwardsToUnifiedSubmit) {
+  Engine engine;
+  Program p = apps::buildApp("Tomcatv");
 
-  std::vector<ReuseTask> profTasks;
-  profTasks.push_back({makeVersion(p, Strategy::NoOpt), 24, 1});
-  const std::vector<ReuseProfile> oldProfs = reuseProfilesOf(profTasks);
-  const std::vector<ReuseProfile> newProfs =
-      detail::reuseProfilesOfUncached(profTasks);
-  ASSERT_EQ(oldProfs.size(), 1u);
-  ASSERT_EQ(newProfs.size(), 1u);
-  EXPECT_EQ(oldProfs[0].accesses, newProfs[0].accesses);
-  EXPECT_EQ(oldProfs[0].distinctData, newProfs[0].distinctData);
+  Future<PipelineResult> oldApi =
+      submitPipeline(engine, PipelineRequest{p.clone(), PipelineOptions{}});
+  Future<Reply> newApi =
+      engine.submit(PipelineRequest{p.clone(), PipelineOptions{}});
+  EXPECT_EQ(toString(oldApi.get().program),
+            toString(replyAs<PipelineResult>(newApi.get()).program));
+}
+
+TEST(DeprecatedShims, SubmitSymbolicForwardsToUnifiedSubmit) {
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+
+  Future<SymbolicReuseProfile> oldApi =
+      submitSymbolic(engine, SymbolicProfileRequest{p.clone(), {}});
+  Future<Reply> newApi = engine.submit(SymbolicProfileRequest{p.clone(), {}});
+  EXPECT_EQ(store::encodeSymbolicProfile(oldApi.get()),
+            store::encodeSymbolicProfile(
+                replyAs<SymbolicReuseProfile>(newApi.get())));
+}
+
+TEST(DeprecatedShims, ShimsShareTheEngineCaches) {
+  // A shim call and a unified call with the same key coalesce onto one
+  // computation — the shim is a thin adapter, not a parallel code path.
+  Engine engine;
+  Program p = apps::buildApp("ADI");
+  ProgramVersion v = engine.version(p, Strategy::NoOpt);
+  const MachineConfig m = MachineConfig::origin2000();
+
+  (void)submitMeasure(engine, MeasureTask{v.clone(), 20, m, 1, CostModel{}})
+      .get();
+  (void)engine.submit(MeasureTask{v.clone(), 20, m, 1, CostModel{}}).get();
+  const Engine::Stats s = engine.stats();
+  // The second submission is either a cache hit or coalesced in-flight; the
+  // cache ends up with exactly one entry either way.
+  EXPECT_EQ(s.measurement.hits + s.inflightCoalesced, 1u);
+  EXPECT_EQ(s.measurement.entries, 1u);
 }
 
 }  // namespace

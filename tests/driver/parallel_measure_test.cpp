@@ -61,7 +61,7 @@ TEST_P(ParallelMeasureDeterminism, BitIdenticalForEveryThreadCount) {
 
   for (int threads : {1, 2, 4}) {
     const std::vector<Measurement> got =
-        detail::measureAllUncached(tasks, {.threads = threads});
+        detail::measureAllUncached(tasks, threads);
     ASSERT_EQ(got.size(), reference.size());
     for (std::size_t i = 0; i < got.size(); ++i)
       expectIdentical(got[i], reference[i],
@@ -84,7 +84,7 @@ TEST_P(ParallelMeasureDeterminism, ReuseProfilesBitIdentical) {
 
   for (int threads : {1, 2, 4}) {
     const std::vector<ReuseProfile> got =
-        detail::reuseProfilesOfUncached(tasks, {.threads = threads});
+        detail::reuseProfilesOfUncached(tasks, threads);
     ASSERT_EQ(got.size(), reference.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       // Full histogram contents, cold bin included.

@@ -25,9 +25,9 @@ TEST(EngineAsync, SubmitResolvesToSyncResult) {
   ProgramVersion v = engine.version(p, Strategy::Fused);
   const MachineConfig m = MachineConfig::origin2000();
 
-  Future<Measurement> f =
+  Future<Reply> f =
       engine.submit(MeasureTask{v.clone(), 32, m, 1, CostModel{}});
-  const Measurement async = f.get();
+  const Measurement async = replyAs<Measurement>(f.get());
   const Measurement sync = engine.measure(v, 32, m);
   // The second call is a cache hit on the first, so all fields agree.
   EXPECT_TRUE(sameSimulatedFields(async, sync));
@@ -46,14 +46,15 @@ TEST(EngineAsync, InFlightDuplicatesCoalesceUnderFourThreads) {
   // runs; every other submission is either coalesced onto the in-flight
   // computation or served from the cache after it lands.
   constexpr int kDup = 16;
-  std::vector<Future<Measurement>> futures;
+  std::vector<Future<Reply>> futures;
   futures.reserve(kDup);
   for (int i = 0; i < kDup; ++i)
     futures.push_back(engine.submit(MeasureTask{v.clone(), 28, m, 2,
                                                 CostModel{}}));
   std::vector<Measurement> results;
   results.reserve(kDup);
-  for (Future<Measurement>& f : futures) results.push_back(f.get());
+  for (Future<Reply>& f : futures)
+    results.push_back(replyAs<Measurement>(f.get()));
 
   for (int i = 1; i < kDup; ++i) {
     EXPECT_TRUE(sameSimulatedFields(results[0], results[i]));
@@ -72,9 +73,9 @@ TEST(EngineAsync, InFlightDuplicatesCoalesceUnderFourThreads) {
 TEST(EngineAsync, PipelineFutureMatchesDirectRun) {
   Engine engine;
   Program p = apps::buildApp("Tomcatv");
-  Future<PipelineResult> f =
+  Future<Reply> f =
       engine.submit(PipelineRequest{p.clone(), PipelineOptions{}});
-  const PipelineResult& async = f.get();
+  const PipelineResult& async = replyAs<PipelineResult>(f.get());
   const PipelineResult direct = runPipeline(p);
   EXPECT_EQ(toString(async.program), toString(direct.program));
 }

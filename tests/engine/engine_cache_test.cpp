@@ -157,9 +157,8 @@ TEST(EngineCache, SymbolicProfileIsMemoized) {
 TEST(EngineCache, SymbolicSubmitResolvesToSyncResult) {
   Engine engine;
   Program p = apps::buildApp("ADI");
-  Future<SymbolicReuseProfile> f =
-      engine.submit(SymbolicProfileRequest{p.clone(), {}});
-  const SymbolicReuseProfile async = f.get();
+  Future<Reply> f = engine.submit(SymbolicProfileRequest{p.clone(), {}});
+  const SymbolicReuseProfile async = replyAs<SymbolicReuseProfile>(f.get());
   const SymbolicReuseProfile sync = engine.symbolicProfile(p);
   EXPECT_EQ(store::encodeSymbolicProfile(async),
             store::encodeSymbolicProfile(sync));

@@ -27,7 +27,7 @@ bool sameSimulatedFields(const Measurement& a, const Measurement& b) {
 
 TEST(EngineShutdown, DestructionFulfillsEveryInFlightFuture) {
   const MachineConfig m = MachineConfig::origin2000();
-  std::vector<Future<Measurement>> futures;
+  std::vector<Future<Reply>> futures;
   {
     Engine::Options opts;
     opts.threads = 4;
@@ -46,9 +46,9 @@ TEST(EngineShutdown, DestructionFulfillsEveryInFlightFuture) {
   // The futures outlive the Engine (shared_future-backed) and every one
   // must resolve to a real result — a dropped job would deadlock get(),
   // an abandoned promise would throw broken_promise.
-  for (Future<Measurement>& f : futures) {
+  for (Future<Reply>& f : futures) {
     ASSERT_TRUE(f.valid());
-    EXPECT_GT(f.get().counts.refs, 0u);
+    EXPECT_GT(replyAs<Measurement>(f.get()).counts.refs, 0u);
   }
 
   // Cross-check values against a fresh engine: draining under destruction
@@ -59,8 +59,9 @@ TEST(EngineShutdown, DestructionFulfillsEveryInFlightFuture) {
     ProgramVersion v = check.version(
         p, i % 2 == 0 ? Strategy::Fused : Strategy::FusedRegrouped);
     const Measurement expect = check.measure(v, 24 + 4 * (i / 2), m);
-    EXPECT_TRUE(sameSimulatedFields(futures[static_cast<std::size_t>(i)].get(),
-                                    expect))
+    EXPECT_TRUE(sameSimulatedFields(
+        replyAs<Measurement>(futures[static_cast<std::size_t>(i)].get()),
+        expect))
         << "task " << i;
   }
 }
@@ -92,7 +93,7 @@ TEST(EngineShutdown, RepeatedConstructDestroyUnderLoadIsStable) {
     Engine::Options opts;
     opts.threads = 2;
     Engine engine(opts);
-    std::vector<Future<Measurement>> futures;
+    std::vector<Future<Reply>> futures;
     for (int i = 0; i < 4; ++i) {
       ProgramVersion v = engine.version(p, Strategy::Fused);
       futures.push_back(engine.submit(

@@ -122,7 +122,7 @@ TEST(SampledReuse, WithinBoundOnRandomProgramPipelines) {
       n *= 2;
     const ReuseProfile exact = reuseProfileOf(v, n);
     const ReuseProfile sampled =
-        reuseProfileOf(v, n, 1, {.sampleRate = kRate64});
+        reuseProfileOf(v, n, 1, kRate64);
     EXPECT_EQ(sampled.accesses, exact.accesses);  // all refs are observed
 
     double sumErr = 0.0;
@@ -152,7 +152,7 @@ TEST(SampledReuse, RealAppProfileWithinBound) {
     const std::int64_t n = 128;
     const ReuseProfile exact = reuseProfileOf(v, n);
     const ReuseProfile sampled =
-        reuseProfileOf(v, n, 1, {.sampleRate = kRate64});
+        reuseProfileOf(v, n, 1, kRate64);
     for (std::uint64_t cap : {1024ull, 8192ull, 65536ull}) {
       EXPECT_NEAR(sampled.missFractionAtCapacity(cap),
                   exact.missFractionAtCapacity(cap), kBound)

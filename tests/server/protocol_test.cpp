@@ -72,6 +72,47 @@ TEST(Protocol, MeasureRequestRoundTrip) {
   EXPECT_EQ(back->cost.l1MissCost, req.cost.l1MissCost);
 }
 
+TEST(Protocol, MulticoreRequestRoundTrip) {
+  MulticoreRequest req;
+  req.spec.app = "ADI";
+  req.spec.strategy = Strategy::Fused;
+  req.n = 40;
+  req.timeSteps = 2;
+  req.topology = CacheTopology::symmetric(4, ParallelSchedule::Cyclic);
+  req.topology.name = "nehalem-4";
+  const auto back = decodeMulticoreRequest(encodeMulticoreRequest(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->spec.app, "ADI");
+  EXPECT_EQ(back->spec.strategy, Strategy::Fused);
+  EXPECT_EQ(back->n, 40);
+  EXPECT_EQ(back->timeSteps, 2u);
+  EXPECT_EQ(back->topology.cores, 4);
+  EXPECT_EQ(back->topology.schedule, ParallelSchedule::Cyclic);
+  EXPECT_EQ(back->topology.l1.sizeBytes, req.topology.l1.sizeBytes);
+  EXPECT_EQ(back->topology.llc.ways, req.topology.llc.ways);
+  EXPECT_EQ(back->topology.name, "nehalem-4");
+
+  // Trailing bytes and truncation reject like every other request codec.
+  std::vector<std::uint8_t> bytes = encodeMulticoreRequest(req);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_FALSE(decodeMulticoreRequest({bytes.data(), len}).has_value())
+        << "decoded a " << len << "-byte prefix";
+  bytes.push_back(0);
+  EXPECT_FALSE(decodeMulticoreRequest(bytes).has_value());
+}
+
+TEST(Protocol, StatsReplyCarriesMulticoreCounters) {
+  StatsReply r;
+  r.engine.multicore.hits = 11;
+  r.engine.multicore.misses = 3;
+  r.engine.multicore.entries = 2;
+  const auto back = decodeStatsReply(encodeStatsReply(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->engine.multicore.hits, 11u);
+  EXPECT_EQ(back->engine.multicore.misses, 3u);
+  EXPECT_EQ(back->engine.multicore.entries, 2u);
+}
+
 TEST(Protocol, RequestCodecsRejectUnknownStrategy) {
   MeasureRequest req;
   req.spec.app = "ADI";

@@ -172,6 +172,79 @@ TEST(Server, ConcurrentClientsShareOneEngine) {
   EXPECT_GE(stats->tenants.size(), static_cast<std::size_t>(kClients));
 }
 
+TEST(Server, MulticoreMatchesDirectEngineAndWarmDuplicateIsVerbatim) {
+  TestServer ts;
+  ASSERT_NE(ts.server, nullptr);
+  auto client = Client::connect(ts.socketPath, "t1");
+  ASSERT_NE(client, nullptr);
+
+  MulticoreRequest req;
+  req.spec.app = "ADI";
+  req.spec.strategy = Strategy::Fused;
+  req.n = 20;
+  req.topology = CacheTopology::symmetric(4).scaledDown(16);
+  const Result<MulticoreProfile> wire = client->multicore(req);
+  ASSERT_TRUE(wire.ok()) << wire.message;
+  EXPECT_EQ(wire->cores, 4);
+  EXPECT_GT(wire->sharedAccesses, 0u);
+  const std::vector<std::uint8_t> firstPayload = client->lastPayload();
+
+  // The wire payload is the store codec verbatim: a direct in-process
+  // Engine run serializes to the same bytes (wall-clock aside, which the
+  // warm duplicate below pins exactly).
+  Engine direct;
+  const MulticoreProfile local = direct.multicoreProfile(
+      direct.version(apps::buildApp("ADI"), Strategy::Fused,
+                     req.spec.versionSpec()),
+      req.n, req.topology, req.timeSteps);
+  MulticoreProfile a = *wire, b = local;
+  a.wallSeconds = b.wallSeconds = 0.0;
+  EXPECT_EQ(store::encodeMulticoreProfile(a),
+            store::encodeMulticoreProfile(b));
+
+  const Result<MulticoreProfile> dup = client->multicore(req);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(client->lastPayload(), firstPayload);
+
+  const Result<StatsReply> stats = client->stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->engine.multicore.misses, 1u);
+  EXPECT_EQ(stats->engine.multicore.hits, 1u);
+}
+
+TEST(Server, MulticoreBadGeometryIsBadRequestNotACrash) {
+  TestServer ts;
+  ASSERT_NE(ts.server, nullptr);
+  auto client = Client::connect(ts.socketPath, "t1");
+  ASSERT_NE(client, nullptr);
+
+  MulticoreRequest req;
+  req.spec.app = "ADI";
+  req.n = 16;
+  req.topology = CacheTopology::symmetric(2);
+  req.topology.cores = 0;  // semantically invalid, well-framed
+  const Result<MulticoreProfile> r = client->multicore(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error, ErrorCode::BadRequest);
+
+  req.topology = CacheTopology::symmetric(2);
+  req.topology.llc.lineSize = 0;
+  const Result<MulticoreProfile> r2 = client->multicore(req);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error, ErrorCode::BadRequest);
+
+  // Payload-level rejection keeps the session open.
+  const Result<MulticoreProfile> good = client->multicore(
+      [] {
+        MulticoreRequest ok;
+        ok.spec.app = "ADI";
+        ok.n = 16;
+        ok.topology = CacheTopology::symmetric(2).scaledDown(16);
+        return ok;
+      }());
+  EXPECT_TRUE(good.ok()) << good.message;
+}
+
 // --- admission control -----------------------------------------------------
 
 TEST(Server, PerTenantLimitZeroRejectsWithBusy) {

@@ -396,6 +396,78 @@ TEST(StoreCodec, SymbolicProfileDecodeRejectsTruncationAndTrailingBytes) {
   EXPECT_FALSE(decodeSymbolicProfile(wrongVersion).has_value());
 }
 
+MulticoreProfile oddballMulticoreProfile() {
+  MulticoreProfile p;
+  p.cores = 3;
+  p.schedule = ParallelSchedule::Cyclic;
+  p.llcCapacityLines = 1u << 17;
+  for (int c = 0; c < 3; ++c) {
+    CoreCacheStats s;
+    s.refs = 1000u * static_cast<std::uint64_t>(c + 1);
+    s.l1Misses = 100u + static_cast<std::uint64_t>(c);
+    s.l2Misses = 10u + static_cast<std::uint64_t>(c);
+    s.l2Writebacks = c == 0 ? 0u : 7u;
+    s.lineAccesses = 500u * static_cast<std::uint64_t>(c + 1);
+    s.coldLines = 42u;
+    p.perCore.push_back(s);
+  }
+  p.shared.add(0, 5);
+  p.shared.add(12345, 9);
+  p.shared.add(Log2Histogram::kCold, 126);
+  p.sharedAccesses = 3000;
+  p.sharedColdLines = 126;
+  p.llcMissFraction = 0.125;
+  p.cycles = 1.5e9;
+  p.wallSeconds = 0.25;
+  return p;
+}
+
+bool sameMulticoreProfile(const MulticoreProfile& a, const MulticoreProfile& b) {
+  return encodeMulticoreProfile(a) == encodeMulticoreProfile(b);
+}
+
+TEST(StoreCodec, MulticoreProfileRoundTripIsExact) {
+  const MulticoreProfile p = oddballMulticoreProfile();
+  const auto bytes = encodeMulticoreProfile(p);
+  const auto back = decodeMulticoreProfile(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(sameMulticoreProfile(p, *back));
+  EXPECT_EQ(back->cores, 3);
+  EXPECT_EQ(back->schedule, ParallelSchedule::Cyclic);
+  EXPECT_EQ(back->perCore.size(), 3u);
+  EXPECT_EQ(back->shared.coldCount(), 126u);
+  EXPECT_EQ(back->llcMissFraction, 0.125);
+  EXPECT_EQ(encodeMulticoreProfile(*back), bytes);  // canonical
+}
+
+TEST(StoreCodec, MulticoreProfileDecodeRejectsTruncationAndTrailingBytes) {
+  const auto bytes = encodeMulticoreProfile(oddballMulticoreProfile());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> shorter(bytes.begin(),
+                                            bytes.begin() + cut);
+    EXPECT_FALSE(decodeMulticoreProfile(shorter).has_value()) << "cut " << cut;
+  }
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_FALSE(decodeMulticoreProfile(longer).has_value());
+
+  auto wrongVersion = bytes;
+  wrongVersion[0] = 0x7F;
+  EXPECT_FALSE(decodeMulticoreProfile(wrongVersion).has_value());
+}
+
+TEST(StoreCodec, MulticoreProfileDecodeNeverCrashesOnBitFlips) {
+  const auto bytes = encodeMulticoreProfile(oddballMulticoreProfile());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto mutated = bytes;
+      mutated[i] ^= bit;
+      (void)decodeMulticoreProfile(mutated);
+    }
+  }
+  SUCCEED();
+}
+
 TEST(StoreCodec, SymbolicProfileDecodeNeverCrashesOnBitFlips) {
   // Same bounds-safety contract as the other codecs: a flipped byte may
   // decode, may reject — it must never crash, hang, or over-allocate.

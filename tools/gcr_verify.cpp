@@ -16,10 +16,13 @@
 //   gcr-verify --symbolic         # closed-form reuse profiles: per-site
 //                                 # formulas, bail-out reasons, and the
 //                                 # symbolic-vs-dynamic agreement report
+//   gcr-verify --multicore        # shared-LLC CDF composition vs the exact
+//                                 # interleaved referee at 2/4/8 cores
 //
 // Exit status: 0 clean; 1 legality violation (errors, or warnings under
-// --werror, or a missed adversarial refusal, or — under --symbolic --werror —
-// a symbolic/dynamic geomean CDF error above 0.10); 2 usage error.
+// --werror, or a missed adversarial refusal, or — under --symbolic /
+// --multicore --werror — a model-vs-referee geomean CDF error above 0.10);
+// 2 usage error.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +49,9 @@ void usage() {
       "  --adversarial     self-test against the known-illegal corpus\n"
       "  --symbolic        closed-form reuse formulas + symbolic-vs-dynamic\n"
       "                    agreement report (with --werror: gate geomean CDF\n"
+      "                    error <= 0.10)\n"
+      "  --multicore       shared-LLC model vs exact interleaved referee at\n"
+      "                    2/4/8 cores (with --werror: gate geomean CDF\n"
       "                    error <= 0.10)\n"
       "  --pipeline        also optimize and re-verify the result\n"
       "  --werror          treat warnings as errors\n"
@@ -308,6 +314,99 @@ int runSymbolic(const std::vector<std::string>& names, const Options& o) {
   return bad ? 1 : 0;
 }
 
+/// --multicore: score the multicore locality engine's composed shared-LLC
+/// prediction against the exact interleaved-trace referee for every
+/// registry app at 2, 4 and 8 cores (both static schedules on the original
+/// and the fully-optimized program).  Under --werror the geomean avg CDF
+/// error across all cases must stay within the same 0.10 gate the symbolic
+/// and static estimators are held to.
+int runMulticore(const std::vector<std::string>& names, const Options& o) {
+  constexpr double kGate = 0.10;
+  Engine& engine = sessionEngine();
+
+  double logSum = 0.0;
+  int cases = 0;
+  double worst = 0.0;
+
+  JsonWriter j;
+  if (o.json) {
+    j.beginObject();
+    j.field("schema", "gcr-verify-multicore/1");
+    j.key("cases").beginArray();
+  }
+
+  for (const std::string& name : names) {
+    const Program p = apps::buildApp(name);
+    // The exact referee materializes the interleaved trace: probe 3D nests
+    // at NAS-class sizes, 2D ones a step larger (same policy as --symbolic).
+    const bool deepNest = computeStats(p).maxLevel >= 3;
+    const std::int64_t n = deepNest ? 12 : 24;
+
+    for (const Strategy strategy : {Strategy::NoOpt, Strategy::Fused}) {
+      const std::string vname = versionNameFor(strategy);
+      const ProgramVersion v = engine.version(p, strategy);
+      const DataLayout layout = v.layoutAt(n);
+      const PlanCompileResult c = compilePlan(v.program, layout, {.n = n});
+      if (!c.ok()) {
+        std::fprintf(stderr, "gcr-verify: %s/%s does not compile to a plan: "
+                             "%s\n",
+                     name.c_str(), vname.c_str(), c.reason.c_str());
+        return 2;
+      }
+      for (const int cores : {2, 4, 8}) {
+        for (const ParallelSchedule sched :
+             {ParallelSchedule::Block, ParallelSchedule::Cyclic}) {
+          const CacheTopology topo = CacheTopology::symmetric(cores, sched);
+          const MulticoreProfile model = engine.multicoreProfile(v, n, topo);
+          const ReuseProfile exact = interleavedSharedProfile(*c.plan, topo);
+          const ProfileComparison cmp =
+              compareHistograms(model.shared, exact.histogram);
+          logSum += std::log(std::max(cmp.avgCdfError, 1e-6));
+          worst = std::max(worst, cmp.avgCdfError);
+          ++cases;
+          if (o.json) {
+            j.beginObject();
+            j.field("program", std::string_view(name));
+            j.field("strategy", std::string_view(vname));
+            j.field("cores", std::int64_t{cores});
+            j.field("schedule", parallelScheduleName(sched));
+            j.field("n", n);
+            j.field("shared_accesses", model.sharedAccesses);
+            j.field("llc_miss_fraction", model.llcMissFraction, 4);
+            j.field("avg_cdf_error", cmp.avgCdfError, 4);
+            j.endObject();
+          } else {
+            std::printf("%s/%s cores=%d %-6s n=%-4lld avg CDF error %.4f "
+                        "(LLC miss fraction %.4f)\n",
+                        name.c_str(), vname.c_str(), cores,
+                        parallelScheduleName(sched),
+                        static_cast<long long>(n), cmp.avgCdfError,
+                        model.llcMissFraction);
+          }
+        }
+      }
+    }
+  }
+
+  const double geomean = cases ? std::exp(logSum / cases) : 0.0;
+  const bool gateOk = geomean <= kGate;
+  const bool bad = o.werror && !gateOk;
+  if (o.json) {
+    j.endArray();
+    j.field("geomean_cdf_error", geomean, 4);
+    j.field("max_cdf_error", worst, 4);
+    j.field("gate", kGate, 2);
+    j.field("gate_ok", gateOk);
+    j.endObject();
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::printf("gcr-verify: %d multicore case(s), geomean CDF error %.4f "
+                "(max %.4f, gate %.2f)%s\n",
+                cases, geomean, worst, kGate, bad ? " -- FAILED" : "");
+  }
+  return bad ? 1 : 0;
+}
+
 /// --store-stats: validate every entry of an on-disk artifact store and
 /// dump the inventory as one JSON object (the operator's view of what
 /// GCR_CACHE_DIR currently holds, and whether any of it is corrupt).
@@ -421,6 +520,7 @@ int runServerPing(const std::string& address) {
   putCacheCounters(j, "measurement", e.measurement);
   putCacheCounters(j, "profile", e.profile);
   putCacheCounters(j, "symbolic", e.symbolic);
+  putCacheCounters(j, "multicore", e.multicore);
   j.field("inflight_coalesced", e.inflightCoalesced);
   j.endObject();
 
@@ -456,6 +556,7 @@ int main(int argc, char** argv) {
   Options o;
   bool adversarial = false;
   bool symbolic = false;
+  bool multicore = false;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
@@ -475,6 +576,8 @@ int main(int argc, char** argv) {
       adversarial = true;
     } else if (arg == "--symbolic") {
       symbolic = true;
+    } else if (arg == "--multicore") {
+      multicore = true;
     } else if (arg == "--pipeline") {
       o.pipeline = true;
     } else if (arg == "--werror") {
@@ -501,6 +604,7 @@ int main(int argc, char** argv) {
       for (const apps::AppInfo& a : apps::evaluationApps())
         names.push_back(a.name);
     if (symbolic) return runSymbolic(names, o);
+    if (multicore) return runMulticore(names, o);
     return runVerify(names, o);
   } catch (const Error& e) {
     std::fprintf(stderr, "gcr-verify: %s\n", e.what());
